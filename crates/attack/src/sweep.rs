@@ -1,0 +1,242 @@
+//! Experiment sweeps reproducing the paper's Figures 7–12.
+
+use aspp_routing::ExportMode;
+use aspp_topology::tier::TierMap;
+use aspp_topology::AsGraph;
+use aspp_types::Asn;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::experiment::{run_experiments_parallel, HijackExperiment, HijackImpact};
+
+/// Samples `n` distinct tier-1 attacker/victim pairs (Figure 7: "80
+/// instances of such hijacking cases with 3 prepended instances").
+///
+/// # Example
+///
+/// ```
+/// use aspp_attack::sweep;
+/// use aspp_topology::gen::InternetConfig;
+///
+/// let g = InternetConfig::small().seed(3).build();
+/// let exps = sweep::tier1_pair_experiments(&g, 10, 3, 42);
+/// assert_eq!(exps.len(), 10);
+/// ```
+#[must_use]
+pub fn tier1_pair_experiments(
+    graph: &AsGraph,
+    n: usize,
+    padding: usize,
+    seed: u64,
+) -> Vec<HijackExperiment> {
+    let tiers = TierMap::classify(graph);
+    let mut tier1: Vec<Asn> = tiers.tier1().collect();
+    tier1.sort();
+    pair_experiments(&tier1, &tier1, n, padding, seed)
+}
+
+/// Samples `n` attacker/victim pairs uniformly over the whole AS population
+/// (Figure 8: random pairs are "mostly Tier-4 and Tier-5 ASes" because the
+/// fringe dominates by count).
+#[must_use]
+pub fn random_pair_experiments(
+    graph: &AsGraph,
+    n: usize,
+    padding: usize,
+    seed: u64,
+) -> Vec<HijackExperiment> {
+    let mut all: Vec<Asn> = graph.asns().collect();
+    all.sort();
+    pair_experiments(&all, &all, n, padding, seed)
+}
+
+/// Samples pairs with the attacker drawn from `attackers` and the victim
+/// from `victims` (attacker ≠ victim), λ = `padding`.
+#[must_use]
+pub fn pair_experiments(
+    victims: &[Asn],
+    attackers: &[Asn],
+    n: usize,
+    padding: usize,
+    seed: u64,
+) -> Vec<HijackExperiment> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0;
+    while out.len() < n && guard < n * 50 + 100 {
+        guard += 1;
+        let (Some(&v), Some(&m)) = (victims.choose(&mut rng), attackers.choose(&mut rng)) else {
+            break;
+        };
+        if v == m {
+            continue;
+        }
+        out.push(HijackExperiment::new(v, m).padding(padding));
+    }
+    out
+}
+
+/// Runs a batch of experiments and ranks the impacts by descending pollution
+/// — the x-axis ordering of Figures 7 and 8.
+#[must_use]
+pub fn run_ranked(graph: &AsGraph, exps: &[HijackExperiment]) -> Vec<HijackImpact> {
+    let mut impacts = run_experiments_parallel(graph, exps);
+    impacts.sort_by(|a, b| {
+        b.after_fraction
+            .partial_cmp(&a.after_fraction)
+            .expect("fractions are finite")
+    });
+    impacts
+}
+
+/// Sweeps λ over `paddings` for a fixed victim/attacker pair and export
+/// mode — the harness behind Figures 9–12.
+///
+/// # Example
+///
+/// ```
+/// use aspp_attack::{sweep, ExportMode};
+/// use aspp_topology::gen::InternetConfig;
+/// use aspp_types::Asn;
+///
+/// let g = InternetConfig::small().seed(4).build();
+/// let series = sweep::prepend_sweep(&g, Asn(100), Asn(101), 1..=4, ExportMode::Compliant);
+/// assert_eq!(series.len(), 4);
+/// // Pollution is non-decreasing in λ for a fixed pair.
+/// assert!(series.windows(2).all(|w| w[1].after_fraction >= w[0].after_fraction - 1e-9));
+/// ```
+#[must_use]
+pub fn prepend_sweep(
+    graph: &AsGraph,
+    victim: Asn,
+    attacker: Asn,
+    paddings: impl IntoIterator<Item = usize>,
+    mode: ExportMode,
+) -> Vec<HijackImpact> {
+    let exps: Vec<HijackExperiment> = paddings
+        .into_iter()
+        .map(|p| {
+            HijackExperiment::new(victim, attacker)
+                .padding(p)
+                .export_mode(mode)
+        })
+        .collect();
+    run_experiments_parallel(graph, &exps)
+}
+
+/// Picks one AS per requested tier, deterministically: the lowest-ASN member
+/// of each tier. Handy for the "special attack scenarios" (Section VI-B-2).
+#[must_use]
+pub fn representative_of_tier(graph: &AsGraph, tier: u32) -> Option<Asn> {
+    let tiers = TierMap::classify(graph);
+    tiers.in_tier(tier).min()
+}
+
+/// Picks the stub AS with the most peering links — the paper's
+/// "small but well-connected enterprise ISP" (Figure 11's Facebook-like
+/// attacker). Returns `None` if the graph has no stubs.
+#[must_use]
+pub fn best_connected_stub(graph: &AsGraph) -> Option<Asn> {
+    let tiers = TierMap::classify(graph);
+    graph
+        .asns()
+        .filter(|&a| tiers.is_stub(graph, a))
+        .max_by_key(|&a| (graph.peers(a).count(), std::cmp::Reverse(a.value())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspp_topology::gen::{InternetConfig, CONTENT_BASE};
+
+    fn graph() -> AsGraph {
+        InternetConfig::small().seed(77).build()
+    }
+
+    #[test]
+    fn tier1_pairs_are_tier1() {
+        let g = graph();
+        let tiers = TierMap::classify(&g);
+        let exps = tier1_pair_experiments(&g, 12, 3, 1);
+        assert_eq!(exps.len(), 12);
+        for e in &exps {
+            assert_eq!(tiers.tier_of(e.victim()), Some(1));
+            assert_eq!(tiers.tier_of(e.attacker()), Some(1));
+            assert_ne!(e.victim(), e.attacker());
+            assert_eq!(e.padding_level(), 3);
+        }
+    }
+
+    #[test]
+    fn random_pairs_mostly_low_tier() {
+        let g = graph();
+        let tiers = TierMap::classify(&g);
+        let exps = random_pair_experiments(&g, 40, 3, 2);
+        assert_eq!(exps.len(), 40);
+        let low_tier = exps
+            .iter()
+            .filter(|e| tiers.tier_of(e.victim()).unwrap_or(0) >= 3)
+            .count();
+        // Stubs dominate the population, so most sampled victims are low-tier.
+        assert!(low_tier > exps.len() / 2, "{low_tier}/40 low-tier victims");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = graph();
+        assert_eq!(
+            tier1_pair_experiments(&g, 8, 3, 9),
+            tier1_pair_experiments(&g, 8, 3, 9)
+        );
+        assert_ne!(
+            tier1_pair_experiments(&g, 8, 3, 9),
+            tier1_pair_experiments(&g, 8, 3, 10)
+        );
+    }
+
+    #[test]
+    fn ranked_is_descending() {
+        let g = graph();
+        let exps = tier1_pair_experiments(&g, 10, 3, 3);
+        let ranked = run_ranked(&g, &exps);
+        assert!(ranked
+            .windows(2)
+            .all(|w| w[0].after_fraction >= w[1].after_fraction));
+    }
+
+    #[test]
+    fn degenerate_pools() {
+        // Single-AS pool can never form a pair.
+        let exps = pair_experiments(&[Asn(1)], &[Asn(1)], 5, 3, 0);
+        assert!(exps.is_empty());
+        // Empty pools likewise.
+        let exps = pair_experiments(&[], &[], 5, 3, 0);
+        assert!(exps.is_empty());
+    }
+
+    #[test]
+    fn representative_and_stub_pickers() {
+        let g = graph();
+        let t1 = representative_of_tier(&g, 1).unwrap();
+        assert_eq!(t1, Asn(100));
+        let stub = best_connected_stub(&g).unwrap();
+        // Content ASes are stubs with rich peering -> they should win.
+        assert!(stub.value() >= CONTENT_BASE);
+        assert!(representative_of_tier(&g, 99).is_none());
+    }
+
+    #[test]
+    fn tier1_vs_tier1_padding_sweep_saturates() {
+        // Figure 9's qualitative shape: strong growth then plateau.
+        let g = graph();
+        let series = prepend_sweep(&g, Asn(100), Asn(101), 1..=8, ExportMode::Compliant);
+        assert_eq!(series.len(), 8);
+        let last = series.last().unwrap().after_fraction;
+        let first = series.first().unwrap().after_fraction;
+        assert!(last > first, "padding must increase pollution");
+        // Plateau: the last two λ values pollute (nearly) identically.
+        let prev = series[6].after_fraction;
+        assert!((last - prev).abs() < 0.02, "plateau expected: {prev} vs {last}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Detector microbenchmarks: view construction and a full scan at realistic
+//! monitor counts.
+
+use aspp_core::detect::monitors::top_degree;
+use aspp_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let graph = InternetConfig::medium().seed(7).build();
+    let engine = RoutingEngine::new(&graph);
+    let spec = DestinationSpec::new(Asn(20_000))
+        .origin_padding(3)
+        .attacker(AttackerModel::new(Asn(1_000)));
+    let outcome = engine.compute(&spec);
+    let monitors = top_degree(&graph, 150);
+    let before_paths: Vec<AsPath> = monitors
+        .iter()
+        .filter_map(|&m| outcome.clean_observed_path(m))
+        .collect();
+    let after_paths: Vec<AsPath> = monitors
+        .iter()
+        .filter_map(|&m| outcome.observed_path(m))
+        .collect();
+
+    let mut group = c.benchmark_group("detector");
+    group.bench_function("view_build_150_monitors", |b| {
+        b.iter(|| black_box(RouteView::from_paths(after_paths.iter().cloned())));
+    });
+    let before = RouteView::from_paths(before_paths.iter().cloned());
+    let after = RouteView::from_paths(after_paths.iter().cloned());
+    let detector = Detector::new(&graph);
+    group.bench_function("scan_150_monitors", |b| {
+        b.iter(|| black_box(detector.scan(black_box(&before), black_box(&after))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Routing-engine microbenchmarks: per-destination equilibrium computation
+//! on small/medium/large Internets, with and without an attacker. These are
+//! the ablation numbers behind DESIGN.md's single-Dijkstra design choice.
+
+use aspp_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for (name, config) in [
+        ("small", InternetConfig::small()),
+        ("medium", InternetConfig::medium()),
+        ("large", InternetConfig::large()),
+    ] {
+        let graph = config.seed(7).build();
+        let engine = RoutingEngine::new(&graph);
+        let victim = Asn(20_000);
+        let attacker = Asn(100);
+        group.bench_with_input(BenchmarkId::new("clean", name), &graph, |b, _| {
+            let spec = DestinationSpec::new(victim).origin_padding(3);
+            b.iter(|| black_box(engine.compute(black_box(&spec))));
+        });
+        group.bench_with_input(BenchmarkId::new("attacked", name), &graph, |b, _| {
+            let spec = DestinationSpec::new(victim)
+                .origin_padding(3)
+                .attacker(AttackerModel::new(attacker));
+            b.iter(|| black_box(engine.compute(black_box(&spec))));
+        });
+        if name == "small" {
+            group.bench_function("generate_small", |b| {
+                b.iter(|| black_box(InternetConfig::small().seed(7).build()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

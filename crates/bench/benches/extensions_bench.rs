@@ -1,0 +1,44 @@
+//! Extension-experiment benches: the stealth visibility matrix, the
+//! reactive mitigations, and the message-level BGP simulator vs the
+//! equilibrium engine (the ablation behind DESIGN.md's engine choice).
+
+use aspp_bench::BENCH_SEED;
+use aspp_core::experiments::{extensions, Scale};
+use aspp_core::prelude::*;
+use aspp_core::routing::bgp::BgpSimulation;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let graph = Scale::Smoke.internet(BENCH_SEED);
+    println!("{}", extensions::stealth(&graph, BENCH_SEED).render());
+    println!("{}", extensions::mitigations(&graph).render());
+
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("stealth_matrix", |b| {
+        b.iter(|| black_box(extensions::stealth(&graph, BENCH_SEED)));
+    });
+    group.bench_function("mitigation_study", |b| {
+        b.iter(|| black_box(extensions::mitigations(&graph)));
+    });
+
+    // Ablation: the same attacked equilibrium via the message-level
+    // protocol simulator vs the direct equilibrium engine.
+    let spec = DestinationSpec::new(Asn(20_000))
+        .origin_padding(4)
+        .attacker(AttackerModel::new(Asn(100)));
+    let sim_messages = BgpSimulation::new(&graph).run(&spec).messages_processed();
+    println!("message-level convergence: {sim_messages} messages for {} ASes", graph.len());
+    group.bench_function("bgp_sim_attacked", |b| {
+        b.iter(|| black_box(BgpSimulation::new(&graph).run(black_box(&spec))));
+    });
+    let engine = RoutingEngine::new(&graph);
+    group.bench_function("engine_attacked", |b| {
+        b.iter(|| black_box(engine.compute(black_box(&spec))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

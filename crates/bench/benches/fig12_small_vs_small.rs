@@ -1,0 +1,21 @@
+//! Figure 12: small AS hijacks small AS (both export modes) — prints the λ sweep, then benchmarks it.
+
+use aspp_bench::{bench_scale, BENCH_SEED};
+use aspp_core::experiments::{impact, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let graph = bench_scale().internet(BENCH_SEED);
+    println!("{}", impact::fig12(&graph).render());
+    let smoke = Scale::Smoke.internet(BENCH_SEED);
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("prepend_sweep", |b| {
+        b.iter(|| black_box(impact::fig12(&smoke)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 13: detection accuracy vs number of monitors — prints the curve,
+//! then benchmarks one full accuracy sweep at smoke scale.
+
+use aspp_bench::{bench_scale, BENCH_SEED};
+use aspp_core::experiments::{detection, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let graph = scale.internet(BENCH_SEED);
+    println!("{}", detection::fig13(&graph, scale, BENCH_SEED).render());
+    let smoke = Scale::Smoke.internet(BENCH_SEED);
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("accuracy_sweep", |b| {
+        b.iter(|| black_box(detection::fig13(&smoke, Scale::Smoke, BENCH_SEED)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

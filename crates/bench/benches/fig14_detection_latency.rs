@@ -1,0 +1,23 @@
+//! Figure 14: fraction of ASes polluted before detection — prints the CDF,
+//! then benchmarks the round-based latency evaluation at smoke scale.
+
+use aspp_bench::{bench_scale, BENCH_SEED};
+use aspp_core::experiments::{detection, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let graph = scale.internet(BENCH_SEED);
+    println!("{}", detection::fig14(&graph, scale, BENCH_SEED).render());
+    let smoke = Scale::Smoke.internet(BENCH_SEED);
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    group.bench_function("latency_cdf", |b| {
+        b.iter(|| black_box(detection::fig14(&smoke, Scale::Smoke, BENCH_SEED)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

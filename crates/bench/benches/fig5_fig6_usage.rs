@@ -1,0 +1,22 @@
+//! Figures 5 and 6: ASPP usage characterization — prints the per-monitor
+//! prepending-fraction CDFs and the padding-depth histogram, then benchmarks
+//! corpus generation + measurement.
+
+use aspp_bench::{bench_scale, BENCH_SEED};
+use aspp_core::experiments::usage;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    println!("{}", usage::run(scale, BENCH_SEED).render());
+    let mut group = c.benchmark_group("fig5_fig6");
+    group.sample_size(10);
+    group.bench_function("usage_characterization", |b| {
+        b.iter(|| black_box(usage::run(black_box(scale), black_box(BENCH_SEED))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

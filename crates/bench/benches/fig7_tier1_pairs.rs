@@ -1,0 +1,23 @@
+//! Figure 7: pollution across sampled tier-1 attacker/victim pairs (λ=3) —
+//! prints the ranked instances, then benchmarks the batch.
+
+use aspp_bench::{bench_scale, BENCH_SEED};
+use aspp_core::experiments::{impact, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let graph = scale.internet(BENCH_SEED);
+    println!("{}", impact::fig7(&graph, scale, BENCH_SEED).render());
+    let smoke = Scale::Smoke.internet(BENCH_SEED);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("tier1_pair_batch", |b| {
+        b.iter(|| black_box(impact::fig7(&smoke, Scale::Smoke, BENCH_SEED)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Relationship-inference microbenchmarks: Gao, degree-based, and the
+//! consensus pipeline over a monitor-path corpus, plus their accuracy
+//! against the generator's ground truth (printed once).
+
+use aspp_core::prelude::*;
+use aspp_core::topology::infer::{
+    consensus_infer, degree_infer, gao_infer, InferParams, InferenceAccuracy,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Collects observed paths from every AS toward a sample of destinations.
+fn observed_paths(graph: &AsGraph, destinations: &[Asn]) -> Vec<AsPath> {
+    let engine = RoutingEngine::new(graph);
+    let mut paths = Vec::new();
+    for &dst in destinations {
+        let outcome = engine.compute(&DestinationSpec::new(dst));
+        for asn in graph.asns() {
+            if asn != dst {
+                if let Some(path) = outcome.observed_path(asn) {
+                    paths.push(path);
+                }
+            }
+        }
+    }
+    paths
+}
+
+fn bench(c: &mut Criterion) {
+    let graph = InternetConfig::small().seed(7).build();
+    let destinations: Vec<Asn> = (0..12).map(|i| Asn(20_000 + i)).collect();
+    let paths = observed_paths(&graph, &destinations);
+    let tiers = TierMap::classify(&graph);
+    let mut t1: Vec<Asn> = tiers.tier1().collect();
+    t1.sort();
+    let seed: Vec<(Asn, Asn)> = t1
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &a)| t1[i + 1..].iter().map(move |&b| (a, b)))
+        .collect();
+
+    // Print the accuracy of each inference flavour against ground truth.
+    for (name, inferred) in [
+        ("gao", gao_infer(&paths, &seed, InferParams::default())),
+        ("degree", degree_infer(&paths, InferParams::default())),
+        ("consensus", consensus_infer(&paths, &seed, InferParams::default())),
+    ] {
+        let acc = InferenceAccuracy::compare(&graph, &inferred);
+        println!(
+            "inference/{name}: accuracy {:.1}% over {} common links (coverage {:.1}%)",
+            acc.accuracy() * 100.0,
+            acc.agreeing + acc.conflicting,
+            acc.coverage() * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("inference");
+    group.bench_function("gao", |b| {
+        b.iter(|| black_box(gao_infer(&paths, &seed, InferParams::default())));
+    });
+    group.bench_function("degree", |b| {
+        b.iter(|| black_box(degree_infer(&paths, InferParams::default())));
+    });
+    group.bench_function("consensus", |b| {
+        b.iter(|| black_box(consensus_infer(&paths, &seed, InferParams::default())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table I / Figure 1: the Facebook anomaly case study — prints the
+//! reproduced routes and traceroute, then benchmarks the full case-study
+//! pipeline (routing + two-source attack + traceroute simulation).
+
+use aspp_bench::BENCH_SEED;
+use aspp_core::experiments::case_study;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", case_study::run(BENCH_SEED).render());
+    c.bench_function("table1/facebook_case_study", |b| {
+        b.iter(|| black_box(case_study::run(black_box(BENCH_SEED))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Benchmark harness crate: every table and figure of the paper has a
+//! Criterion bench under `benches/` that both *regenerates the figure's
+//! data series* (printed once at start-up) and measures the cost of the
+//! computation that produces it. Run `cargo bench -p aspp-bench` for all of
+//! them, or `cargo bench -p aspp-bench --bench fig9_t1_vs_t1` for one.
+//!
+//! Pass `--paper` via `ASPP_BENCH_SCALE=paper` to regenerate the
+//! `EXPERIMENTS.md` numbers at full scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aspp_core::experiments::Scale;
+
+/// Scale selected by the `ASPP_BENCH_SCALE` environment variable
+/// (`paper` = full scale, anything else = smoke).
+#[must_use]
+pub fn bench_scale() -> Scale {
+    match std::env::var("ASPP_BENCH_SCALE").as_deref() {
+        Ok("paper") => Scale::Paper,
+        _ => Scale::Smoke,
+    }
+}
+
+/// The fixed seed all benches use, so printed series match EXPERIMENTS.md.
+pub const BENCH_SEED: u64 = 2024;

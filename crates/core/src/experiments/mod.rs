@@ -1,0 +1,130 @@
+//! One typed entry point per table and figure of the paper's evaluation.
+//!
+//! | Paper artifact | Module / function |
+//! |----------------|-------------------|
+//! | Figure 1 + Table I (Facebook anomaly) | [`case_study::run`] |
+//! | Figure 5 (fraction of routes with prepending) | [`usage::run`] |
+//! | Figure 6 (number of duplicate ASNs) | [`usage::run`] |
+//! | Figure 7 (tier-1 vs tier-1 instances) | [`impact::fig7`] |
+//! | Figure 8 (random pairs) | [`impact::fig8`] |
+//! | Figure 9 (T1 hijacks T1, λ sweep) | [`impact::fig9`] |
+//! | Figure 10 (T1 hijacks T3, λ sweep) | [`impact::fig10`] |
+//! | Figure 11 (small hijacks T1, export modes) | [`impact::fig11`] |
+//! | Figure 12 (small hijacks small, export modes) | [`impact::fig12`] |
+//! | Figure 13 (detection accuracy vs monitors) | [`detection::fig13`] |
+//! | Figure 14 (pollution before detection CDF) | [`detection::fig14`] |
+//!
+//! Beyond the paper's evaluation: [`detection::vantage_selection`] (its
+//! future-work monitor-placement study), [`extensions::stealth`] (the
+//! visibility comparison against origin-hijack and forged-adjacency
+//! baselines), and [`extensions::mitigations`] (reactive defenses).
+
+pub mod case_study;
+pub mod detection;
+pub mod extensions;
+pub mod impact;
+pub mod usage;
+
+use aspp_topology::gen::InternetConfig;
+use aspp_topology::AsGraph;
+
+/// Experiment scale: `Smoke` for fast CI runs, `Paper` for the sizes the
+/// figures in `EXPERIMENTS.md` were produced at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~150-AS Internet, reduced instance counts; seconds end-to-end.
+    Smoke,
+    /// ~1500-AS Internet, paper-matching instance counts.
+    Paper,
+}
+
+impl Scale {
+    /// Builds the synthetic Internet used at this scale.
+    #[must_use]
+    pub fn internet(self, seed: u64) -> AsGraph {
+        match self {
+            Scale::Smoke => InternetConfig::small().seed(seed).build(),
+            Scale::Paper => InternetConfig::medium().seed(seed).build(),
+        }
+    }
+
+    /// Number of sampled tier-1 hijack instances (paper Figure 7: 80).
+    #[must_use]
+    pub fn tier1_instances(self) -> usize {
+        match self {
+            Scale::Smoke => 10,
+            Scale::Paper => 80,
+        }
+    }
+
+    /// Number of random hijack instances (paper Figure 8: 27).
+    #[must_use]
+    pub fn random_instances(self) -> usize {
+        match self {
+            Scale::Smoke => 8,
+            Scale::Paper => 27,
+        }
+    }
+
+    /// Number of attacker/victim pairs for the detection evaluation
+    /// (paper Section VI-C: 200).
+    #[must_use]
+    pub fn detection_pairs(self) -> usize {
+        match self {
+            Scale::Smoke => 15,
+            Scale::Paper => 200,
+        }
+    }
+
+    /// Monitor-count sweep for Figure 13.
+    #[must_use]
+    pub fn monitor_counts(self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![5, 20, 60],
+            Scale::Paper => vec![10, 30, 50, 70, 100, 150, 200, 300],
+        }
+    }
+
+    /// Monitors used for the Figure 14 latency experiment (paper: top 150).
+    #[must_use]
+    pub fn latency_monitors(self) -> usize {
+        match self {
+            Scale::Smoke => 30,
+            Scale::Paper => 150,
+        }
+    }
+
+    /// Number of prefixes in the Figure 5/6 corpus.
+    #[must_use]
+    pub fn corpus_prefixes(self) -> usize {
+        match self {
+            Scale::Smoke => 60,
+            Scale::Paper => 400,
+        }
+    }
+
+    /// Monitors contributing tables to the Figure 5/6 corpus.
+    #[must_use]
+    pub fn corpus_monitors(self) -> usize {
+        match self {
+            Scale::Smoke => 20,
+            Scale::Paper => 45,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_build_internets() {
+        let small = Scale::Smoke.internet(1);
+        assert!(small.len() < 400);
+        assert_eq!(Scale::Paper.tier1_instances(), 80);
+        assert_eq!(Scale::Paper.random_instances(), 27);
+        assert_eq!(Scale::Paper.detection_pairs(), 200);
+        assert!(Scale::Paper.monitor_counts().contains(&150));
+        assert_eq!(Scale::Paper.latency_monitors(), 150);
+    }
+}

@@ -1,0 +1,447 @@
+//! Synthetic public-monitor corpus generation.
+
+use aspp_routing::events::{random_tree_link, updates_after_failure};
+use aspp_routing::{AttackerModel, DestinationSpec, PrependConfig, PrependingPolicy, RoutingEngine};
+use aspp_topology::tier::TierMap;
+use aspp_topology::AsGraph;
+use aspp_types::{Asn, Ipv4Prefix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::format::{Corpus, UpdateAction, UpdateRecord};
+
+/// Distribution of padding depth (extra copies beyond the mandatory one).
+///
+/// A geometric body with a small heavy tail, matching the paper's Figure 6
+/// ("most of them are very small: 34% repeat twice and 22% repeat three
+/// times … 1% of them repeat larger than 10 times").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DepthDistribution {
+    /// Success probability of the geometric body; higher = shallower pads.
+    pub geometric_p: f64,
+    /// Probability of drawing from the heavy tail instead.
+    pub heavy_tail_rate: f64,
+    /// Upper bound (inclusive) for heavy-tail draws.
+    pub heavy_tail_max: usize,
+}
+
+impl Default for DepthDistribution {
+    fn default() -> Self {
+        // Calibrated against the paper's Figure 6: with p = 0.35 the
+        // geometric body gives ≈35% of padded routes two copies and ≈23%
+        // three, decaying so that ≈1–2% exceed ten; the explicit heavy tail
+        // adds the >30-copy outliers the paper observed.
+        DepthDistribution {
+            geometric_p: 0.35,
+            heavy_tail_rate: 0.005,
+            heavy_tail_max: 30,
+        }
+    }
+}
+
+impl DepthDistribution {
+    /// Samples the number of *extra* copies (≥ 1).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        if rng.gen_bool(self.heavy_tail_rate.clamp(0.0, 1.0)) {
+            return rng.gen_range(10..=self.heavy_tail_max.max(10));
+        }
+        // Geometric: number of failures before first success, shifted to ≥1.
+        let mut depth = 1;
+        while depth < 30 && !rng.gen_bool(self.geometric_p.clamp(0.01, 1.0)) {
+            depth += 1;
+        }
+        depth
+    }
+}
+
+/// Configuration of the corpus generator.
+///
+/// # Example
+///
+/// ```
+/// use aspp_data::CorpusConfig;
+/// use aspp_topology::gen::InternetConfig;
+///
+/// let graph = InternetConfig::small().seed(1).build();
+/// let corpus = CorpusConfig::new(25).monitors_top_degree(20).seed(4).generate(&graph);
+/// assert_eq!(corpus.monitors().count(), 20);
+/// assert!(corpus.table_entry_count() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    prefixes: usize,
+    monitor_count: usize,
+    origin_pad_rate: f64,
+    origin_uniform_share: f64,
+    origin_depth: DepthDistribution,
+    intermediary_pad_rate: f64,
+    intermediary_depth: DepthDistribution,
+    churn_events: usize,
+    injected_attacker: Option<Asn>,
+    seed: u64,
+}
+
+impl CorpusConfig {
+    /// A corpus over `prefixes` prefixes with paper-calibrated defaults:
+    /// ~20% of origins pad (70% of them differentially), ~6% of peered
+    /// transit ASes pad their peer exports, and one churn event is simulated
+    /// per four prefixes.
+    #[must_use]
+    pub fn new(prefixes: usize) -> Self {
+        CorpusConfig {
+            prefixes,
+            monitor_count: 30,
+            origin_pad_rate: 0.20,
+            origin_uniform_share: 0.3,
+            origin_depth: DepthDistribution::default(),
+            intermediary_pad_rate: 0.06,
+            intermediary_depth: DepthDistribution {
+                geometric_p: 0.7,
+                heavy_tail_rate: 0.0,
+                heavy_tail_max: 10,
+            },
+            churn_events: prefixes / 4,
+            injected_attacker: None,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of top-degree monitors contributing tables (default 30).
+    #[must_use]
+    pub fn monitors_top_degree(mut self, count: usize) -> Self {
+        self.monitor_count = count;
+        self
+    }
+
+    /// Fraction of origins that pad at all (default 0.20).
+    #[must_use]
+    pub fn origin_pad_rate(mut self, rate: f64) -> Self {
+        self.origin_pad_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Among padding origins, the share padding uniformly toward every
+    /// neighbor (the rest pad only backup providers). Default 0.3.
+    #[must_use]
+    pub fn origin_uniform_share(mut self, share: f64) -> Self {
+        self.origin_uniform_share = share.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of transit ASes padding their peer exports (default 0.06).
+    #[must_use]
+    pub fn intermediary_pad_rate(mut self, rate: f64) -> Self {
+        self.intermediary_pad_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Number of link-failure churn events feeding the update stream.
+    #[must_use]
+    pub fn churn_events(mut self, events: usize) -> Self {
+        self.churn_events = events;
+        self
+    }
+
+    /// Origin padding-depth distribution.
+    #[must_use]
+    pub fn origin_depth(mut self, depth: DepthDistribution) -> Self {
+        self.origin_depth = depth;
+        self
+    }
+
+    /// Injects an ASPP interception by `attacker` against the **first**
+    /// generated prefix: its origin is forced to pad uniformly (λ = 4, so
+    /// there is something to strip) and the attack's route changes are
+    /// appended to the update stream *after* all organic churn, in
+    /// pollution-distance order — exactly how the updates would reach the
+    /// collectors. Lets a corpus drive the streaming detector end to end.
+    #[must_use]
+    pub fn inject_attack(mut self, attacker: Asn) -> Self {
+        self.injected_attacker = Some(attacker);
+        self
+    }
+
+    /// Runs the generator: picks origins, assigns prepending policies,
+    /// computes per-prefix equilibria, snapshots monitor tables, and
+    /// simulates churn for the update stream.
+    #[must_use]
+    pub fn generate(&self, graph: &AsGraph) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut corpus = Corpus::new();
+        // Monitors mix the core and the edge, like the real RouteViews/RIPE
+        // peer set: half are the best-connected ASes, half are sampled from
+        // the rest of the population.
+        let monitors: Vec<Asn> = {
+            let ranked = graph.asns_by_degree();
+            let top = self.monitor_count / 2;
+            let mut monitors: Vec<Asn> = ranked.iter().take(top).copied().collect();
+            let mut rest: Vec<Asn> = ranked.iter().skip(top).copied().collect();
+            rest.shuffle(&mut rng);
+            monitors.extend(rest.into_iter().take(self.monitor_count - top));
+            monitors
+        };
+
+        // Intermediary peer-export padding, shared across prefixes.
+        let tiers = TierMap::classify(graph);
+        let mut base_config = PrependConfig::new();
+        let mut transit: Vec<Asn> = graph
+            .asns()
+            .filter(|&a| {
+                !tiers.is_stub(graph, a)
+                    && tiers.tier_of(a).unwrap_or(1) > 1
+                    && graph.peers(a).next().is_some()
+            })
+            .collect();
+        transit.sort();
+        for &asn in &transit {
+            if rng.gen_bool(self.intermediary_pad_rate) {
+                let depth = self.intermediary_depth.sample(&mut rng);
+                let overrides: Vec<(Asn, usize)> =
+                    graph.peers(asn).map(|p| (p, depth)).collect();
+                base_config.set(asn, PrependingPolicy::per_neighbor(0, overrides));
+            }
+        }
+
+        // Origins: deterministic sample of ASes, one /24 each.
+        let mut all: Vec<Asn> = graph.asns().collect();
+        all.sort();
+        all.shuffle(&mut rng);
+        let origins: Vec<Asn> = all.into_iter().take(self.prefixes).collect();
+
+        let engine = RoutingEngine::new(graph);
+        let mut seq = 0u64;
+        let mut attacked_prefix_spec: Option<(Ipv4Prefix, DestinationSpec)> = None;
+        for (i, &origin) in origins.iter().enumerate() {
+            let prefix =
+                Ipv4Prefix::containing(0x0a00_0000 + ((i as u32) << 8), 24);
+            let mut config = base_config.clone();
+            // For differential padders, remember the clean primary provider:
+            // failing that link is what exposes the padded backup routes in
+            // the update stream (the paper's "backup route provisioning").
+            let mut clean_primary: Option<Asn> = None;
+            if rng.gen_bool(self.origin_pad_rate) {
+                let depth = self.origin_depth.sample(&mut rng);
+                if rng.gen_bool(self.origin_uniform_share) {
+                    config.set(origin, PrependingPolicy::Uniform(depth));
+                } else {
+                    // Differential: keep the lowest-ASN provider clean, pad
+                    // the rest.
+                    let mut providers: Vec<Asn> = graph.providers(origin).collect();
+                    providers.sort();
+                    let overrides: Vec<(Asn, usize)> = providers
+                        .iter()
+                        .skip(1)
+                        .map(|&p| (p, depth))
+                        .collect();
+                    if overrides.is_empty() {
+                        config.set(origin, PrependingPolicy::Uniform(depth));
+                    } else {
+                        config.set(origin, PrependingPolicy::per_neighbor(0, overrides));
+                        clean_primary = providers.first().copied();
+                    }
+                }
+            }
+            if i == 0 {
+                if let Some(attacker) = self.injected_attacker {
+                    if attacker != origin {
+                        // Force strippable padding on the victim prefix.
+                        config.set(origin, PrependingPolicy::Uniform(3));
+                    }
+                }
+            }
+            let spec = DestinationSpec::new(origin).prepend_config(config);
+            let outcome = engine.compute(&spec);
+            if i == 0 {
+                if let Some(attacker) = self.injected_attacker {
+                    if attacker != origin {
+                        attacked_prefix_spec = Some((prefix, spec.clone()));
+                    }
+                }
+            }
+            for &monitor in &monitors {
+                if monitor == origin {
+                    continue;
+                }
+                if let Some(path) = outcome.observed_path(monitor) {
+                    corpus.add_table_entry(monitor, prefix, path);
+                }
+            }
+
+            // Churn: every differentially-padded origin loses its clean
+            // primary provider link (the failure mode that makes padded
+            // backup routes visible in updates — Section VI-A), and a subset
+            // of other prefixes lose a random provider link.
+            let periodic = self.churn_events > 0
+                && i % (self.prefixes / self.churn_events.max(1)).max(1) == 0;
+            if clean_primary.is_some() || periodic {
+                let mut providers: Vec<Asn> = graph.providers(origin).collect();
+                providers.sort();
+                let failed = clean_primary
+                    .map(|p| (p, origin))
+                    .or_else(|| providers.choose(&mut rng).map(|&p| (p, origin)))
+                    .or_else(|| random_tree_link(graph, &spec, &mut rng));
+                if let Some((a, b)) = failed {
+                    for update in updates_after_failure(graph, &spec, a, b) {
+                        if !monitors.contains(&update.asn) {
+                            continue;
+                        }
+                        seq += 1;
+                        corpus.add_update(UpdateRecord {
+                            seq,
+                            monitor: update.asn,
+                            prefix,
+                            action: match update.new_path {
+                                Some(p) => UpdateAction::Announce(p),
+                                None => UpdateAction::Withdraw,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        // Append the injected attack's updates last: the stream first shows
+        // normal operation, then the interception unfolding.
+        if let (Some(attacker), Some((prefix, spec))) =
+            (self.injected_attacker, attacked_prefix_spec)
+        {
+            let attacked_spec = DestinationSpec::new(spec.victim())
+                .prepend_config(spec.prepending().clone())
+                .attacker(AttackerModel::new(attacker));
+            let outcome = engine.compute(&attacked_spec);
+            let mut changed: Vec<(u32, Asn)> = monitors
+                .iter()
+                .filter(|&&m| outcome.route_changed(m))
+                .filter_map(|&m| outcome.pollution_distance(m).map(|d| (d, m)))
+                .collect();
+            changed.sort();
+            for (_, monitor) in changed {
+                if let Some(path) = outcome.observed_path(monitor) {
+                    seq += 1;
+                    corpus.add_update(UpdateRecord {
+                        seq,
+                        monitor,
+                        prefix,
+                        action: UpdateAction::Announce(path),
+                    });
+                }
+            }
+        }
+        corpus
+    }
+}
+
+/// Returns the subset of `corpus` monitors that are tier-1 in `graph` —
+/// Figure 5 plots their fraction CDF separately.
+#[must_use]
+pub fn tier1_monitors(graph: &AsGraph, corpus: &Corpus) -> Vec<Asn> {
+    let tiers = TierMap::classify(graph);
+    corpus
+        .monitors()
+        .filter(|&m| tiers.tier_of(m) == Some(1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspp_topology::gen::InternetConfig;
+
+    #[test]
+    fn depth_distribution_in_range() {
+        let d = DepthDistribution::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let depth = d.sample(&mut rng);
+            assert!((1..=30).contains(&depth));
+        }
+    }
+
+    #[test]
+    fn depth_distribution_mostly_small() {
+        let d = DepthDistribution::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<usize> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        let small = samples.iter().filter(|&&s| s <= 3).count();
+        assert!(small as f64 / 2000.0 > 0.6, "most pads are shallow");
+        let huge = samples.iter().filter(|&&s| s >= 10).count();
+        assert!(huge > 0, "heavy tail exists");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let g = InternetConfig::small().seed(5).build();
+        let a = CorpusConfig::new(15).seed(3).generate(&g);
+        let b = CorpusConfig::new(15).seed(3).generate(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tables_cover_monitors_and_prefixes() {
+        let g = InternetConfig::small().seed(6).build();
+        let corpus = CorpusConfig::new(20)
+            .monitors_top_degree(12)
+            .seed(4)
+            .generate(&g);
+        assert_eq!(corpus.monitors().count(), 12);
+        for (_, table) in corpus.tables() {
+            assert!(table.len() >= 19, "every monitor sees nearly all prefixes");
+        }
+    }
+
+    #[test]
+    fn padding_rates_control_prepending() {
+        let g = InternetConfig::small().seed(7).build();
+        let none = CorpusConfig::new(30)
+            .origin_pad_rate(0.0)
+            .intermediary_pad_rate(0.0)
+            .seed(5)
+            .generate(&g);
+        let padded_entries = none
+            .tables()
+            .flat_map(|(_, t)| t.iter().map(|(_, p)| p.has_prepending()))
+            .filter(|&b| b)
+            .count();
+        assert_eq!(padded_entries, 0, "no policies, no padding anywhere");
+
+        let heavy = CorpusConfig::new(30)
+            .origin_pad_rate(1.0)
+            .origin_uniform_share(1.0)
+            .seed(5)
+            .generate(&g);
+        let padded_entries = heavy
+            .tables()
+            .flat_map(|(_, t)| t.iter().map(|(_, p)| p.has_prepending()))
+            .filter(|&b| b)
+            .count();
+        assert!(padded_entries > 0, "uniform origin padding is visible");
+    }
+
+    #[test]
+    fn churn_produces_updates() {
+        let g = InternetConfig::small().seed(8).build();
+        let corpus = CorpusConfig::new(20).churn_events(10).seed(6).generate(&g);
+        assert!(!corpus.updates().is_empty(), "churn must generate updates");
+        // Sequence numbers are strictly increasing.
+        let seqs: Vec<u64> = corpus.updates().iter().map(|u| u.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn tier1_monitor_extraction() {
+        let g = InternetConfig::small().seed(9).build();
+        let corpus = CorpusConfig::new(10).monitors_top_degree(20).seed(7).generate(&g);
+        let t1 = tier1_monitors(&g, &corpus);
+        assert!(!t1.is_empty());
+        for m in t1 {
+            assert!(g.providers(m).next().is_none());
+        }
+    }
+}

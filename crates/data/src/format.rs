@@ -1,0 +1,357 @@
+//! The MRT-like on-disk corpus format.
+//!
+//! A corpus is a line-oriented text document:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! TABLE|<monitor_asn>|<prefix>|<as path>
+//! UPDATE|<seq>|<monitor_asn>|A|<prefix>|<as path>
+//! UPDATE|<seq>|<monitor_asn>|W|<prefix>
+//! ```
+//!
+//! `TABLE` lines are RIB snapshots (one best route per monitor and prefix);
+//! `UPDATE` lines are announcements (`A`) or withdrawals (`W`) in sequence
+//! order — the same two views RouteViews/RIPE publish.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use aspp_routing::RouteTable;
+use aspp_types::{AsPath, Asn, Ipv4Prefix};
+
+/// An update stream record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateRecord {
+    /// Monotonic sequence number within the corpus.
+    pub seq: u64,
+    /// The monitor that logged the update.
+    pub monitor: Asn,
+    /// The affected prefix.
+    pub prefix: Ipv4Prefix,
+    /// Announcement or withdrawal.
+    pub action: UpdateAction,
+}
+
+/// The body of an update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateAction {
+    /// A new best path was announced.
+    Announce(AsPath),
+    /// The route was withdrawn.
+    Withdraw,
+}
+
+impl UpdateRecord {
+    /// The announced path, if this is an announcement.
+    #[must_use]
+    pub fn path(&self) -> Option<&AsPath> {
+        match &self.action {
+            UpdateAction::Announce(p) => Some(p),
+            UpdateAction::Withdraw => None,
+        }
+    }
+}
+
+/// A full corpus: per-monitor RIB snapshots plus an update stream.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Corpus {
+    tables: BTreeMap<Asn, RouteTable>,
+    updates: Vec<UpdateRecord>,
+}
+
+/// Error from [`Corpus::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusParseError {
+    line_no: usize,
+    message: String,
+}
+
+impl CorpusParseError {
+    fn new(line_no: usize, message: impl Into<String>) -> Self {
+        CorpusParseError {
+            line_no,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending line.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line_no
+    }
+}
+
+impl fmt::Display for CorpusParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corpus parse error at line {}: {}", self.line_no, self.message)
+    }
+}
+
+impl std::error::Error for CorpusParseError {}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    #[must_use]
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Inserts one table entry.
+    pub fn add_table_entry(&mut self, monitor: Asn, prefix: Ipv4Prefix, path: AsPath) {
+        self.tables.entry(monitor).or_default().insert(prefix, path);
+    }
+
+    /// Appends an update record.
+    pub fn add_update(&mut self, update: UpdateRecord) {
+        self.updates.push(update);
+    }
+
+    /// The RIB snapshot of `monitor`, if it contributed one.
+    #[must_use]
+    pub fn table_of(&self, monitor: Asn) -> Option<&RouteTable> {
+        self.tables.get(&monitor)
+    }
+
+    /// Iterates over `(monitor, table)` pairs in ascending monitor order.
+    pub fn tables(&self) -> impl Iterator<Item = (Asn, &RouteTable)> {
+        self.tables.iter().map(|(&m, t)| (m, t))
+    }
+
+    /// All monitors contributing tables.
+    pub fn monitors(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.tables.keys().copied()
+    }
+
+    /// The update stream in sequence order.
+    #[must_use]
+    pub fn updates(&self) -> &[UpdateRecord] {
+        &self.updates
+    }
+
+    /// The updates affecting one prefix, in sequence order.
+    pub fn updates_for(&self, prefix: Ipv4Prefix) -> impl Iterator<Item = &UpdateRecord> {
+        self.updates.iter().filter(move |u| u.prefix == prefix)
+    }
+
+    /// Total number of table entries across monitors.
+    #[must_use]
+    pub fn table_entry_count(&self) -> usize {
+        self.tables.values().map(RouteTable::len).sum()
+    }
+
+    /// Serializes to the line-oriented text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# aspp corpus v1\n");
+        for (monitor, table) in &self.tables {
+            for (prefix, path) in table.iter() {
+                out.push_str(&format!("TABLE|{monitor}|{prefix}|{path}\n"));
+            }
+        }
+        for u in &self.updates {
+            match &u.action {
+                UpdateAction::Announce(path) => out.push_str(&format!(
+                    "UPDATE|{}|{}|A|{}|{}\n",
+                    u.seq, u.monitor, u.prefix, path
+                )),
+                UpdateAction::Withdraw => {
+                    out.push_str(&format!("UPDATE|{}|{}|W|{}\n", u.seq, u.monitor, u.prefix));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`to_text`](Self::to_text).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CorpusParseError`] carrying the offending line number for
+    /// any malformed record.
+    pub fn parse(text: &str) -> Result<Self, CorpusParseError> {
+        let mut corpus = Corpus::new();
+        for (i, line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('|').collect();
+            match fields.first().copied() {
+                Some("TABLE") => {
+                    if fields.len() != 4 {
+                        return Err(CorpusParseError::new(line_no, "TABLE needs 4 fields"));
+                    }
+                    let monitor: Asn = fields[1]
+                        .parse()
+                        .map_err(|e| CorpusParseError::new(line_no, format!("{e}")))?;
+                    let prefix: Ipv4Prefix = fields[2]
+                        .parse()
+                        .map_err(|e| CorpusParseError::new(line_no, format!("{e}")))?;
+                    let path: AsPath = fields[3]
+                        .parse()
+                        .map_err(|e| CorpusParseError::new(line_no, format!("{e}")))?;
+                    corpus.add_table_entry(monitor, prefix, path);
+                }
+                Some("UPDATE") => {
+                    if fields.len() < 5 {
+                        return Err(CorpusParseError::new(line_no, "UPDATE needs 5+ fields"));
+                    }
+                    let seq: u64 = fields[1]
+                        .parse()
+                        .map_err(|_| CorpusParseError::new(line_no, "bad sequence number"))?;
+                    let monitor: Asn = fields[2]
+                        .parse()
+                        .map_err(|e| CorpusParseError::new(line_no, format!("{e}")))?;
+                    let action = match fields[3] {
+                        "A" => {
+                            if fields.len() != 6 {
+                                return Err(CorpusParseError::new(
+                                    line_no,
+                                    "announce needs 6 fields",
+                                ));
+                            }
+                            UpdateAction::Announce(fields[5].parse().map_err(
+                                |e: aspp_types::ParseAsPathError| {
+                                    CorpusParseError::new(line_no, format!("{e}"))
+                                },
+                            )?)
+                        }
+                        "W" => {
+                            if fields.len() != 5 {
+                                return Err(CorpusParseError::new(
+                                    line_no,
+                                    "withdraw needs 5 fields",
+                                ));
+                            }
+                            UpdateAction::Withdraw
+                        }
+                        other => {
+                            return Err(CorpusParseError::new(
+                                line_no,
+                                format!("unknown action {other:?}"),
+                            ))
+                        }
+                    };
+                    let prefix: Ipv4Prefix = fields[4]
+                        .parse()
+                        .map_err(|e| CorpusParseError::new(line_no, format!("{e}")))?;
+                    corpus.add_update(UpdateRecord {
+                        seq,
+                        monitor,
+                        prefix,
+                        action,
+                    });
+                }
+                Some(other) => {
+                    return Err(CorpusParseError::new(
+                        line_no,
+                        format!("unknown record type {other:?}"),
+                    ))
+                }
+                None => {}
+            }
+        }
+        Ok(corpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_table_entry(
+            Asn(7018),
+            "69.171.224.0/20".parse().unwrap(),
+            "7018 3356 32934 32934".parse().unwrap(),
+        );
+        c.add_table_entry(
+            Asn(2914),
+            "69.171.224.0/20".parse().unwrap(),
+            "2914 3356 32934 32934".parse().unwrap(),
+        );
+        c.add_update(UpdateRecord {
+            seq: 1,
+            monitor: Asn(7018),
+            prefix: "69.171.224.0/20".parse().unwrap(),
+            action: UpdateAction::Announce("7018 4134 9318 32934".parse().unwrap()),
+        });
+        c.add_update(UpdateRecord {
+            seq: 2,
+            monitor: Asn(7018),
+            prefix: "69.171.255.0/24".parse().unwrap(),
+            action: UpdateAction::Withdraw,
+        });
+        c
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = sample();
+        let text = c.to_text();
+        let parsed = Corpus::parse(&text).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn accessors() {
+        let c = sample();
+        assert_eq!(c.table_entry_count(), 2);
+        assert_eq!(c.monitors().count(), 2);
+        assert_eq!(c.updates().len(), 2);
+        assert!(c.table_of(Asn(7018)).is_some());
+        assert!(c.table_of(Asn(9999)).is_none());
+        assert!(c.updates()[0].path().is_some());
+        assert!(c.updates()[1].path().is_none());
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let text = "# header\n\n  \nTABLE|1|10.0.0.0/8|1 2\n";
+        let c = Corpus::parse(text).unwrap();
+        assert_eq!(c.table_entry_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases = [
+            ("BOGUS|1", 1),
+            ("# ok\nTABLE|x|10.0.0.0/8|1", 2),
+            ("TABLE|1|10.0.0.0/8", 1),
+            ("UPDATE|1|2|A|10.0.0.0/8", 1),
+            ("UPDATE|a|2|W|10.0.0.0/8", 1),
+            ("UPDATE|1|2|X|10.0.0.0/8", 1),
+            ("TABLE|1|10.0.0.1/8|1", 1),
+        ];
+        for (text, line) in cases {
+            let err = Corpus::parse(text).unwrap_err();
+            assert_eq!(err.line(), line, "for {text:?}: {err}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(
+            entries in proptest::collection::vec(
+                (1u32..1000, any::<u32>(), 8u8..=32,
+                 proptest::collection::vec(1u32..100_000, 1..8)),
+                0..20
+            )
+        ) {
+            let mut c = Corpus::new();
+            for (monitor, addr, len, path) in entries {
+                c.add_table_entry(
+                    Asn(monitor),
+                    Ipv4Prefix::containing(addr, len),
+                    path.into_iter().map(Asn).collect(),
+                );
+            }
+            let parsed = Corpus::parse(&c.to_text()).unwrap();
+            prop_assert_eq!(parsed, c);
+        }
+    }
+}

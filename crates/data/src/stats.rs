@@ -1,0 +1,173 @@
+//! Small statistics helpers shared by the measurement code and the
+//! experiment reports: empirical CDFs and normalized histograms.
+
+use std::collections::BTreeMap;
+
+/// An empirical cumulative distribution function over `f64` samples.
+///
+/// # Example
+///
+/// ```
+/// use aspp_data::stats::Cdf;
+///
+/// let cdf = Cdf::from_samples([0.1, 0.4, 0.4, 0.9]);
+/// assert_eq!(cdf.len(), 4);
+/// assert!((cdf.quantile(0.5) - 0.4).abs() < 1e-9);
+/// assert!((cdf.fraction_at_most(0.4) - 0.75).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples; non-finite values are discarded.
+    #[must_use]
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the CDF holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; `0.0` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Empirical `F(x)`: fraction of samples ≤ `x`.
+    #[must_use]
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The mean of the samples; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Smallest and largest sample, if any.
+    #[must_use]
+    pub fn range(&self) -> Option<(f64, f64)> {
+        Some((*self.sorted.first()?, *self.sorted.last()?))
+    }
+
+    /// The plotted points `(x, F(x))` in ascending `x` — one per sample, the
+    /// staircase the paper's CDF figures draw.
+    #[must_use]
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+}
+
+/// A normalized histogram over integer-valued observations (e.g. padding
+/// depth): `value -> fraction of observations`.
+///
+/// ```
+/// use aspp_data::stats::normalized_histogram;
+///
+/// let hist = normalized_histogram([2usize, 2, 3, 7]);
+/// assert!((hist[&2] - 0.5).abs() < 1e-9);
+/// assert!((hist[&7] - 0.25).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn normalized_histogram<I: IntoIterator<Item = usize>>(values: I) -> BTreeMap<usize, f64> {
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+        total += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(k, c)| (k, c as f64 / total.max(1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::from_samples([]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.quantile(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_most(1.0), 0.0);
+        assert_eq!(cdf.mean(), 0.0);
+        assert_eq!(cdf.range(), None);
+        assert!(cdf.points().is_empty());
+    }
+
+    #[test]
+    fn non_finite_discarded() {
+        let cdf = Cdf::from_samples([1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.range(), Some((1.0, 2.0)));
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let cdf = Cdf::from_samples([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(cdf.quantile(0.0), 10.0);
+        assert_eq!(cdf.quantile(0.25), 10.0);
+        assert_eq!(cdf.quantile(0.26), 20.0);
+        assert_eq!(cdf.quantile(1.0), 40.0);
+        assert!((cdf.mean() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn points_form_staircase() {
+        let cdf = Cdf::from_samples([3.0, 1.0, 2.0]);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].0, 1.0);
+        assert!((pts[2].1 - 1.0).abs() < 1e-9);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn histogram_normalizes() {
+        let hist = normalized_histogram([1usize, 1, 1, 2]);
+        let total: f64 = hist.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((hist[&1] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let hist = normalized_histogram(std::iter::empty::<usize>());
+        assert!(hist.is_empty());
+    }
+}

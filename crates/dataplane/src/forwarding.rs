@@ -1,0 +1,293 @@
+//! Data-plane forwarding walks: does a packet actually arrive?
+//!
+//! The paper's central distinction: with the ASPP interception "the traffic
+//! will eventually reach the destination V, which makes this attack
+//! different from the blackholing based prefix hijacking attacks"
+//! (Section II-B). This module checks that property mechanically by walking
+//! hop-by-hop forwarding decisions: each AS hands the packet to its best
+//! route's next hop; the attacker forwards intercepted traffic over its own
+//! (clean) route; an origin hijacker has nowhere to send it.
+
+use aspp_routing::{AttackStrategy, RoutingOutcome};
+use aspp_types::Asn;
+
+/// The fate of a packet sent from one AS toward the victim prefix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// The packet reached the victim; the flag says whether it crossed the
+    /// attacker on the way (interception), and the path lists every AS hop.
+    Delivered {
+        /// Whether the forwarding path crossed the attacker.
+        intercepted: bool,
+        /// AS-level forwarding path, source first, victim last.
+        path: Vec<Asn>,
+    },
+    /// The packet was dropped at the given AS (no route, or a blackholing
+    /// attacker).
+    Blackholed {
+        /// The AS where forwarding stopped.
+        at: Asn,
+        /// Hops traversed before the drop.
+        path: Vec<Asn>,
+    },
+    /// Forwarding looped (control/data plane mismatch).
+    Looped {
+        /// Hops traversed until the repeat.
+        path: Vec<Asn>,
+    },
+}
+
+impl Delivery {
+    /// `true` if the packet reached the victim.
+    #[must_use]
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, Delivery::Delivered { .. })
+    }
+
+    /// `true` if the packet reached the victim *through* the attacker.
+    #[must_use]
+    pub fn is_intercepted(&self) -> bool {
+        matches!(
+            self,
+            Delivery::Delivered {
+                intercepted: true,
+                ..
+            }
+        )
+    }
+}
+
+/// Walks the data plane from `src` toward the victim of `outcome`.
+///
+/// Every AS forwards to its best route's next hop. The attacker is special:
+/// whatever it announced, it *forwards* along its clean (pre-attack) route —
+/// that is what makes the interception transparent. An origin hijacker
+/// (`AttackStrategy::OriginHijack`) instead drops the traffic it attracts.
+///
+/// # Example
+///
+/// ```
+/// use aspp_dataplane::forwarding::walk;
+/// use aspp_routing::{AttackerModel, DestinationSpec, RoutingEngine};
+/// use aspp_topology::AsGraph;
+/// use aspp_types::Asn;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = AsGraph::new();
+/// g.add_provider_customer(Asn(10), Asn(1))?;
+/// g.add_provider_customer(Asn(10), Asn(66))?;
+/// g.add_provider_customer(Asn(66), Asn(77))?;
+/// let engine = RoutingEngine::new(&g);
+/// let spec = DestinationSpec::new(Asn(1))
+///     .origin_padding(4)
+///     .attacker(AttackerModel::new(Asn(66)));
+/// let outcome = engine.compute(&spec);
+///
+/// // 77's traffic is intercepted by 66 but still delivered to 1.
+/// let fate = walk(&outcome, Asn(77));
+/// assert!(fate.is_delivered());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn walk(outcome: &RoutingOutcome<'_>, src: Asn) -> Delivery {
+    let victim = outcome.victim();
+    let attacker = outcome.attacker();
+    let strategy = outcome
+        .spec()
+        .attacker_model()
+        .map(aspp_routing::AttackerModel::attack_strategy);
+
+    let mut path = vec![src];
+    let mut current = src;
+    let mut intercepted = false;
+    let mut at_attacker_forwarding = false;
+
+    loop {
+        if current == victim {
+            return Delivery::Delivered { intercepted, path };
+        }
+        if Some(current) == attacker && !at_attacker_forwarding {
+            intercepted = true;
+            if matches!(strategy, Some(AttackStrategy::OriginHijack)) {
+                // The blackholer owns the traffic now; it goes nowhere.
+                return Delivery::Blackholed { at: current, path };
+            }
+            // The interceptor forwards over its own clean route from here.
+            at_attacker_forwarding = true;
+        }
+
+        let next = if at_attacker_forwarding || Some(current) != attacker {
+            // Inside the attacker's forwarding segment, and for every normal
+            // AS, the clean-route next hop applies when the AS kept a clean
+            // route; otherwise the (attacked) best route's next hop.
+            let info = if at_attacker_forwarding {
+                outcome.clean_route(current)
+            } else {
+                outcome.route(current)
+            };
+            match info.and_then(|r| r.next_hop) {
+                Some(n) => n,
+                None => return Delivery::Blackholed { at: current, path },
+            }
+        } else {
+            unreachable!("attacker handled above");
+        };
+
+        if path.contains(&next) {
+            path.push(next);
+            return Delivery::Looped { path };
+        }
+        path.push(next);
+        current = next;
+    }
+}
+
+/// Fraction of ASes whose traffic is delivered / intercepted / blackholed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DeliveryStats {
+    /// Fraction delivered to the victim (intercepted or not).
+    pub delivered: f64,
+    /// Fraction delivered *through* the attacker.
+    pub intercepted: f64,
+    /// Fraction blackholed.
+    pub blackholed: f64,
+    /// Fraction caught in forwarding loops.
+    pub looped: f64,
+}
+
+/// Walks the data plane from every AS and aggregates the fates.
+#[must_use]
+pub fn delivery_stats(outcome: &RoutingOutcome<'_>) -> DeliveryStats {
+    let graph_asns: Vec<Asn> = outcome_graph_asns(outcome);
+    let mut stats = DeliveryStats::default();
+    let mut total = 0usize;
+    for asn in graph_asns {
+        if asn == outcome.victim() {
+            continue;
+        }
+        total += 1;
+        match walk(outcome, asn) {
+            Delivery::Delivered { intercepted, .. } => {
+                stats.delivered += 1.0;
+                if intercepted {
+                    stats.intercepted += 1.0;
+                }
+            }
+            Delivery::Blackholed { .. } => stats.blackholed += 1.0,
+            Delivery::Looped { .. } => stats.looped += 1.0,
+        }
+    }
+    if total > 0 {
+        let n = total as f64;
+        stats.delivered /= n;
+        stats.intercepted /= n;
+        stats.blackholed /= n;
+        stats.looped /= n;
+    }
+    stats
+}
+
+fn outcome_graph_asns(outcome: &RoutingOutcome<'_>) -> Vec<Asn> {
+    outcome.asns().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspp_routing::{AttackerModel, DestinationSpec, ExportMode, RoutingEngine};
+    use aspp_topology::gen::InternetConfig;
+    use aspp_topology::AsGraph;
+
+    fn line_graph() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(66)).unwrap();
+        g.add_provider_customer(Asn(66), Asn(77)).unwrap();
+        g.sort_neighbors();
+        g
+    }
+
+    #[test]
+    fn clean_traffic_is_delivered_directly() {
+        let g = line_graph();
+        let outcome = RoutingEngine::new(&g).compute(&DestinationSpec::new(Asn(1)));
+        let fate = walk(&outcome, Asn(77));
+        assert_eq!(
+            fate,
+            Delivery::Delivered {
+                intercepted: false,
+                path: vec![Asn(77), Asn(66), Asn(10), Asn(1)],
+            }
+        );
+    }
+
+    #[test]
+    fn aspp_interception_still_delivers() {
+        let g = line_graph();
+        let spec = DestinationSpec::new(Asn(1))
+            .origin_padding(4)
+            .attacker(AttackerModel::new(Asn(66)));
+        let outcome = RoutingEngine::new(&g).compute(&spec);
+        let fate = walk(&outcome, Asn(77));
+        assert!(fate.is_delivered(), "{fate:?}");
+        assert!(fate.is_intercepted(), "{fate:?}");
+    }
+
+    #[test]
+    fn origin_hijack_blackholes() {
+        let g = line_graph();
+        let spec = DestinationSpec::new(Asn(1))
+            .origin_padding(4)
+            .attacker(
+                AttackerModel::new(Asn(66))
+                    .strategy(aspp_routing::AttackStrategy::OriginHijack),
+            );
+        let outcome = RoutingEngine::new(&g).compute(&spec);
+        // 77 is polluted (1-hop bogus origin beats the padded real route).
+        assert!(outcome.is_polluted(Asn(77)));
+        let fate = walk(&outcome, Asn(77));
+        assert!(
+            matches!(fate, Delivery::Blackholed { at: Asn(66), .. }),
+            "{fate:?}"
+        );
+    }
+
+    #[test]
+    fn interception_preserves_global_delivery() {
+        // The paper's headline property at scale: under an ASPP attack,
+        // every AS's traffic still reaches the victim.
+        let g = InternetConfig::small().seed(71).build();
+        let spec = DestinationSpec::new(Asn(20_000))
+            .origin_padding(5)
+            .attacker(AttackerModel::new(Asn(100)).mode(ExportMode::Compliant));
+        let outcome = RoutingEngine::new(&g).compute(&spec);
+        let stats = delivery_stats(&outcome);
+        assert!(
+            (stats.delivered - 1.0).abs() < 1e-9,
+            "everything delivered: {stats:?}"
+        );
+        assert!(stats.intercepted > 0.0, "some traffic crosses the attacker");
+        assert_eq!(stats.blackholed, 0.0);
+        assert_eq!(stats.looped, 0.0);
+    }
+
+    #[test]
+    fn origin_hijack_blackholes_polluted_share() {
+        let g = InternetConfig::small().seed(72).build();
+        let spec = DestinationSpec::new(Asn(20_000))
+            .origin_padding(5)
+            .attacker(
+                AttackerModel::new(Asn(100))
+                    .strategy(aspp_routing::AttackStrategy::OriginHijack),
+            );
+        let outcome = RoutingEngine::new(&g).compute(&spec);
+        let stats = delivery_stats(&outcome);
+        assert!(stats.blackholed > 0.1, "hijack blackholes traffic: {stats:?}");
+        assert!(
+            (stats.blackholed - outcome.polluted_fraction()).abs() < 0.1,
+            "blackholed ≈ polluted: {stats:?} vs {}",
+            outcome.polluted_fraction()
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! World regions and inter-region propagation delay.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use aspp_types::Asn;
+
+/// Coarse world regions for the latency model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// US west coast.
+    UsWest,
+    /// US east coast.
+    UsEast,
+    /// Western Europe.
+    Europe,
+    /// Mainland China.
+    China,
+    /// South Korea.
+    Korea,
+    /// Japan.
+    Japan,
+    /// South America.
+    SouthAmerica,
+}
+
+impl Region {
+    /// All regions.
+    pub const ALL: [Region; 7] = [
+        Region::UsWest,
+        Region::UsEast,
+        Region::Europe,
+        Region::China,
+        Region::Korea,
+        Region::Japan,
+        Region::SouthAmerica,
+    ];
+
+    /// Approximate coordinates (x ≈ longitude-ish, y ≈ latitude-ish) on an
+    /// abstract map whose unit distance ≈ 1000 km.
+    const fn coords(self) -> (f64, f64) {
+        match self {
+            Region::UsWest => (-8.0, 4.0),
+            Region::UsEast => (-4.5, 4.0),
+            Region::Europe => (1.0, 5.0),
+            Region::China => (9.5, 3.5),
+            Region::Korea => (11.0, 3.7),
+            Region::Japan => (12.0, 3.6),
+            Region::SouthAmerica => (-5.0, -2.0),
+        }
+    }
+
+    /// One-way propagation delay in milliseconds between two regions:
+    /// ~5 ms per 1000 km of fiber (speed of light in glass, with slack for
+    /// real-world routing), plus a 2 ms metro floor.
+    #[must_use]
+    pub fn propagation_ms(self, other: Region) -> f64 {
+        let (ax, ay) = self.coords();
+        let (bx, by) = other.coords();
+        let dist = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        2.0 + dist * 5.0
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Region::UsWest => "us-west",
+            Region::UsEast => "us-east",
+            Region::Europe => "europe",
+            Region::China => "china",
+            Region::Korea => "korea",
+            Region::Japan => "japan",
+            Region::SouthAmerica => "south-america",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Region assignment for ASes, with a default for unassigned ones.
+///
+/// For generated topologies use [`RegionMap::round_robin`] to spread ASes
+/// across the world deterministically; scenario code pins the ASNs it cares
+/// about with [`assign`](RegionMap::assign).
+#[derive(Clone, Debug)]
+pub struct RegionMap {
+    default: Region,
+    assignments: HashMap<Asn, Region>,
+}
+
+impl RegionMap {
+    /// Creates a map where every AS defaults to `default`.
+    #[must_use]
+    pub fn new(default: Region) -> Self {
+        RegionMap {
+            default,
+            assignments: HashMap::new(),
+        }
+    }
+
+    /// Creates a map assigning regions deterministically by ASN value —
+    /// a stand-in for real geolocation on synthetic topologies.
+    #[must_use]
+    pub fn round_robin<I: IntoIterator<Item = Asn>>(asns: I) -> Self {
+        let mut map = RegionMap::new(Region::UsEast);
+        for asn in asns {
+            let region = Region::ALL[(asn.value() as usize) % Region::ALL.len()];
+            map.assign(asn, region);
+        }
+        map
+    }
+
+    /// Pins `asn` to `region`.
+    pub fn assign(&mut self, asn: Asn, region: Region) -> &mut Self {
+        self.assignments.insert(asn, region);
+        self
+    }
+
+    /// The region of `asn` (falling back to the default).
+    #[must_use]
+    pub fn region_of(&self, asn: Asn) -> Region {
+        self.assignments.get(&asn).copied().unwrap_or(self.default)
+    }
+
+    /// Number of explicit assignments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Returns `true` if no AS was explicitly assigned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_is_symmetric_and_positive() {
+        for a in Region::ALL {
+            for b in Region::ALL {
+                let ab = a.propagation_ms(b);
+                let ba = b.propagation_ms(a);
+                assert!((ab - ba).abs() < 1e-9);
+                assert!(ab >= 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn transpacific_is_much_slower_than_domestic() {
+        let domestic = Region::UsEast.propagation_ms(Region::UsWest);
+        let transpacific = Region::UsEast.propagation_ms(Region::Korea);
+        assert!(transpacific > domestic * 2.0, "{transpacific} vs {domestic}");
+        // Korea and China are close.
+        assert!(Region::Korea.propagation_ms(Region::China) < 15.0);
+    }
+
+    #[test]
+    fn same_region_has_metro_floor() {
+        assert!((Region::Europe.propagation_ms(Region::Europe) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_map_lookup_and_default() {
+        let mut map = RegionMap::new(Region::Europe);
+        assert!(map.is_empty());
+        map.assign(Asn(7018), Region::UsEast);
+        assert_eq!(map.region_of(Asn(7018)), Region::UsEast);
+        assert_eq!(map.region_of(Asn(9999)), Region::Europe);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn round_robin_is_deterministic_and_covers() {
+        let asns: Vec<Asn> = (0..70).map(Asn).collect();
+        let map = RegionMap::round_robin(asns.iter().copied());
+        let map2 = RegionMap::round_robin(asns.iter().copied());
+        let mut seen = std::collections::HashSet::new();
+        for &a in &asns {
+            assert_eq!(map.region_of(a), map2.region_of(a));
+            seen.insert(map.region_of(a));
+        }
+        assert_eq!(seen.len(), Region::ALL.len(), "all regions used");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Region::Korea.to_string(), "korea");
+        assert_eq!(Region::UsWest.to_string(), "us-west");
+    }
+}

@@ -1,0 +1,38 @@
+//! Data-plane view of the interception: simulated traceroutes with a
+//! geographic latency model.
+//!
+//! The paper verifies the Facebook detour with a traceroute from a US AT&T
+//! customer (Table I): intra-US hops answer in ~41 ms, the China Telecom
+//! hops in ~131 ms, and the Korean segment pushes the RTT past 220 ms before
+//! the packets finally reach Facebook's US servers. PlanetLab is not
+//! available offline, so this crate reproduces the *shape* of that
+//! experiment: ASes are pinned to world regions, per-hop RTT accumulates
+//! speed-of-light propagation between regions plus router processing jitter,
+//! and each AS expands into one-to-three router hops as real traceroutes
+//! show.
+//!
+//! # Example
+//!
+//! ```
+//! use aspp_dataplane::{Region, RegionMap, simulate_traceroute};
+//! use aspp_types::{AsPath, Asn};
+//!
+//! let mut regions = RegionMap::new(Region::UsEast);
+//! regions.assign(Asn(7018), Region::UsEast);
+//! regions.assign(Asn(3356), Region::UsEast);
+//! regions.assign(Asn(32934), Region::UsWest);
+//!
+//! let path: AsPath = "7018 3356 32934".parse().unwrap();
+//! let trace = simulate_traceroute(&path, &regions, 1);
+//! assert!(trace.final_rtt_ms() < 120.0, "all-US path stays fast");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forwarding;
+mod latency;
+mod trace;
+
+pub use latency::{Region, RegionMap};
+pub use trace::{simulate_traceroute, Traceroute, TracerouteHop};

@@ -1,0 +1,256 @@
+//! Traceroute simulation along AS-level forwarding paths.
+
+use std::fmt;
+
+use aspp_types::{AsPath, Asn};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::latency::RegionMap;
+
+/// One hop of a simulated traceroute.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TracerouteHop {
+    /// Hop index, 1-based, as traceroute prints it.
+    pub hop: usize,
+    /// Round-trip time to this hop in milliseconds.
+    pub rtt_ms: f64,
+    /// The responding router address (synthesized, one block per AS).
+    pub addr: u32,
+    /// The AS the router belongs to.
+    pub asn: Asn,
+}
+
+/// A simulated traceroute: an ordered list of router hops with RTTs,
+/// printable in the paper's Table I layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Traceroute {
+    hops: Vec<TracerouteHop>,
+}
+
+impl Traceroute {
+    /// The hops in order.
+    #[must_use]
+    pub fn hops(&self) -> &[TracerouteHop] {
+        &self.hops
+    }
+
+    /// RTT to the final hop (0.0 for an empty trace).
+    #[must_use]
+    pub fn final_rtt_ms(&self) -> f64 {
+        self.hops.last().map_or(0.0, |h| h.rtt_ms)
+    }
+
+    /// Number of router hops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Returns `true` if the trace recorded no hops.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Distinct ASes traversed, in order.
+    #[must_use]
+    pub fn as_sequence(&self) -> Vec<Asn> {
+        let mut out: Vec<Asn> = Vec::new();
+        for h in &self.hops {
+            if out.last() != Some(&h.asn) {
+                out.push(h.asn);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Traceroute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<5} {:<9} {:<17} ASN", "Hop", "Delay", "IP")?;
+        for h in &self.hops {
+            let ip = format!(
+                "{}.{}.{}.{}",
+                h.addr >> 24,
+                (h.addr >> 16) & 0xff,
+                (h.addr >> 8) & 0xff,
+                h.addr & 0xff
+            );
+            writeln!(
+                f,
+                "{:<5} {:<9} {:<17} AS{}",
+                h.hop,
+                format!("{:.0} ms", h.rtt_ms),
+                ip,
+                h.asn
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Simulates a traceroute along the AS-level forwarding path `path`
+/// (most-recent-first: the probing host's AS first, the destination origin
+/// last). Prepend copies are collapsed — prepending changes route
+/// *selection*, not the forwarding path.
+///
+/// Each AS contributes 1–3 router hops (deterministic per `seed`); the RTT
+/// to a hop is the accumulated two-way propagation along the regions plus
+/// per-hop processing jitter. RTTs are non-decreasing along the path, as on
+/// a well-behaved real trace.
+#[must_use]
+pub fn simulate_traceroute(path: &AsPath, regions: &RegionMap, seed: u64) -> Traceroute {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ases = path.collapsed();
+    let mut hops = Vec::new();
+    let mut hop_no = 0usize;
+    let mut cumulative_oneway = 0.0f64;
+    let mut prev_region = ases.first().map(|&a| regions.region_of(a));
+
+    for &asn in &ases {
+        let region = regions.region_of(asn);
+        if let Some(prev) = prev_region {
+            cumulative_oneway += prev.propagation_ms(region);
+        }
+        prev_region = Some(region);
+        let router_count = rng.gen_range(1..=3);
+        for r in 0..router_count {
+            hop_no += 1;
+            // Two-way delay plus queueing/processing noise.
+            let jitter: f64 = rng.gen_range(0.0..3.0);
+            let rtt = 2.0 * cumulative_oneway + jitter + r as f64 * 0.4;
+            let addr = synth_router_addr(asn, r);
+            hops.push(TracerouteHop {
+                hop: hop_no,
+                rtt_ms: rtt,
+                addr,
+                asn,
+            });
+        }
+    }
+    // Enforce monotone RTTs (jitter must not reorder hops).
+    let mut max_so_far = 0.0f64;
+    for h in &mut hops {
+        if h.rtt_ms < max_so_far {
+            h.rtt_ms = max_so_far;
+        }
+        max_so_far = h.rtt_ms;
+    }
+    Traceroute { hops }
+}
+
+/// Synthesizes a stable router address inside a per-AS block.
+fn synth_router_addr(asn: Asn, router: u32) -> u32 {
+    // 172.16.0.0/12 lab space: fold the ASN into the middle octets.
+    let folded = asn.value() % 0x0fff;
+    (172u32 << 24) | ((16 + (folded >> 8)) << 16) | ((folded & 0xff) << 8) | (router + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::Region;
+
+    fn us_korea_map() -> RegionMap {
+        let mut map = RegionMap::new(Region::UsEast);
+        map.assign(Asn(7018), Region::UsEast);
+        map.assign(Asn(3356), Region::UsEast);
+        map.assign(Asn(4134), Region::China);
+        map.assign(Asn(9318), Region::Korea);
+        map.assign(Asn(32934), Region::UsWest);
+        map
+    }
+
+    #[test]
+    fn rtt_monotone_and_positive() {
+        let path: AsPath = "7018 4134 9318 32934".parse().unwrap();
+        let trace = simulate_traceroute(&path, &us_korea_map(), 1);
+        assert!(!trace.is_empty());
+        let mut prev = 0.0;
+        for h in trace.hops() {
+            assert!(h.rtt_ms >= prev);
+            prev = h.rtt_ms;
+        }
+    }
+
+    #[test]
+    fn table1_shape_detour_dwarfs_direct() {
+        let regions = us_korea_map();
+        let direct: AsPath = "7018 3356 32934 32934 32934 32934 32934".parse().unwrap();
+        let detour: AsPath = "7018 4134 9318 32934 32934 32934".parse().unwrap();
+        let direct_trace = simulate_traceroute(&direct, &regions, 7);
+        let detour_trace = simulate_traceroute(&detour, &regions, 7);
+        assert!(
+            detour_trace.final_rtt_ms() > 2.0 * direct_trace.final_rtt_ms(),
+            "detour {} ms vs direct {} ms",
+            detour_trace.final_rtt_ms(),
+            direct_trace.final_rtt_ms()
+        );
+        // The paper's Table I shows >200 ms through Korea.
+        assert!(detour_trace.final_rtt_ms() > 150.0);
+        assert!(direct_trace.final_rtt_ms() < 120.0);
+    }
+
+    #[test]
+    fn prepends_do_not_add_hops() {
+        let regions = us_korea_map();
+        let padded: AsPath = "7018 3356 32934 32934 32934".parse().unwrap();
+        let clean: AsPath = "7018 3356 32934".parse().unwrap();
+        let a = simulate_traceroute(&padded, &regions, 3);
+        let b = simulate_traceroute(&clean, &regions, 3);
+        assert_eq!(a.as_sequence(), b.as_sequence());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn as_sequence_matches_path() {
+        let path: AsPath = "7018 4134 9318 32934".parse().unwrap();
+        let trace = simulate_traceroute(&path, &us_korea_map(), 5);
+        assert_eq!(
+            trace.as_sequence(),
+            vec![Asn(7018), Asn(4134), Asn(9318), Asn(32934)]
+        );
+    }
+
+    #[test]
+    fn display_is_table_like() {
+        let path: AsPath = "7018 3356 32934".parse().unwrap();
+        let trace = simulate_traceroute(&path, &us_korea_map(), 2);
+        let text = trace.to_string();
+        assert!(text.contains("Hop"));
+        assert!(text.contains("AS7018"));
+        assert!(text.contains("ms"));
+        assert!(text.lines().count() >= trace.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let path: AsPath = "7018 3356 32934".parse().unwrap();
+        let regions = us_korea_map();
+        assert_eq!(
+            simulate_traceroute(&path, &regions, 9),
+            simulate_traceroute(&path, &regions, 9)
+        );
+        assert_ne!(
+            simulate_traceroute(&path, &regions, 9),
+            simulate_traceroute(&path, &regions, 10)
+        );
+    }
+
+    #[test]
+    fn empty_path_empty_trace() {
+        let trace = simulate_traceroute(&AsPath::new(), &us_korea_map(), 1);
+        assert!(trace.is_empty());
+        assert_eq!(trace.final_rtt_ms(), 0.0);
+    }
+
+    #[test]
+    fn router_addresses_are_stable_per_as() {
+        let a = synth_router_addr(Asn(7018), 0);
+        let b = synth_router_addr(Asn(7018), 1);
+        assert_ne!(a, b);
+        assert_eq!(a >> 24, 172);
+        assert_eq!(a, synth_router_addr(Asn(7018), 0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Public-API regression tests for `aspp-dataplane`.
+
+use aspp_dataplane::forwarding::{delivery_stats, walk, Delivery};
+use aspp_dataplane::{simulate_traceroute, Region, RegionMap, Traceroute};
+use aspp_routing::{AttackStrategy, AttackerModel, DestinationSpec, RoutingEngine};
+use aspp_topology::gen::InternetConfig;
+use aspp_types::{AsPath, Asn};
+
+#[test]
+fn traceroute_hop_numbers_are_contiguous() {
+    let regions = RegionMap::round_robin((1..10).map(Asn));
+    let path: AsPath = "9 8 7 6 5".parse().unwrap();
+    let trace = simulate_traceroute(&path, &regions, 11);
+    for (i, hop) in trace.hops().iter().enumerate() {
+        assert_eq!(hop.hop, i + 1);
+    }
+}
+
+#[test]
+fn longer_detours_cost_more_rtt() {
+    let mut regions = RegionMap::new(Region::UsEast);
+    regions.assign(Asn(1), Region::UsEast);
+    regions.assign(Asn(2), Region::UsEast);
+    regions.assign(Asn(3), Region::Japan);
+    let direct: AsPath = "1 2".parse().unwrap();
+    let detour: AsPath = "1 3 2".parse().unwrap();
+    let a = simulate_traceroute(&direct, &regions, 1).final_rtt_ms();
+    let b = simulate_traceroute(&detour, &regions, 1).final_rtt_ms();
+    assert!(b > a * 2.0, "{a} vs {b}");
+}
+
+#[test]
+fn walk_and_observed_path_agree_on_hops() {
+    let graph = InternetConfig::small().seed(601).build();
+    let engine = RoutingEngine::new(&graph);
+    let outcome = engine.compute(&DestinationSpec::new(Asn(20_000)));
+    for asn in graph.asns().take(40) {
+        if asn == Asn(20_000) {
+            continue;
+        }
+        let Delivery::Delivered { path, .. } = walk(&outcome, asn) else {
+            panic!("clean topology delivers everywhere");
+        };
+        let observed = outcome.observed_path(asn).unwrap().collapsed();
+        assert_eq!(path, observed, "forwarding matches control plane at {asn}");
+    }
+}
+
+#[test]
+fn forge_direct_still_delivers_traffic() {
+    // Even the forged-adjacency interceptor forwards onward: delivery stays
+    // total, unlike the origin hijack.
+    let graph = InternetConfig::small().seed(602).build();
+    let engine = RoutingEngine::new(&graph);
+    let spec = DestinationSpec::new(Asn(20_001))
+        .origin_padding(4)
+        .attacker(AttackerModel::new(Asn(1_001)).strategy(AttackStrategy::ForgeDirect));
+    let outcome = engine.compute(&spec);
+    let stats = delivery_stats(&outcome);
+    assert!((stats.delivered - 1.0).abs() < 1e-9, "{stats:?}");
+    assert_eq!(stats.blackholed, 0.0);
+}
+
+#[test]
+fn intercepted_share_matches_polluted_share_for_strip() {
+    let graph = InternetConfig::small().seed(603).build();
+    let engine = RoutingEngine::new(&graph);
+    let spec = DestinationSpec::new(Asn(20_002))
+        .origin_padding(5)
+        .attacker(AttackerModel::new(Asn(100)));
+    let outcome = engine.compute(&spec);
+    let stats = delivery_stats(&outcome);
+    // Everyone polluted is intercepted; some unpolluted ASes also cross the
+    // attacker because their clean path did.
+    assert!(stats.intercepted + 1e-9 >= outcome.polluted_fraction());
+    assert!(stats.looped == 0.0, "{stats:?}");
+}
+
+#[test]
+fn region_map_default_covers_unassigned() {
+    let map = RegionMap::new(Region::SouthAmerica);
+    assert_eq!(map.region_of(Asn(424_242)), Region::SouthAmerica);
+}
+
+#[test]
+fn empty_trace_display_has_header_only_rows() {
+    let regions = RegionMap::new(Region::Europe);
+    let trace: Traceroute = simulate_traceroute(&AsPath::new(), &regions, 1);
+    let text = trace.to_string();
+    assert!(text.contains("Hop"));
+    assert_eq!(text.lines().count(), 1);
+}

@@ -1,0 +1,458 @@
+//! The Figure 4 detection algorithm.
+
+use core::fmt;
+
+use aspp_topology::AsGraph;
+use aspp_types::{AsPath, Asn, Relationship};
+
+use crate::view::RouteView;
+
+/// Alarm confidence, mirroring the paper's two-step conclusion strength.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Confidence {
+    /// Relationship-based hint only ("possible attack").
+    Low,
+    /// Same-segment padding inconsistency ("detect attack!").
+    High,
+}
+
+/// A raised detection alarm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alarm {
+    /// The AS convicted (or suspected) of removing prepends — `AS_I`, the
+    /// first AS on the shortened route.
+    pub suspect: Asn,
+    /// The AS whose route change triggered the check.
+    pub observed_at: Asn,
+    /// Origin padding on the shortened route (λ_t).
+    pub new_padding: usize,
+    /// The conflicting padding the rest of the network still sees (λ_l),
+    /// when a same-segment witness existed.
+    pub witness_padding: Option<usize>,
+    /// Alarm strength.
+    pub confidence: Confidence,
+}
+
+impl Alarm {
+    /// Number of prepends the suspect is accused of removing, when a
+    /// same-segment witness quantified it.
+    #[must_use]
+    pub fn removed_count(&self) -> Option<usize> {
+        self.witness_padding
+            .map(|w| w.saturating_sub(self.new_padding))
+    }
+}
+
+impl fmt::Display for Alarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.confidence, self.witness_padding) {
+            (Confidence::High, Some(w)) => write!(
+                f,
+                "attack detected: AS{} removed {} padded ASNs (route at AS{} shows {} pads, witnesses show {})",
+                self.suspect,
+                w.saturating_sub(self.new_padding),
+                self.observed_at,
+                self.new_padding,
+                w
+            ),
+            _ => write!(
+                f,
+                "possible attack: AS{} shortened padding to {} (seen at AS{})",
+                self.suspect, self.new_padding, self.observed_at
+            ),
+        }
+    }
+}
+
+/// The ASPP-interception detector (paper Figure 4).
+///
+/// Holds the (possibly inferred) relationship graph used by the
+/// lower-confidence hint rules; the high-confidence rule needs no topology
+/// knowledge at all.
+#[derive(Clone, Copy, Debug)]
+pub struct Detector<'g> {
+    graph: &'g AsGraph,
+}
+
+impl<'g> Detector<'g> {
+    /// Creates a detector over the given relationship graph.
+    #[must_use]
+    pub fn new(graph: &'g AsGraph) -> Self {
+        Detector { graph }
+    }
+
+    /// Checks one route change at AS `d`: previous route `r_prev`, current
+    /// route `r_now` (both *received* paths, i.e. starting at `d`'s next
+    /// hop `AS_I`), against the current combined view.
+    ///
+    /// Returns `None` unless the origin padding decreased; otherwise applies
+    /// the same-segment rule and, failing that, the three relationship
+    /// hints.
+    #[must_use]
+    pub fn check_change(
+        &self,
+        d: Asn,
+        r_prev: &AsPath,
+        r_now: &AsPath,
+        view_now: &RouteView,
+    ) -> Option<Alarm> {
+        self.check_indexed(d, r_prev, r_now, &ViewIndex::build(view_now))
+    }
+
+    fn check_indexed(
+        &self,
+        d: Asn,
+        r_prev: &AsPath,
+        r_now: &AsPath,
+        index: &ViewIndex,
+    ) -> Option<Alarm> {
+        let origin = r_now.origin()?;
+        if r_prev.origin() != Some(origin) {
+            return None; // different prefix owner: MOAS territory, not ASPP.
+        }
+        let lambda_now = r_now.origin_padding();
+        let lambda_prev = r_prev.origin_padding();
+        if lambda_now >= lambda_prev {
+            return None;
+        }
+        let suspect = r_now.first()?;
+        if suspect == origin {
+            // The "shortened" route begins at the origin itself: the owner
+            // reduced its own padding, which is legitimate engineering.
+            return None;
+        }
+        let segment = r_now.detector_segment();
+
+        // Rule 1 (high confidence): some other observed route carries the
+        // same transit segment with more origin padding.
+        if !segment.is_empty() {
+            if let Some(&max_pad) = index.max_pad_by_segment.get(&(segment.clone(), origin)) {
+                if lambda_now < max_pad {
+                    return Some(Alarm {
+                        suspect,
+                        observed_at: d,
+                        new_padding: lambda_now,
+                        witness_padding: Some(max_pad),
+                        confidence: Confidence::High,
+                    });
+                }
+            }
+        }
+
+        // Rules 2-4 (low confidence): a neighbor of AS_{I-1} holds a longer,
+        // more-padded route although policy says it should have received the
+        // shorter one.
+        let as_i_minus_1 = segment.first().copied().unwrap_or(origin);
+        for r in &index.padded_routes {
+            if r.origin != origin || lambda_now >= r.padding || r.len <= r_now.len() {
+                continue;
+            }
+            let rel_of_i_minus_1 = self.graph.relationship(r.first, as_i_minus_1);
+            let hint = match rel_of_i_minus_1 {
+                // AS_{I-1} is a customer of AS'_L: customers export their
+                // best route to providers, so AS'_L should have seen the
+                // shorter padding.
+                Some(Relationship::Customer) => true,
+                // AS_{I-1} peers with AS'_L: the shorter route would have
+                // been exported if it was customer-learned, which it must be
+                // if the shortened route itself shows no peer link.
+                Some(Relationship::Peer) => !path_has_peer_link(self.graph, r_now),
+                // AS_{I-1} is a provider of AS'_L while AS'_L is also using
+                // a provider route: providers export everything downhill, so
+                // the longer choice is inconsistent.
+                Some(Relationship::Provider) => r.second.is_some_and(|l1| {
+                    self.graph.relationship(r.first, l1) == Some(Relationship::Provider)
+                }),
+                _ => false,
+            };
+            if hint {
+                return Some(Alarm {
+                    suspect,
+                    observed_at: d,
+                    new_padding: lambda_now,
+                    witness_padding: None,
+                    confidence: Confidence::Low,
+                });
+            }
+        }
+        None
+    }
+
+    /// Scans every AS present in both views and returns all alarms for
+    /// routes whose origin padding decreased (paper: "for each routing
+    /// change to a shorter AS-path due to fewer padded ASNs from AS d").
+    ///
+    /// The `before` view plays the role of `r_{t-1}`; `after` of `r_t`.
+    #[must_use]
+    pub fn scan(&self, before: &RouteView, after: &RouteView) -> Vec<Alarm> {
+        let index = ViewIndex::build(after);
+        let mut alarms = Vec::new();
+        for d in after.observed_asns() {
+            let prev_routes = before.routes_of(d);
+            if prev_routes.is_empty() {
+                continue;
+            }
+            for full_now in after.routes_of(d) {
+                for full_prev in prev_routes {
+                    // The received path r^d_t starts at d's next hop.
+                    if let (Some(r_now), Some(r_prev)) =
+                        (strip_head(full_now), strip_head(full_prev))
+                    {
+                        if let Some(alarm) = self.check_indexed(d, &r_prev, &r_now, &index) {
+                            if !alarms.contains(&alarm) {
+                                alarms.push(alarm);
+                            }
+                        }
+                    }
+                    // Also check the announcement as a whole: if the padding
+                    // decrease happened at `d` itself, `d` is the suspect —
+                    // this is what a vantage point on the attacker (or a
+                    // suffix route through it) observes.
+                    if let Some(alarm) = self.check_indexed(d, full_prev, full_now, &index) {
+                        if !alarms.contains(&alarm) {
+                            alarms.push(alarm);
+                        }
+                    }
+                }
+            }
+        }
+        alarms.sort_by_key(|a| (std::cmp::Reverse(a.confidence), a.suspect, a.observed_at));
+        alarms
+    }
+}
+
+/// Pre-indexed view: max origin padding per (transit segment, origin), and a
+/// compact summary of every padded route for the hint rules. Built once per
+/// scan so that checking each route change is cheap.
+#[derive(Debug, Default)]
+struct ViewIndex {
+    max_pad_by_segment: std::collections::HashMap<(Vec<Asn>, Asn), usize>,
+    padded_routes: Vec<RouteSummary>,
+}
+
+#[derive(Debug)]
+struct RouteSummary {
+    origin: Asn,
+    first: Asn,
+    second: Option<Asn>,
+    padding: usize,
+    len: usize,
+}
+
+impl ViewIndex {
+    fn build(view: &RouteView) -> Self {
+        let mut index = ViewIndex::default();
+        for (_, r) in view.iter() {
+            let Some(origin) = r.origin() else { continue };
+            let padding = r.origin_padding();
+            let segment = r.detector_segment();
+            if !segment.is_empty() {
+                let entry = index
+                    .max_pad_by_segment
+                    .entry((segment, origin))
+                    .or_insert(0);
+                *entry = (*entry).max(padding);
+            }
+            if padding >= 2 {
+                if let Some(first) = r.first() {
+                    let collapsed = r.collapsed();
+                    index.padded_routes.push(RouteSummary {
+                        origin,
+                        first,
+                        second: collapsed.get(1).copied(),
+                        padding,
+                        len: r.len(),
+                    });
+                }
+            }
+        }
+        index
+    }
+}
+
+/// Drops the leading AS (and its prepend copies) from an observed path,
+/// yielding the received path; `None` if nothing remains.
+fn strip_head(path: &AsPath) -> Option<AsPath> {
+    let hops = path.hops();
+    let head = *hops.first()?;
+    let rest: Vec<Asn> = hops
+        .iter()
+        .copied()
+        .skip_while(|&h| h == head)
+        .collect();
+    if rest.is_empty() {
+        None
+    } else {
+        Some(AsPath::from_hops(rest))
+    }
+}
+
+fn path_has_peer_link(graph: &AsGraph, path: &AsPath) -> bool {
+    let collapsed = path.collapsed();
+    collapsed
+        .windows(2)
+        .any(|w| graph.relationship(w[0], w[1]) == Some(Relationship::Peer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspp_attack::scenarios::{figure3, figure3_topology};
+    use aspp_routing::{
+        AttackerModel, DestinationSpec, PrependConfig, PrependingPolicy, RoutingEngine,
+    };
+
+    fn p(s: &str) -> AsPath {
+        s.parse().unwrap()
+    }
+
+    /// Hand-built Figure 3 situation: monitor sees honest [E A V V V] and
+    /// malicious [B M A V].
+    #[test]
+    fn figure3_inconsistency_detected() {
+        let g = figure3_topology();
+        let detector = Detector::new(&g);
+        use figure3::*;
+        let view_now = RouteView::from_paths([
+            p(&format!("{E} {A} {V} {V} {V}")),
+            p(&format!("{B} {M} {A} {V}")),
+        ]);
+        // B's route changed from the (hypothetical) old padded one.
+        let r_prev = p(&format!("{M} {A} {V} {V} {V}"));
+        let r_now = p(&format!("{M} {A} {V}"));
+        let alarm = detector
+            .check_change(B, &r_prev, &r_now, &view_now)
+            .expect("attack must be detected");
+        assert_eq!(alarm.suspect, M);
+        assert_eq!(alarm.confidence, Confidence::High);
+        assert_eq!(alarm.removed_count(), Some(2));
+        assert!(alarm.to_string().contains("removed 2"));
+    }
+
+    #[test]
+    fn no_alarm_when_padding_increases_or_stays() {
+        let g = figure3_topology();
+        let detector = Detector::new(&g);
+        let view = RouteView::from_paths([p("55 10 1 1 1")]);
+        assert!(detector
+            .check_change(Asn(77), &p("66 10 1"), &p("66 10 1 1 1"), &view)
+            .is_none());
+        assert!(detector
+            .check_change(Asn(77), &p("66 10 1 1"), &p("66 10 1 1"), &view)
+            .is_none());
+    }
+
+    #[test]
+    fn origin_change_is_not_our_attack() {
+        let g = figure3_topology();
+        let detector = Detector::new(&g);
+        let view = RouteView::from_paths([p("55 10 1 1 1")]);
+        // Origin flipped from 1 to 2: MOAS, out of scope.
+        assert!(detector
+            .check_change(Asn(77), &p("66 10 1 1 1"), &p("66 10 2"), &view)
+            .is_none());
+    }
+
+    #[test]
+    fn legitimate_per_neighbor_prepending_no_high_alarm() {
+        // V legitimately sends [V V] to C and [V V V] to A. Segments differ
+        // ([A] vs [C]), so the same-segment rule must stay quiet.
+        let g = figure3_topology();
+        let detector = Detector::new(&g);
+        use figure3::*;
+        let view_now = RouteView::from_paths([
+            p(&format!("{E} {A} {V} {V} {V}")),
+            p(&format!("{D} {C} {V} {V}")),
+        ]);
+        // D's route "changed" from 3 pads to 2 (e.g. V re-engineered).
+        let alarm = detector.check_change(
+            D,
+            &p(&format!("{C} {V} {V} {V}")),
+            &p(&format!("{C} {V} {V}")),
+            &view_now,
+        );
+        assert!(
+            alarm.is_none() || alarm.unwrap().confidence == Confidence::Low,
+            "different segments must not produce a high-confidence alarm"
+        );
+    }
+
+    /// End-to-end: simulate the attack on Figure 3's topology and scan.
+    #[test]
+    fn scan_detects_simulated_attack() {
+        use figure3::*;
+        let g = figure3_topology();
+        let engine = RoutingEngine::new(&g);
+        let spec = DestinationSpec::new(V)
+            .origin_padding(3)
+            .attacker(AttackerModel::new(M));
+        let outcome = engine.compute(&spec);
+        assert!(outcome.is_polluted(B), "B sits below the attacker");
+
+        let monitors = [B, D, E];
+        let before = RouteView::from_paths(
+            monitors.iter().filter_map(|&m| outcome.clean_observed_path(m)),
+        );
+        let after =
+            RouteView::from_paths(monitors.iter().filter_map(|&m| outcome.observed_path(m)));
+        let detector = Detector::new(&g);
+        let alarms = detector.scan(&before, &after);
+        assert!(
+            alarms
+                .iter()
+                .any(|a| a.suspect == M && a.confidence == Confidence::High),
+            "alarms: {alarms:?}"
+        );
+    }
+
+    #[test]
+    fn scan_is_quiet_without_attack() {
+        use figure3::*;
+        let g = figure3_topology();
+        let engine = RoutingEngine::new(&g);
+        let spec = DestinationSpec::new(V).origin_padding(3);
+        let outcome = engine.compute(&spec);
+        let monitors = [B, D, E];
+        let view = RouteView::from_paths(
+            monitors.iter().filter_map(|&m| outcome.observed_path(m)),
+        );
+        let detector = Detector::new(&g);
+        assert!(detector.scan(&view, &view).is_empty());
+    }
+
+    #[test]
+    fn scan_quiet_under_legitimate_reengineering() {
+        use figure3::*;
+        // V switches from uniform 3 pads to per-neighbor (3 toward A,
+        // 2 toward C): D sees fewer pads but nobody cheated.
+        let g = figure3_topology();
+        let engine = RoutingEngine::new(&g);
+        let before_spec = DestinationSpec::new(V).origin_padding(3);
+        let mut config = PrependConfig::new();
+        config.set(V, PrependingPolicy::per_neighbor(2, [(C, 1)]));
+        let after_spec = DestinationSpec::new(V).prepend_config(config);
+        let before_out = engine.compute(&before_spec);
+        let after_out = engine.compute(&after_spec);
+        let monitors = [B, D, E];
+        let before = RouteView::from_paths(
+            monitors.iter().filter_map(|&m| before_out.observed_path(m)),
+        );
+        let after = RouteView::from_paths(
+            monitors.iter().filter_map(|&m| after_out.observed_path(m)),
+        );
+        let detector = Detector::new(&g);
+        let alarms = detector.scan(&before, &after);
+        assert!(
+            alarms.iter().all(|a| a.confidence == Confidence::Low),
+            "legitimate TE must not trigger high-confidence alarms: {alarms:?}"
+        );
+    }
+
+    #[test]
+    fn strip_head_handles_prepended_heads() {
+        assert_eq!(strip_head(&p("5 5 5 1 2")).unwrap().to_string(), "1 2");
+        assert_eq!(strip_head(&p("5 1")).unwrap().to_string(), "1");
+        assert!(strip_head(&p("5 5")).is_none());
+        assert!(strip_head(&AsPath::new()).is_none());
+    }
+}

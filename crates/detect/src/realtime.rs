@@ -1,0 +1,303 @@
+//! Streaming detection over a live BGP update feed.
+//!
+//! The paper envisions a PHAS-like service: "examine BGP routing data
+//! collected by the route monitors … and provide real time notifications of
+//! any potential ASPP based prefix interception hijacking to the prefix
+//! owner" (Section V). [`StreamingDetector`] is that service: seed it with
+//! the monitors' RIB snapshot, feed it update records in arrival order, and
+//! collect alarms the moment the inconsistency becomes visible.
+
+use std::collections::{HashMap, HashSet};
+
+use aspp_data::{UpdateAction, UpdateRecord};
+use aspp_topology::AsGraph;
+use aspp_types::{AsPath, Asn, Ipv4Prefix};
+
+use crate::detector::{Alarm, Detector};
+use crate::view::RouteView;
+
+/// An alarm raised by the streaming detector, tagged with its trigger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamAlarm {
+    /// The affected prefix.
+    pub prefix: Ipv4Prefix,
+    /// Sequence number of the update that exposed the attack.
+    pub triggered_by_seq: u64,
+    /// The underlying detection alarm.
+    pub alarm: Alarm,
+}
+
+/// Incremental multi-prefix detector state.
+///
+/// # Example
+///
+/// ```
+/// use aspp_detect::realtime::StreamingDetector;
+/// use aspp_data::{UpdateAction, UpdateRecord};
+/// use aspp_topology::AsGraph;
+/// use aspp_types::Asn;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut graph = AsGraph::new();
+/// graph.add_provider_customer(Asn(10), Asn(1))?;
+/// graph.add_provider_customer(Asn(10), Asn(66))?;
+/// graph.add_provider_customer(Asn(10), Asn(55))?;
+/// graph.add_provider_customer(Asn(66), Asn(77))?;
+///
+/// let prefix = "10.0.0.0/24".parse()?;
+/// let mut detector = StreamingDetector::new(&graph);
+/// // RIB seeds: monitor 77 routes via the soon-to-be attacker 66; honest
+/// // monitor 55 provides the padded witness route through the same AS10.
+/// detector.seed(Asn(77), prefix, "77 66 10 1 1 1".parse()?);
+/// detector.seed(Asn(55), prefix, "55 10 1 1 1".parse()?);
+///
+/// // Live update: 66 suddenly announces a stripped route.
+/// let alarms = detector.process(&UpdateRecord {
+///     seq: 1,
+///     monitor: Asn(77),
+///     prefix,
+///     action: UpdateAction::Announce("77 66 10 1".parse()?),
+/// });
+/// assert!(!alarms.is_empty());
+/// assert_eq!(alarms[0].alarm.suspect, Asn(66));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamingDetector<'g> {
+    detector: Detector<'g>,
+    /// Current announced path per (prefix, monitor).
+    current: HashMap<Ipv4Prefix, HashMap<Asn, AsPath>>,
+    /// Previous path per (prefix, monitor), for before/after comparison.
+    previous: HashMap<Ipv4Prefix, HashMap<Asn, AsPath>>,
+    /// Alarms already raised, to keep the stream idempotent.
+    raised: HashSet<(Ipv4Prefix, Asn, Asn)>,
+}
+
+impl<'g> StreamingDetector<'g> {
+    /// Creates a detector over the (possibly inferred) relationship graph.
+    #[must_use]
+    pub fn new(graph: &'g AsGraph) -> Self {
+        StreamingDetector {
+            detector: Detector::new(graph),
+            current: HashMap::new(),
+            previous: HashMap::new(),
+            raised: HashSet::new(),
+        }
+    }
+
+    /// Installs a RIB-snapshot route (no detection is run on seeds).
+    pub fn seed(&mut self, monitor: Asn, prefix: Ipv4Prefix, path: AsPath) {
+        self.current
+            .entry(prefix)
+            .or_default()
+            .insert(monitor, path.clone());
+        self.previous
+            .entry(prefix)
+            .or_default()
+            .insert(monitor, path);
+    }
+
+    /// Seeds every monitor table of a corpus as the RIB snapshot.
+    pub fn seed_from_corpus(&mut self, corpus: &aspp_data::Corpus) {
+        for (monitor, table) in corpus.tables() {
+            for (prefix, path) in table.iter() {
+                self.seed(monitor, prefix, path.clone());
+            }
+        }
+    }
+
+    /// Number of prefixes currently tracked.
+    #[must_use]
+    pub fn tracked_prefixes(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Applies one update and returns any *new* alarms it exposes.
+    pub fn process(&mut self, update: &UpdateRecord) -> Vec<StreamAlarm> {
+        let routes = self.current.entry(update.prefix).or_default();
+        match &update.action {
+            UpdateAction::Withdraw => {
+                // A withdrawal cannot shorten padding; just record it.
+                routes.remove(&update.monitor);
+                self.previous
+                    .entry(update.prefix)
+                    .or_default()
+                    .remove(&update.monitor);
+                return Vec::new();
+            }
+            UpdateAction::Announce(path) => {
+                let old = routes.insert(update.monitor, path.clone());
+                if let Some(old) = old {
+                    self.previous
+                        .entry(update.prefix)
+                        .or_default()
+                        .insert(update.monitor, old);
+                }
+            }
+        }
+
+        // Compare the stored previous paths against the current ones.
+        let before = RouteView::from_paths(
+            self.previous
+                .get(&update.prefix)
+                .into_iter()
+                .flat_map(|m| m.values().cloned()),
+        );
+        let after = RouteView::from_paths(
+            self.current
+                .get(&update.prefix)
+                .into_iter()
+                .flat_map(|m| m.values().cloned()),
+        );
+        let mut out = Vec::new();
+        for alarm in self.detector.scan(&before, &after) {
+            let key = (update.prefix, alarm.suspect, alarm.observed_at);
+            if self.raised.insert(key) {
+                out.push(StreamAlarm {
+                    prefix: update.prefix,
+                    triggered_by_seq: update.seq,
+                    alarm,
+                });
+            }
+        }
+        out
+    }
+
+    /// Streams a whole batch, returning all new alarms in order.
+    pub fn process_all<'a, I>(&mut self, updates: I) -> Vec<StreamAlarm>
+    where
+        I: IntoIterator<Item = &'a UpdateRecord>,
+    {
+        updates
+            .into_iter()
+            .flat_map(|u| self.process(u))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspp_attack::scenarios::{figure3, figure3_topology};
+    use aspp_routing::{AttackerModel, DestinationSpec, RoutingEngine};
+
+    fn update(seq: u64, monitor: Asn, prefix: Ipv4Prefix, path: &str) -> UpdateRecord {
+        UpdateRecord {
+            seq,
+            monitor,
+            prefix,
+            action: UpdateAction::Announce(path.parse().unwrap()),
+        }
+    }
+
+    #[test]
+    fn detects_attack_in_simulated_stream() {
+        use figure3::*;
+        let g = figure3_topology();
+        let engine = RoutingEngine::new(&g);
+        let clean = engine.compute(&DestinationSpec::new(V).origin_padding(3));
+        let attacked = engine.compute(
+            &DestinationSpec::new(V)
+                .origin_padding(3)
+                .attacker(AttackerModel::new(M)),
+        );
+        let prefix: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let monitors = [B, D, E];
+
+        let mut stream = StreamingDetector::new(&g);
+        for &m in &monitors {
+            stream.seed(m, prefix, clean.clean_observed_path(m).unwrap());
+        }
+        assert_eq!(stream.tracked_prefixes(), 1);
+
+        // Updates arrive in pollution order; only B's route changes.
+        let mut alarms = Vec::new();
+        let mut seq = 0;
+        for &m in &monitors {
+            if attacked.route_changed(m) {
+                seq += 1;
+                alarms.extend(stream.process(&UpdateRecord {
+                    seq,
+                    monitor: m,
+                    prefix,
+                    action: UpdateAction::Announce(attacked.observed_path(m).unwrap()),
+                }));
+            }
+        }
+        assert!(
+            alarms.iter().any(|a| a.alarm.suspect == M),
+            "stream alarms: {alarms:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_updates_do_not_re_alarm() {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(66)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(55)).unwrap();
+        g.add_provider_customer(Asn(66), Asn(77)).unwrap();
+        let prefix: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let mut stream = StreamingDetector::new(&g);
+        stream.seed(Asn(77), prefix, "77 66 10 1 1 1".parse().unwrap());
+        stream.seed(Asn(55), prefix, "55 10 1 1 1".parse().unwrap());
+
+        let u = update(1, Asn(77), prefix, "77 66 10 1");
+        let first = stream.process(&u);
+        assert!(!first.is_empty());
+        let again = stream.process(&update(2, Asn(77), prefix, "77 66 10 1"));
+        assert!(again.is_empty(), "idempotent: {again:?}");
+    }
+
+    #[test]
+    fn withdrawals_are_silent() {
+        let g = AsGraph::new();
+        let prefix: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let mut stream = StreamingDetector::new(&g);
+        stream.seed(Asn(7), prefix, "7 1 1".parse().unwrap());
+        let alarms = stream.process(&UpdateRecord {
+            seq: 1,
+            monitor: Asn(7),
+            prefix,
+            action: UpdateAction::Withdraw,
+        });
+        assert!(alarms.is_empty());
+        // Re-announcing after a withdrawal does not see stale history.
+        let alarms = stream.process(&update(2, Asn(7), prefix, "7 1"));
+        assert!(alarms.is_empty());
+    }
+
+    #[test]
+    fn prefixes_are_independent() {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(66)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(55)).unwrap();
+        g.add_provider_customer(Asn(66), Asn(77)).unwrap();
+        let p1: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let p2: Ipv4Prefix = "10.0.1.0/24".parse().unwrap();
+        let mut stream = StreamingDetector::new(&g);
+        stream.seed(Asn(77), p1, "77 66 10 1 1 1".parse().unwrap());
+        stream.seed(Asn(55), p1, "55 10 1 1 1".parse().unwrap());
+        stream.seed(Asn(77), p2, "77 66 10 1 1 1".parse().unwrap());
+        stream.seed(Asn(55), p2, "55 10 1 1 1".parse().unwrap());
+        // Attack visible only on p1.
+        let alarms = stream.process(&update(1, Asn(77), p1, "77 66 10 1"));
+        assert!(alarms.iter().all(|a| a.prefix == p1));
+        assert_eq!(stream.tracked_prefixes(), 2);
+    }
+
+    #[test]
+    fn legitimate_growth_is_silent() {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(77)).unwrap();
+        let prefix: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let mut stream = StreamingDetector::new(&g);
+        stream.seed(Asn(77), prefix, "77 10 1".parse().unwrap());
+        // The origin adds padding — more pads, not fewer: no alarm.
+        let alarms = stream.process(&update(1, Asn(77), prefix, "77 10 1 1 1"));
+        assert!(alarms.is_empty());
+    }
+}

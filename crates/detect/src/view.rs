@@ -1,0 +1,163 @@
+//! The combined multi-monitor route view.
+
+use std::collections::HashMap;
+
+use aspp_types::{AsPath, Asn};
+
+/// All routes toward one prefix visible at one instant, combined across
+/// monitors.
+///
+/// Because BGP forwarding is destination-based, an observed path
+/// `[d AS_I … AS_1 V^λ]` implies the route of every AS on it: each suffix is
+/// itself a route. `RouteView` stores that expansion, keyed by the first AS
+/// of each suffix, keeping *all distinct* paths seen for an AS — a
+/// legitimate network announces one route, so two distinct entries for the
+/// same AS are already a symptom.
+///
+/// # Example
+///
+/// ```
+/// use aspp_detect::RouteView;
+/// use aspp_types::{AsPath, Asn};
+///
+/// let view = RouteView::from_paths(["55 10 1 1 1".parse::<AsPath>().unwrap()]);
+/// // The suffix routes of 55, 10 (and the origin itself) are all visible.
+/// assert_eq!(view.routes_of(Asn(10)).len(), 1);
+/// assert_eq!(view.routes_of(Asn(10))[0].to_string(), "10 1 1 1");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouteView {
+    routes: HashMap<Asn, Vec<AsPath>>,
+}
+
+impl RouteView {
+    /// Creates an empty view.
+    #[must_use]
+    pub fn new() -> Self {
+        RouteView::default()
+    }
+
+    /// Builds a view from monitor-observed paths, expanding every suffix.
+    #[must_use]
+    pub fn from_paths<I: IntoIterator<Item = AsPath>>(paths: I) -> Self {
+        let mut view = RouteView::new();
+        for path in paths {
+            view.add_path(&path);
+        }
+        view
+    }
+
+    /// Adds one observed path and all its suffix routes.
+    pub fn add_path(&mut self, path: &AsPath) {
+        let hops = path.hops();
+        let mut start = 0;
+        while start < hops.len() {
+            let head = hops[start];
+            let suffix = AsPath::from_hops(hops[start..].iter().copied());
+            let entry = self.routes.entry(head).or_default();
+            if !entry.contains(&suffix) {
+                entry.push(suffix);
+            }
+            // Skip over prepend copies so each AS contributes one suffix per
+            // distinct position.
+            let mut next = start + 1;
+            while next < hops.len() && hops[next] == head {
+                next += 1;
+            }
+            start = next;
+        }
+    }
+
+    /// All distinct routes observed for `asn` (empty slice if unseen).
+    #[must_use]
+    pub fn routes_of(&self, asn: Asn) -> &[AsPath] {
+        self.routes.get(&asn).map_or(&[], Vec::as_slice)
+    }
+
+    /// The single route of `asn` if exactly one was observed.
+    #[must_use]
+    pub fn unique_route_of(&self, asn: Asn) -> Option<&AsPath> {
+        match self.routes_of(asn) {
+            [one] => Some(one),
+            _ => None,
+        }
+    }
+
+    /// Iterates over every `(asn, route)` pair in the view.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, &AsPath)> {
+        self.routes
+            .iter()
+            .flat_map(|(&asn, paths)| paths.iter().map(move |p| (asn, p)))
+    }
+
+    /// ASes with at least one observed route.
+    pub fn observed_asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.routes.keys().copied()
+    }
+
+    /// Number of ASes with at least one observed route.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Returns `true` if nothing was observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> AsPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn suffix_expansion() {
+        let view = RouteView::from_paths([p("77 66 10 1")]);
+        assert_eq!(view.routes_of(Asn(77))[0].to_string(), "77 66 10 1");
+        assert_eq!(view.routes_of(Asn(66))[0].to_string(), "66 10 1");
+        assert_eq!(view.routes_of(Asn(10))[0].to_string(), "10 1");
+        assert_eq!(view.routes_of(Asn(1))[0].to_string(), "1");
+        assert_eq!(view.len(), 4);
+    }
+
+    #[test]
+    fn prepends_do_not_create_extra_suffixes() {
+        let view = RouteView::from_paths([p("55 10 1 1 1")]);
+        // Origin 1 contributes a single suffix "1 1 1".
+        assert_eq!(view.routes_of(Asn(1)).len(), 1);
+        assert_eq!(view.routes_of(Asn(1))[0].to_string(), "1 1 1");
+        assert_eq!(view.len(), 3);
+    }
+
+    #[test]
+    fn conflicting_routes_both_kept() {
+        // Figure 3: honest [E A V3] vs malicious [B M A V1] give A two routes.
+        let view = RouteView::from_paths([p("55 10 1 1 1"), p("77 66 10 1")]);
+        let a_routes = view.routes_of(Asn(10));
+        assert_eq!(a_routes.len(), 2, "A has conflicting padding views");
+        assert!(view.unique_route_of(Asn(10)).is_none());
+        assert!(view.unique_route_of(Asn(55)).is_some());
+    }
+
+    #[test]
+    fn duplicate_observations_dedup() {
+        let view = RouteView::from_paths([p("55 10 1"), p("55 10 1")]);
+        assert_eq!(view.routes_of(Asn(55)).len(), 1);
+    }
+
+    #[test]
+    fn iter_covers_all_routes() {
+        let view = RouteView::from_paths([p("2 1"), p("3 1")]);
+        let total = view.iter().count();
+        assert_eq!(total, 3); // routes of 2, 3, and 1.
+        let empty = RouteView::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.iter().count(), 0);
+    }
+}

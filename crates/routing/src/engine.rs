@@ -1,0 +1,1382 @@
+//! Per-destination route computation under Gao–Rexford policy, with an
+//! optional ASPP interception attacker (the paper's Figure 2 simulator).
+//!
+//! # Algorithm
+//!
+//! A single generalized Dijkstra over *route labels* `(class, effective
+//! length, tie-break)` computes the policy-routing equilibrium exactly:
+//!
+//! * the victim `V` is finalized first with an `Origin` label and exports to
+//!   every neighbor with its configured padding;
+//! * labels are popped in global preference order (class, then length with
+//!   prepends counted, then tie-break); the first label to reach a node is
+//!   its best route, because every export step weakly worsens class and
+//!   strictly grows length — the monotonicity that makes Dijkstra sound here;
+//! * on finalization a node re-exports subject to the valley-free rule
+//!   ([`RouteClass::may_export_to`]).
+//!
+//! With an attacker `M`, the engine first runs a clean pass to learn `M`'s
+//! received route `r1 = [ASn … AS1 V^λ]`, then runs a second pass in which
+//! `M`'s best route is pinned to `r1` (it must keep a working route to
+//! forward intercepted traffic) while `M` exports the *stripped* route
+//! `r2 = [M ASn … AS1 V]`. ASes on `M`'s clean chain reject attacker-derived
+//! labels — their own ASN is on the claimed path, so real BGP loop
+//! prevention would discard the announcement.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use aspp_topology::AsGraph;
+use aspp_types::{AsPath, Asn, Relationship, RouteClass};
+
+use crate::decision::TieBreak;
+use crate::prepend::{PrependConfig, PrependingPolicy};
+
+/// How the attacker exports its stripped route (paper Figures 11–12).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExportMode {
+    /// The paper's "follow valley-free rule" attacker: the stripped route
+    /// goes to customers and peers unconditionally ("the attacker can only
+    /// pollute its customers, peers, and peers' customers"), and to
+    /// providers only when the attacker's own route was customer-learned —
+    /// sending a down-hill-learned route back up-hill is what the paper
+    /// counts as a violation.
+    #[default]
+    Compliant,
+    /// Export to every neighbor, providers included ("if the attacker does
+    /// not obey the valley-free rules … the impact can be equally large").
+    ViolateValleyFree,
+}
+
+/// What the attacker announces — the paper's ASPP attack plus the two
+/// baseline prefix hijacks it is contrasted against (Sections I–II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AttackStrategy {
+    /// The ASPP interception: remove the victim's origin padding down to
+    /// `keep` copies and re-announce the otherwise-genuine route. No bogus
+    /// link, no origin change — invisible to MOAS and topology monitors.
+    StripPadding {
+        /// Origin copies kept (≥ 1).
+        keep: usize,
+    },
+    /// The generalized ASPP interception: collapse *every* prepend run on
+    /// the received route, intermediary padding included ("the prepending is
+    /// not limited to the origin AS", Section II-B). Still no bogus link and
+    /// no origin change.
+    StripAllPadding,
+    /// The Ballani-style interception baseline: announce `[M V]`, claiming
+    /// a direct (usually non-existent) adjacency to the victim while still
+    /// forwarding over the real route. Detectable as a new AS-level link.
+    ForgeDirect,
+    /// The origin-hijack baseline: announce the prefix as `[M]`, stealing
+    /// ownership and blackholing the traffic. Detectable as a MOAS
+    /// conflict.
+    OriginHijack,
+}
+
+impl Default for AttackStrategy {
+    fn default() -> Self {
+        AttackStrategy::StripPadding { keep: 1 }
+    }
+}
+
+/// The prefix-hijack attacker: by default the paper's ASPP interception
+/// (strip the victim's origin padding and re-announce the shortened route);
+/// the baseline strategies of [`AttackStrategy`] are available for
+/// comparison experiments.
+///
+/// # Example
+///
+/// ```
+/// use aspp_routing::{AttackerModel, ExportMode};
+/// use aspp_types::Asn;
+///
+/// let m = AttackerModel::new(Asn(9318)).mode(ExportMode::ViolateValleyFree);
+/// assert_eq!(m.asn(), Asn(9318));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AttackerModel {
+    asn: Asn,
+    mode: ExportMode,
+    strategy: AttackStrategy,
+}
+
+impl AttackerModel {
+    /// An attacker at `asn` that keeps a single origin copy (the paper's
+    /// `[M ∗ V]` form) and obeys the valley-free rule.
+    #[must_use]
+    pub fn new(asn: Asn) -> Self {
+        AttackerModel {
+            asn,
+            mode: ExportMode::Compliant,
+            strategy: AttackStrategy::default(),
+        }
+    }
+
+    /// Sets the export mode.
+    #[must_use]
+    pub fn mode(mut self, mode: ExportMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets how many origin copies the attacker keeps (min 1); implies the
+    /// ASPP [`AttackStrategy::StripPadding`] strategy.
+    #[must_use]
+    pub fn keep(mut self, keep: usize) -> Self {
+        self.strategy = AttackStrategy::StripPadding { keep: keep.max(1) };
+        self
+    }
+
+    /// Sets the attack strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: AttackStrategy) -> Self {
+        self.strategy = match strategy {
+            AttackStrategy::StripPadding { keep } => {
+                AttackStrategy::StripPadding { keep: keep.max(1) }
+            }
+            other => other,
+        };
+        self
+    }
+
+    /// The attacker's ASN.
+    #[must_use]
+    pub fn asn(&self) -> Asn {
+        self.asn
+    }
+
+    /// The export mode.
+    #[must_use]
+    pub fn export_mode(&self) -> ExportMode {
+        self.mode
+    }
+
+    /// The attack strategy.
+    #[must_use]
+    pub fn attack_strategy(&self) -> AttackStrategy {
+        self.strategy
+    }
+
+    /// Origin copies kept when stripping (1 for the baseline strategies,
+    /// which never carry the victim's padding).
+    #[must_use]
+    pub fn kept_copies(&self) -> usize {
+        match self.strategy {
+            AttackStrategy::StripPadding { keep } => keep,
+            _ => 1,
+        }
+    }
+}
+
+/// Everything needed to compute routes toward one destination.
+///
+/// # Example
+///
+/// ```
+/// use aspp_routing::{AttackerModel, DestinationSpec};
+/// use aspp_types::Asn;
+///
+/// let spec = DestinationSpec::new(Asn(32934))
+///     .origin_padding(5)
+///     .attacker(AttackerModel::new(Asn(9318)));
+/// assert_eq!(spec.victim(), Asn(32934));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DestinationSpec {
+    victim: Asn,
+    prepend: PrependConfig,
+    attacker: Option<AttackerModel>,
+    tie: TieBreak,
+}
+
+impl DestinationSpec {
+    /// Routes toward `victim`, with no padding, no attacker, default
+    /// tie-break.
+    #[must_use]
+    pub fn new(victim: Asn) -> Self {
+        DestinationSpec {
+            victim,
+            prepend: PrependConfig::new(),
+            attacker: None,
+            tie: TieBreak::default(),
+        }
+    }
+
+    /// The victim announces λ = `copies` total copies of its ASN to every
+    /// neighbor (the paper's `r0 = [V…V]` with λ copies). `copies` is
+    /// clamped to at least 1.
+    #[must_use]
+    pub fn origin_padding(mut self, copies: usize) -> Self {
+        self.prepend
+            .set(self.victim, PrependingPolicy::Uniform(copies.saturating_sub(1)));
+        self
+    }
+
+    /// Installs a full prepending configuration (origin and intermediary
+    /// policies). Replaces any padding set earlier.
+    #[must_use]
+    pub fn prepend_config(mut self, config: PrependConfig) -> Self {
+        self.prepend = config;
+        self
+    }
+
+    /// Adds the interception attacker.
+    #[must_use]
+    pub fn attacker(mut self, attacker: AttackerModel) -> Self {
+        self.attacker = Some(attacker);
+        self
+    }
+
+    /// Sets the tie-break rule.
+    #[must_use]
+    pub fn tie_break(mut self, tie: TieBreak) -> Self {
+        self.tie = tie;
+        self
+    }
+
+    /// The destination (victim) AS.
+    #[must_use]
+    pub fn victim(&self) -> Asn {
+        self.victim
+    }
+
+    /// The attacker model, if any.
+    #[must_use]
+    pub fn attacker_model(&self) -> Option<&AttackerModel> {
+        self.attacker.as_ref()
+    }
+
+    /// The prepending configuration.
+    #[must_use]
+    pub fn prepending(&self) -> &PrependConfig {
+        &self.prepend
+    }
+
+    /// The configured tie-break rule.
+    #[must_use]
+    pub fn tie_break_rule(&self) -> TieBreak {
+        self.tie
+    }
+}
+
+/// One AS's best route in a computed outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RouteInfo {
+    /// How the route was learned.
+    pub class: RouteClass,
+    /// Effective AS-path length, prepends included.
+    pub effective_len: u32,
+    /// The neighbor the route was learned from (`None` at the origin).
+    pub next_hop: Option<Asn>,
+    /// Whether the route descends from the attacker's modified announcement.
+    pub via_attacker: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct NodeRoute {
+    class: RouteClass,
+    len: u32,
+    parent: Option<usize>,
+    via_attacker: bool,
+}
+
+type Pass = Vec<Option<NodeRoute>>;
+
+/// The policy-routing engine bound to one topology.
+#[derive(Clone, Copy, Debug)]
+pub struct RoutingEngine<'g> {
+    graph: &'g AsGraph,
+}
+
+impl<'g> RoutingEngine<'g> {
+    /// Creates an engine over `graph`.
+    #[must_use]
+    pub fn new(graph: &'g AsGraph) -> Self {
+        RoutingEngine { graph }
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &'g AsGraph {
+        self.graph
+    }
+
+    /// Computes the routing equilibrium for `spec`.
+    ///
+    /// Always computes the clean (no-attack) equilibrium; if `spec` carries
+    /// an attacker that has a route to the victim, additionally computes the
+    /// attacked equilibrium.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim (or configured attacker) is not in the graph, or
+    /// if attacker == victim.
+    #[must_use]
+    pub fn compute(&self, spec: &DestinationSpec) -> RoutingOutcome<'g> {
+        let v_idx = self
+            .graph
+            .index_of(spec.victim)
+            .unwrap_or_else(|| panic!("victim AS{} not in graph", spec.victim));
+        if let Some(att) = &spec.attacker {
+            assert_ne!(att.asn, spec.victim, "attacker and victim must differ");
+            assert!(
+                self.graph.contains(att.asn),
+                "attacker AS{} not in graph",
+                att.asn
+            );
+        }
+
+        let clean = self.propagate(spec, v_idx, None);
+
+        let attacked = spec.attacker.as_ref().and_then(|att| {
+            let m_idx = self.graph.index_of(att.asn).expect("checked above");
+            let m_route = clean[m_idx]?;
+            let (base_len, chain) = match att.strategy {
+                AttackStrategy::StripPadding { keep } => {
+                    // Reconstruct M's received path to find the strippable
+                    // padding; claimed path = M's real route, shortened.
+                    let m_path =
+                        reconstruct_received(self.graph, spec, &clean, None, m_idx)?;
+                    let padding = m_path.origin_padding();
+                    let removed = padding.saturating_sub(keep);
+                    (m_route.len - removed as u32, chain_of(&clean, m_idx))
+                }
+                AttackStrategy::StripAllPadding => {
+                    let m_path =
+                        reconstruct_received(self.graph, spec, &clean, None, m_idx)?;
+                    (m_path.unique_len() as u32, chain_of(&clean, m_idx))
+                }
+                // Claimed path [M V]: length 1 before M's own prepend. The
+                // interceptor must not displace its own forwarding route, so
+                // its clean chain still rejects the announcement ("M should
+                // carefully select whom to announce to", Section II-B).
+                AttackStrategy::ForgeDirect => (1, chain_of(&clean, m_idx)),
+                // Claimed path [M]: the attacker owns the prefix outright
+                // and does not care about a forwarding route.
+                AttackStrategy::OriginHijack => (0, vec![m_idx]),
+            };
+            Some(self.propagate(
+                spec,
+                v_idx,
+                Some(AttackSeed {
+                    m_idx,
+                    base_len,
+                    clean_class: match att.strategy {
+                        // An origin hijacker poses as the prefix owner.
+                        AttackStrategy::OriginHijack => RouteClass::Origin,
+                        _ => m_route.class,
+                    },
+                    mode: att.mode,
+                    pinned: m_route,
+                    chain,
+                }),
+            ))
+        });
+
+        RoutingOutcome {
+            spec: spec.clone(),
+            v_idx,
+            m_idx: spec
+                .attacker
+                .as_ref()
+                .and_then(|a| self.graph.index_of(a.asn)),
+            clean,
+            attacked,
+            graph: self.graph,
+        }
+    }
+
+    /// The label-correcting Dijkstra described in the module docs.
+    fn propagate(&self, spec: &DestinationSpec, v_idx: usize, attack: Option<AttackSeed>) -> Pass {
+        let n = self.graph.len();
+        let mut best: Pass = vec![None; n];
+        let mut heap: BinaryHeap<Reverse<Label>> = BinaryHeap::new();
+
+        best[v_idx] = Some(NodeRoute {
+            class: RouteClass::Origin,
+            len: 0,
+            parent: None,
+            via_attacker: false,
+        });
+
+        // Victim's exports.
+        self.export_from(spec, v_idx, RouteClass::Origin, 0, false, &mut heap, None);
+
+        // Attacker: pin its clean route and seed its modified exports.
+        if let Some(att) = &attack {
+            best[att.m_idx] = Some(att.pinned);
+            let m_asn = self.graph.asn_at(att.m_idx);
+            for &(x_idx, rel_of_x) in self.graph.neighbors_at(att.m_idx) {
+                if x_idx == v_idx {
+                    continue;
+                }
+                let allowed = match att.mode {
+                    ExportMode::ViolateValleyFree => true,
+                    ExportMode::Compliant => match rel_of_x {
+                        Relationship::Customer | Relationship::Sibling | Relationship::Peer => {
+                            true
+                        }
+                        Relationship::Provider => att.clean_class.may_export_to(rel_of_x),
+                    },
+                };
+                if !allowed {
+                    continue;
+                }
+                let class = class_at_receiver(att.clean_class, rel_of_x);
+                let x_asn = self.graph.asn_at(x_idx);
+                let len = att.base_len + 1 + spec.prepend.extra_for(m_asn, x_asn) as u32;
+                heap.push(Reverse(Label::new(
+                    spec.tie, class, len, true, att.m_idx, m_asn, x_idx,
+                )));
+            }
+        }
+
+        while let Some(Reverse(label)) = heap.pop() {
+            let node = label.node;
+            if best[node].is_some() {
+                continue;
+            }
+            if label.via_attacker {
+                if let Some(att) = &attack {
+                    if att.chain.contains(&node) {
+                        // Loop prevention: this AS is on the attacker's
+                        // claimed path and would reject the announcement.
+                        continue;
+                    }
+                }
+            }
+            best[node] = Some(NodeRoute {
+                class: label.class,
+                len: label.len,
+                parent: Some(label.parent),
+                via_attacker: label.via_attacker,
+            });
+            // The attacker never re-exports its (pinned) best route in the
+            // attacked pass; its exports were pre-seeded.
+            self.export_from(
+                spec,
+                node,
+                label.class,
+                label.len,
+                label.via_attacker,
+                &mut heap,
+                attack.as_ref().map(|a| a.m_idx),
+            );
+        }
+
+        best
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn export_from(
+        &self,
+        spec: &DestinationSpec,
+        node: usize,
+        class: RouteClass,
+        len: u32,
+        via_attacker: bool,
+        heap: &mut BinaryHeap<Reverse<Label>>,
+        pinned_attacker: Option<usize>,
+    ) {
+        if Some(node) == pinned_attacker {
+            return;
+        }
+        let node_asn = self.graph.asn_at(node);
+        for &(x_idx, rel_of_x) in self.graph.neighbors_at(node) {
+            if !class.may_export_to(rel_of_x) {
+                continue;
+            }
+            let receiver_class = class_at_receiver(class, rel_of_x);
+            let x_asn = self.graph.asn_at(x_idx);
+            let weight = 1 + spec.prepend.extra_for(node_asn, x_asn) as u32;
+            heap.push(Reverse(Label::new(
+                spec.tie,
+                receiver_class,
+                len + weight,
+                via_attacker,
+                node,
+                node_asn,
+                x_idx,
+            )));
+        }
+    }
+}
+
+/// The class a route acquires at the receiver when exported over a link
+/// where the receiver sees the exporter as `rel_of_receiver_from_exporter`
+/// reversed. Sibling links inherit the exporter's class (same
+/// administration), with `Origin` degrading to `FromCustomer`.
+fn class_at_receiver(exporter_class: RouteClass, rel_of_receiver: Relationship) -> RouteClass {
+    match rel_of_receiver {
+        Relationship::Sibling => match exporter_class {
+            RouteClass::Origin => RouteClass::FromCustomer,
+            other => other,
+        },
+        other => RouteClass::from_neighbor(other.reverse()),
+    }
+}
+
+struct AttackSeed {
+    m_idx: usize,
+    base_len: u32,
+    clean_class: RouteClass,
+    mode: ExportMode,
+    pinned: NodeRoute,
+    chain: Vec<usize>,
+}
+
+/// Heap label; ordered so that `BinaryHeap<Reverse<Label>>` pops the most
+/// preferred label first, with the tie-break encoded in `tie_key`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Label {
+    class: RouteClass,
+    len: u32,
+    tie_key: (u8, u32),
+    // Fields below do not participate in preference but keep Ord total.
+    parent_asn_order: u32,
+    node: usize,
+    parent: usize,
+    via_attacker: bool,
+}
+
+impl Label {
+    fn new(
+        tie: TieBreak,
+        class: RouteClass,
+        len: u32,
+        via_attacker: bool,
+        parent: usize,
+        parent_asn: Asn,
+        node: usize,
+    ) -> Self {
+        let tie_key = match tie {
+            TieBreak::LowestNeighborAsn => (0, parent_asn.value()),
+            TieBreak::PreferClean => (u8::from(via_attacker), parent_asn.value()),
+            TieBreak::PreferAttacker => (u8::from(!via_attacker), parent_asn.value()),
+        };
+        Label {
+            class,
+            len,
+            tie_key,
+            parent_asn_order: parent_asn.value(),
+            node,
+            parent,
+            via_attacker,
+        }
+    }
+}
+
+/// Walks the parent chain of `idx` (inclusive) back to the source.
+fn chain_of(pass: &Pass, idx: usize) -> Vec<usize> {
+    let mut chain = vec![idx];
+    let mut current = idx;
+    while let Some(route) = pass[current] {
+        match route.parent {
+            Some(p) => {
+                chain.push(p);
+                current = p;
+            }
+            None => break,
+        }
+    }
+    chain
+}
+
+/// Reconstructs the path stored in `idx`'s RIB (not including `idx` itself)
+/// for the given pass. `attack_base` supplies the attacker's stripped base
+/// path when reconstructing attacked routes.
+fn reconstruct_received(
+    graph: &AsGraph,
+    spec: &DestinationSpec,
+    pass: &Pass,
+    attack_base: Option<(usize, &AsPath)>,
+    idx: usize,
+) -> Option<AsPath> {
+    let route = pass[idx]?;
+    if route.parent.is_none() && attack_base.is_none_or(|(m, _)| idx != m) {
+        // Origin: its own RIB entry for its own prefix is the empty path.
+        return Some(AsPath::new());
+    }
+    // Collect the chain idx -> ... -> source, stopping at the attacker: its
+    // pinned parent chain belongs to the *clean* route, while everything it
+    // exported in the attacked pass carries the stripped base path instead.
+    let mut chain = vec![idx];
+    let mut current = idx;
+    loop {
+        if attack_base.is_some_and(|(m, _)| current == m) {
+            break;
+        }
+        match pass[current].and_then(|r| r.parent) {
+            Some(p) => {
+                chain.push(p);
+                current = p;
+            }
+            None => break,
+        }
+    }
+    let source = *chain.last().expect("chain includes idx");
+    let mut path = AsPath::new();
+    if let Some((m_idx, m_base)) = attack_base {
+        if source == m_idx {
+            path = m_base.clone();
+        }
+    }
+    // Build from the source outward: for each export step u -> w, prepend u
+    // (1 + extra(u, w)) times; the attacker prepends itself exactly once.
+    for pair in chain.windows(2).rev() {
+        let (w, u) = (pair[0], pair[1]);
+        let u_asn = graph.asn_at(u);
+        let w_asn = graph.asn_at(w);
+        let copies = if attack_base.is_some_and(|(m, _)| u == m) {
+            1
+        } else {
+            1 + spec.prepend.extra_for(u_asn, w_asn)
+        };
+        path.prepend_n(u_asn, copies);
+    }
+    Some(path)
+}
+
+/// The result of [`RoutingEngine::compute`]: the clean equilibrium and, when
+/// an attacker was configured and connected, the attacked equilibrium.
+#[derive(Clone, Debug)]
+pub struct RoutingOutcome<'g> {
+    spec: DestinationSpec,
+    v_idx: usize,
+    m_idx: Option<usize>,
+    clean: Pass,
+    attacked: Option<Pass>,
+    graph: &'g AsGraph,
+}
+
+impl RoutingOutcome<'_> {
+    /// The destination spec this outcome was computed for.
+    #[must_use]
+    pub fn spec(&self) -> &DestinationSpec {
+        &self.spec
+    }
+
+    /// The victim AS.
+    #[must_use]
+    pub fn victim(&self) -> Asn {
+        self.spec.victim()
+    }
+
+    /// The attacker AS, when an attack was simulated.
+    #[must_use]
+    pub fn attacker(&self) -> Option<Asn> {
+        self.attacked.as_ref()?;
+        self.m_idx.map(|i| self.graph.asn_at(i))
+    }
+
+    /// Returns `true` if the attacked equilibrium was computed.
+    #[must_use]
+    pub fn has_attack(&self) -> bool {
+        self.attacked.is_some()
+    }
+
+    fn pass(&self) -> &Pass {
+        self.attacked.as_ref().unwrap_or(&self.clean)
+    }
+
+    fn info_from(&self, pass: &Pass, asn: Asn) -> Option<RouteInfo> {
+        let idx = self.graph.index_of(asn)?;
+        let r = pass[idx]?;
+        Some(RouteInfo {
+            class: r.class,
+            effective_len: r.len,
+            next_hop: r.parent.map(|p| self.graph.asn_at(p)),
+            via_attacker: r.via_attacker,
+        })
+    }
+
+    /// `asn`'s best route in the final equilibrium (attacked if an attack
+    /// ran, clean otherwise).
+    #[must_use]
+    pub fn route(&self, asn: Asn) -> Option<RouteInfo> {
+        self.info_from(self.pass(), asn)
+    }
+
+    /// `asn`'s best route in the clean (pre-attack) equilibrium.
+    #[must_use]
+    pub fn clean_route(&self, asn: Asn) -> Option<RouteInfo> {
+        self.info_from(&self.clean, asn)
+    }
+
+    /// Returns `true` if `asn` adopted the attacker's modified route.
+    #[must_use]
+    pub fn is_polluted(&self, asn: Asn) -> bool {
+        self.route(asn).is_some_and(|r| r.via_attacker)
+    }
+
+    /// Number of ASes (excluding victim and attacker) in the evaluation.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        let mut n = self.graph.len() - 1; // minus victim
+        if self.m_idx.is_some() {
+            n -= 1;
+        }
+        n
+    }
+
+    /// Fraction of ASes (victim and attacker excluded) whose best route
+    /// traverses the attacker in the attacked equilibrium — the paper's
+    /// "% of paths traversing attacker, after hijack". Zero if no attack.
+    #[must_use]
+    pub fn polluted_fraction(&self) -> f64 {
+        let Some(attacked) = &self.attacked else {
+            return 0.0;
+        };
+        let polluted = attacked
+            .iter()
+            .enumerate()
+            .filter(|&(i, r)| {
+                Some(i) != self.m_idx
+                    && i != self.v_idx
+                    && r.is_some_and(|r| r.via_attacker)
+            })
+            .count();
+        polluted as f64 / self.population().max(1) as f64
+    }
+
+    /// Fraction of ASes (victim and attacker excluded) whose **clean** best
+    /// path already traverses the attacker — the paper's "before hijack"
+    /// baseline.
+    #[must_use]
+    pub fn baseline_fraction(&self) -> f64 {
+        let Some(m_idx) = self.m_idx else {
+            return 0.0;
+        };
+        let mut through = 0;
+        for i in 0..self.graph.len() {
+            if i == self.v_idx || i == m_idx || self.clean[i].is_none() {
+                continue;
+            }
+            if chain_of(&self.clean, i).contains(&m_idx) {
+                through += 1;
+            }
+        }
+        through as f64 / self.population().max(1) as f64
+    }
+
+    /// The number of ASes polluted in the attacked equilibrium.
+    #[must_use]
+    pub fn polluted_count(&self) -> usize {
+        let Some(attacked) = &self.attacked else {
+            return 0;
+        };
+        attacked
+            .iter()
+            .enumerate()
+            .filter(|&(i, r)| {
+                Some(i) != self.m_idx && i != self.v_idx && r.is_some_and(|r| r.via_attacker)
+            })
+            .count()
+    }
+
+    /// Hop distance from the attacker along the polluted route's propagation
+    /// tree; `Some(0)` for the attacker itself, `None` for unpolluted ASes.
+    /// Models update-propagation timing for the detection-latency metric.
+    #[must_use]
+    pub fn pollution_distance(&self, asn: Asn) -> Option<u32> {
+        let attacked = self.attacked.as_ref()?;
+        let m_idx = self.m_idx?;
+        let idx = self.graph.index_of(asn)?;
+        if idx == m_idx {
+            return Some(0);
+        }
+        if !attacked[idx].is_some_and(|r| r.via_attacker) {
+            return None;
+        }
+        let chain = chain_of(attacked, idx);
+        chain.iter().position(|&c| c == m_idx).map(|p| p as u32)
+    }
+
+    /// The attacker's claimed base path (without the attacker itself), when
+    /// an attack ran: `[ASn … AS1 V^keep]` for the ASPP strip, `[V]` for the
+    /// forged-adjacency baseline, and the empty path for the origin hijack
+    /// (the attacker claims to *be* the origin).
+    #[must_use]
+    pub fn attacker_base_path(&self) -> Option<AsPath> {
+        let m_idx = self.m_idx?;
+        self.attacked.as_ref()?;
+        match self
+            .spec
+            .attacker_model()
+            .map_or(AttackStrategy::default(), |a| a.attack_strategy())
+        {
+            AttackStrategy::StripPadding { keep } => {
+                let mut p =
+                    reconstruct_received(self.graph, &self.spec, &self.clean, None, m_idx)?;
+                p.strip_origin_padding(keep);
+                Some(p)
+            }
+            AttackStrategy::StripAllPadding => {
+                let mut p =
+                    reconstruct_received(self.graph, &self.spec, &self.clean, None, m_idx)?;
+                p.strip_all_padding();
+                Some(p)
+            }
+            AttackStrategy::ForgeDirect => {
+                Some(AsPath::origin_with_padding(self.spec.victim(), 1))
+            }
+            AttackStrategy::OriginHijack => Some(AsPath::new()),
+        }
+    }
+
+    /// The AS path `asn` would announce to a route collector in the final
+    /// equilibrium: its own ASN prepended once to its RIB path. This is what
+    /// the paper's monitors (RouteViews/RIPE peers) observe.
+    #[must_use]
+    pub fn observed_path(&self, asn: Asn) -> Option<AsPath> {
+        self.observed_in(self.attacked.is_some(), asn)
+    }
+
+    /// Like [`observed_path`](Self::observed_path) but for the clean
+    /// equilibrium — the monitors' view *before* the attack.
+    #[must_use]
+    pub fn clean_observed_path(&self, asn: Asn) -> Option<AsPath> {
+        self.observed_in(false, asn)
+    }
+
+    fn observed_in(&self, attacked: bool, asn: Asn) -> Option<AsPath> {
+        let idx = self.graph.index_of(asn)?;
+        let (pass, base) = if attacked {
+            let pass = self.attacked.as_ref()?;
+            let base = self.m_idx.zip(self.attacker_base_path());
+            (pass, base)
+        } else {
+            (&self.clean, None)
+        };
+        let received = reconstruct_received(
+            self.graph,
+            &self.spec,
+            pass,
+            base.as_ref().map(|(m, p)| (*m, p)),
+            idx,
+        )?;
+        Some(received.prepended(asn))
+    }
+
+    /// Returns `true` if `asn`'s announced path differs between the clean
+    /// and attacked equilibria — the observable event a route monitor can
+    /// react to. Always `false` without an attack.
+    #[must_use]
+    pub fn route_changed(&self, asn: Asn) -> bool {
+        self.attacked.is_some() && self.observed_path(asn) != self.clean_observed_path(asn)
+    }
+
+    /// Number of ASes whose announced path visibly changed under the attack.
+    #[must_use]
+    pub fn changed_count(&self) -> usize {
+        if self.attacked.is_none() {
+            return 0;
+        }
+        self.graph
+            .asns()
+            .filter(|&a| self.route_changed(a))
+            .count()
+    }
+
+    /// Iterates over every AS in the underlying topology.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.graph.asns()
+    }
+
+    /// Iterates over all polluted ASNs.
+    pub fn polluted_asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        let m_idx = self.m_idx;
+        let v_idx = self.v_idx;
+        self.attacked
+            .iter()
+            .flat_map(move |attacked| {
+                attacked.iter().enumerate().filter_map(move |(i, r)| {
+                    if Some(i) != m_idx && i != v_idx && r.is_some_and(|r| r.via_attacker) {
+                        Some(i)
+                    } else {
+                        None
+                    }
+                })
+            })
+            .map(|i| self.graph.asn_at(i))
+    }
+}
+
+/// Shared fixtures for this crate's tests (the Figure 1 topology).
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use aspp_topology::AsGraph;
+    use aspp_types::well_known;
+
+    /// The paper's Figure 1 topology, simplified:
+    ///
+    /// ```text
+    ///   7018(AT&T) -peer- 3356(Level3) -provider-> 32934(Facebook)
+    ///   7018 -peer- 4134(ChinaTel) -provider-> 9318(KoreaTel) -provider-> 32934
+    ///   2914(NTT) -peer- 7018, 2914 -peer- 4134, 2914 -peer- 3356
+    /// ```
+    pub(crate) fn facebook_graph() -> AsGraph {
+        use well_known::*;
+        let mut g = AsGraph::new();
+        g.add_peering(ATT, LEVEL3).unwrap();
+        g.add_peering(ATT, CHINA_TELECOM).unwrap();
+        g.add_peering(NTT, ATT).unwrap();
+        g.add_peering(NTT, CHINA_TELECOM).unwrap();
+        g.add_peering(NTT, LEVEL3).unwrap();
+        g.add_provider_customer(CHINA_TELECOM, KOREA_TELECOM).unwrap();
+        g.add_provider_customer(LEVEL3, FACEBOOK).unwrap();
+        g.add_provider_customer(KOREA_TELECOM, FACEBOOK).unwrap();
+        g.sort_neighbors();
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::tests_support::facebook_graph;
+    use aspp_topology::gen::InternetConfig;
+    use aspp_types::well_known;
+
+    #[test]
+    fn clean_routes_reach_everyone() {
+        use well_known::*;
+        let g = facebook_graph();
+        let engine = RoutingEngine::new(&g);
+        let outcome = engine.compute(&DestinationSpec::new(FACEBOOK).origin_padding(5));
+        for asn in g.asns() {
+            assert!(outcome.route(asn).is_some(), "AS{asn} has no route");
+        }
+        // AT&T reaches Facebook via Level3 (peer), with 5 origin copies:
+        // observed path "7018 3356 32934 x5" = 7 hops.
+        let att_path = outcome.observed_path(ATT).unwrap();
+        assert_eq!(att_path.to_string(), "7018 3356 32934 32934 32934 32934 32934");
+        assert_eq!(att_path.origin_padding(), 5);
+    }
+
+    #[test]
+    fn facebook_anomaly_reproduced() {
+        use well_known::*;
+        let g = facebook_graph();
+        let engine = RoutingEngine::new(&g);
+        // Korea Telecom strips Facebook's padding down to 3 copies.
+        let spec = DestinationSpec::new(FACEBOOK)
+            .origin_padding(5)
+            .attacker(AttackerModel::new(KOREA_TELECOM).keep(3));
+        let outcome = engine.compute(&spec);
+        assert!(outcome.has_attack());
+
+        // China Telecom is polluted: [4134 9318 32934 32934 32934].
+        let ct = outcome.observed_path(CHINA_TELECOM).unwrap();
+        assert_eq!(ct.to_string(), "4134 9318 32934 32934 32934");
+
+        // AT&T switches to the anomalous route via China:
+        // [7018 4134 9318 32934 32934 32934] — exactly the paper's Table.
+        let att = outcome.observed_path(ATT).unwrap();
+        assert_eq!(att.to_string(), "7018 4134 9318 32934 32934 32934");
+        assert!(outcome.is_polluted(ATT));
+
+        // NTT too: [2914 4134 9318 32934 32934 32934].
+        let ntt = outcome.observed_path(NTT).unwrap();
+        assert_eq!(ntt.to_string(), "2914 4134 9318 32934 32934 32934");
+    }
+
+    #[test]
+    fn valley_free_blocks_peer_reexport() {
+        // V - p1(provider), p1 -peer- p2, p2 -peer- p3. p3 must NOT learn a
+        // route (peer routes don't propagate to peers) unless via providers.
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        g.add_peering(Asn(10), Asn(20)).unwrap();
+        g.add_peering(Asn(20), Asn(30)).unwrap();
+        g.sort_neighbors();
+        let engine = RoutingEngine::new(&g);
+        let outcome = engine.compute(&DestinationSpec::new(Asn(1)));
+        assert!(outcome.route(Asn(10)).is_some());
+        assert!(outcome.route(Asn(20)).is_some());
+        assert_eq!(
+            outcome.route(Asn(30)),
+            None,
+            "peer-learned route must not flow to another peer"
+        );
+    }
+
+    #[test]
+    fn customer_route_preferred_over_shorter_peer_route() {
+        // X has a long customer path and a short peer path to V; policy wins.
+        let mut g = AsGraph::new();
+        let (v, x) = (Asn(1), Asn(100));
+        // Customer chain: x -> c1 -> c2 -> v (x provides c1, etc.)
+        g.add_provider_customer(x, Asn(11)).unwrap();
+        g.add_provider_customer(Asn(11), Asn(12)).unwrap();
+        g.add_provider_customer(Asn(12), v).unwrap();
+        // Short peer path: x -peer- p, p provides v.
+        g.add_peering(x, Asn(50)).unwrap();
+        g.add_provider_customer(Asn(50), v).unwrap();
+        g.sort_neighbors();
+        let outcome = RoutingEngine::new(&g).compute(&DestinationSpec::new(v));
+        let route = outcome.route(x).unwrap();
+        assert_eq!(route.class, RouteClass::FromCustomer);
+        assert_eq!(route.next_hop, Some(Asn(11)));
+        assert_eq!(route.effective_len, 3);
+    }
+
+    #[test]
+    fn prepending_diverts_route_selection() {
+        // V multi-homed to providers 10 and 20; X above both. Padding toward
+        // 10 pushes X's route through 20.
+        let mut g = AsGraph::new();
+        let (v, x) = (Asn(1), Asn(99));
+        g.add_provider_customer(Asn(10), v).unwrap();
+        g.add_provider_customer(Asn(20), v).unwrap();
+        g.add_provider_customer(x, Asn(10)).unwrap();
+        g.add_provider_customer(x, Asn(20)).unwrap();
+        g.sort_neighbors();
+        let engine = RoutingEngine::new(&g);
+
+        // No padding: tie broken by lowest neighbor ASN -> via 10.
+        let outcome = engine.compute(&DestinationSpec::new(v));
+        assert_eq!(outcome.route(x).unwrap().next_hop, Some(Asn(10)));
+
+        // Pad the announcement toward 10 only.
+        let mut config = PrependConfig::new();
+        config.set(v, PrependingPolicy::per_neighbor(0, [(Asn(10), 3)]));
+        let outcome = engine.compute(&DestinationSpec::new(v).prepend_config(config));
+        assert_eq!(outcome.route(x).unwrap().next_hop, Some(Asn(20)));
+        // And the observed path shows the padding on the loser side only.
+        assert_eq!(outcome.observed_path(x).unwrap().to_string(), "99 20 1");
+    }
+
+    #[test]
+    fn observed_len_matches_effective_len() {
+        let g = InternetConfig::small().seed(21).build();
+        let engine = RoutingEngine::new(&g);
+        let spec = DestinationSpec::new(Asn(20_005)).origin_padding(4);
+        let outcome = engine.compute(&spec);
+        for asn in g.asns() {
+            if asn == Asn(20_005) {
+                continue;
+            }
+            let info = outcome.route(asn).unwrap();
+            let path = outcome.observed_path(asn).unwrap();
+            assert_eq!(
+                path.len() as u32,
+                info.effective_len + 1,
+                "AS{asn}: observed {path} vs len {}",
+                info.effective_len
+            );
+            assert_eq!(path.origin(), Some(Asn(20_005)));
+            assert!(!path.has_loop(), "AS{asn} path {path} has a loop");
+        }
+    }
+
+    #[test]
+    fn paths_are_valley_free() {
+        let g = InternetConfig::small().seed(22).build();
+        let engine = RoutingEngine::new(&g);
+        let outcome = engine.compute(&DestinationSpec::new(Asn(20_000)).origin_padding(2));
+        for asn in g.asns() {
+            let Some(path) = outcome.observed_path(asn) else {
+                continue;
+            };
+            assert_valley_free(&g, &path);
+        }
+    }
+
+    /// Checks the Customer-Provider* Peer-Peer? Provider-Customer* shape in
+    /// travel order (origin first).
+    fn assert_valley_free(g: &AsGraph, path: &AsPath) {
+        let mut travel = path.collapsed();
+        travel.reverse();
+        // Phases: 0 = climbing (c2p), 1 = after peer, 2 = descending.
+        let mut phase = 0;
+        for w in travel.windows(2) {
+            let rel = g
+                .relationship(w[0], w[1])
+                .unwrap_or_else(|| panic!("no link {} {} in path {path}", w[0], w[1]));
+            match rel {
+                Relationship::Provider | Relationship::Sibling => {
+                    assert_eq!(phase, 0, "uphill after peak in {path}");
+                }
+                Relationship::Peer => {
+                    assert!(phase == 0, "second peer edge in {path}");
+                    phase = 1;
+                }
+                Relationship::Customer => {
+                    phase = 2;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attack_strips_padding_and_pollutes() {
+        use well_known::*;
+        let g = facebook_graph();
+        let engine = RoutingEngine::new(&g);
+        let spec = DestinationSpec::new(FACEBOOK)
+            .origin_padding(5)
+            .attacker(AttackerModel::new(KOREA_TELECOM));
+        let outcome = engine.compute(&spec);
+        let base = outcome.attacker_base_path().unwrap();
+        assert_eq!(base.to_string(), "32934", "stripped to a single origin copy");
+        assert!(outcome.polluted_fraction() > 0.0);
+        assert!(outcome.baseline_fraction() < outcome.polluted_fraction());
+        // The victim itself is never polluted.
+        assert!(!outcome.is_polluted(FACEBOOK));
+        // The attacker keeps its clean route.
+        assert!(!outcome.route(KOREA_TELECOM).unwrap().via_attacker);
+    }
+
+    #[test]
+    fn no_padding_means_nothing_to_strip() {
+        use well_known::*;
+        let g = facebook_graph();
+        let engine = RoutingEngine::new(&g);
+        let spec = DestinationSpec::new(FACEBOOK)
+            .origin_padding(1)
+            .attacker(AttackerModel::new(KOREA_TELECOM));
+        let outcome = engine.compute(&spec);
+        // The "modified" route is no shorter than the real one; pollution can
+        // only come from ties, and AT&T's real route via Level3 (peer, len 2)
+        // beats the attacker route (peer, len 3).
+        assert!(!outcome.is_polluted(ATT));
+    }
+
+    #[test]
+    fn compliant_attacker_cannot_export_provider_route_uphill() {
+        // V(1) and M(30) both customers of shared provider chains; M learns
+        // the route from its provider and must not re-export to its other
+        // provider when compliant — but may when violating.
+        let mut g = AsGraph::new();
+        let (v, m) = (Asn(1), Asn(30));
+        g.add_provider_customer(Asn(10), v).unwrap();
+        g.add_provider_customer(Asn(10), m).unwrap();
+        g.add_provider_customer(Asn(20), m).unwrap();
+        g.add_provider_customer(Asn(11), Asn(20)).unwrap(); // 20's provider 11
+        g.add_peering(Asn(11), Asn(10)).unwrap();
+        g.sort_neighbors();
+        let engine = RoutingEngine::new(&g);
+
+        let spec = DestinationSpec::new(v)
+            .origin_padding(4)
+            .attacker(AttackerModel::new(m));
+        let outcome = engine.compute(&spec);
+        assert!(
+            !outcome.is_polluted(Asn(20)),
+            "compliant attacker must not announce provider-learned route to provider 20"
+        );
+
+        let spec = DestinationSpec::new(v)
+            .origin_padding(4)
+            .attacker(AttackerModel::new(m).mode(ExportMode::ViolateValleyFree));
+        let outcome = engine.compute(&spec);
+        assert!(
+            outcome.is_polluted(Asn(20)),
+            "violating attacker reaches its provider"
+        );
+        // And it spreads: 20's provider 11 prefers the customer route via 20.
+        assert!(outcome.is_polluted(Asn(11)));
+    }
+
+    #[test]
+    fn chain_nodes_reject_looped_attack_routes() {
+        // Line: V(1) <- A(2) <- B(3) <- M(4), victim pads heavily. The
+        // stripped route through M claims [M B A V]; A and B must ignore it.
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(2), Asn(1)).unwrap();
+        g.add_provider_customer(Asn(3), Asn(2)).unwrap();
+        g.add_provider_customer(Asn(4), Asn(3)).unwrap();
+        g.sort_neighbors();
+        let spec = DestinationSpec::new(Asn(1))
+            .origin_padding(8)
+            .attacker(AttackerModel::new(Asn(4)));
+        let outcome = RoutingEngine::new(&g).compute(&spec);
+        assert!(!outcome.is_polluted(Asn(2)));
+        assert!(!outcome.is_polluted(Asn(3)));
+        assert_eq!(outcome.polluted_count(), 0);
+    }
+
+    #[test]
+    fn pollution_distance_counts_hops_from_attacker() {
+        use well_known::*;
+        let g = facebook_graph();
+        let spec = DestinationSpec::new(FACEBOOK)
+            .origin_padding(5)
+            .attacker(AttackerModel::new(KOREA_TELECOM));
+        let outcome = RoutingEngine::new(&g).compute(&spec);
+        assert_eq!(outcome.pollution_distance(KOREA_TELECOM), Some(0));
+        assert_eq!(outcome.pollution_distance(CHINA_TELECOM), Some(1));
+        assert_eq!(outcome.pollution_distance(ATT), Some(2));
+        assert_eq!(outcome.pollution_distance(FACEBOOK), None);
+    }
+
+    #[test]
+    fn more_padding_more_pollution() {
+        let g = InternetConfig::small().seed(23).build();
+        let engine = RoutingEngine::new(&g);
+        let victim = Asn(1_000);
+        let attacker = Asn(1_001);
+        let mut last = 0.0;
+        for padding in 1..=6 {
+            let spec = DestinationSpec::new(victim)
+                .origin_padding(padding)
+                .attacker(AttackerModel::new(attacker));
+            let outcome = engine.compute(&spec);
+            let f = outcome.polluted_fraction();
+            assert!(
+                f >= last - 1e-9,
+                "pollution should not decrease with padding: {f} < {last} at λ={padding}"
+            );
+            last = f;
+        }
+        assert!(last > 0.0, "some pollution with heavy padding");
+    }
+
+    #[test]
+    #[should_panic(expected = "victim AS999999 not in graph")]
+    fn unknown_victim_panics() {
+        let g = facebook_graph();
+        let _ = RoutingEngine::new(&g).compute(&DestinationSpec::new(Asn(999_999)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn attacker_equals_victim_panics() {
+        let g = facebook_graph();
+        let spec = DestinationSpec::new(well_known::FACEBOOK)
+            .attacker(AttackerModel::new(well_known::FACEBOOK));
+        let _ = RoutingEngine::new(&g).compute(&spec);
+    }
+
+    #[test]
+    fn disconnected_attacker_yields_clean_outcome() {
+        let mut g = facebook_graph();
+        g.add_as(Asn(77_777)); // isolated AS
+        let spec = DestinationSpec::new(well_known::FACEBOOK)
+            .origin_padding(4)
+            .attacker(AttackerModel::new(Asn(77_777)));
+        let outcome = RoutingEngine::new(&g).compute(&spec);
+        assert!(!outcome.has_attack());
+        assert_eq!(outcome.polluted_fraction(), 0.0);
+        assert_eq!(outcome.attacker(), None);
+    }
+
+    #[test]
+    fn forge_direct_baseline_claims_adjacency() {
+        use well_known::*;
+        let g = facebook_graph();
+        let spec = DestinationSpec::new(FACEBOOK)
+            .origin_padding(5)
+            .attacker(AttackerModel::new(ATT).strategy(AttackStrategy::ForgeDirect));
+        let outcome = RoutingEngine::new(&g).compute(&spec);
+        assert_eq!(outcome.attacker_base_path().unwrap().to_string(), "32934");
+        // NTT adopts the forged 2-hop route over its legit 7-hop one.
+        assert!(outcome.is_polluted(NTT));
+        let ntt = outcome.observed_path(NTT).unwrap();
+        assert_eq!(ntt.to_string(), "2914 7018 32934");
+        // The claimed adjacency 7018-32934 does not exist in the topology.
+        assert_eq!(g.relationship(ATT, FACEBOOK), None);
+    }
+
+    #[test]
+    fn origin_hijack_baseline_steals_the_prefix() {
+        use well_known::*;
+        let g = facebook_graph();
+        let spec = DestinationSpec::new(FACEBOOK)
+            .origin_padding(5)
+            .attacker(AttackerModel::new(CHINA_TELECOM).strategy(AttackStrategy::OriginHijack));
+        let outcome = RoutingEngine::new(&g).compute(&spec);
+        assert!(outcome.attacker_base_path().unwrap().is_empty());
+        // Polluted ASes now see CHINA_TELECOM as the origin: a MOAS conflict.
+        let mut saw_moas = false;
+        for asn in g.asns() {
+            let path = outcome.observed_path(asn).unwrap();
+            if outcome.is_polluted(asn) {
+                assert_eq!(path.origin(), Some(CHINA_TELECOM), "blackholed: {path}");
+                saw_moas = true;
+            } else if asn != CHINA_TELECOM {
+                assert_eq!(path.origin(), Some(FACEBOOK));
+            }
+        }
+        assert!(saw_moas, "a 1-hop bogus origin must displace 7-hop routes");
+    }
+
+    #[test]
+    fn strip_all_padding_collapses_intermediary_runs() {
+        // Intermediary padder P between V and M: the generalized strip
+        // shortens more than the origin-only strip.
+        let mut g = AsGraph::new();
+        let (v, p, m, x) = (Asn(1), Asn(10), Asn(20), Asn(30));
+        g.add_provider_customer(p, v).unwrap();
+        g.add_provider_customer(m, p).unwrap();
+        g.add_provider_customer(x, m).unwrap();
+        // An alternative clean route for x so there is competition.
+        g.add_provider_customer(Asn(40), v).unwrap();
+        g.add_provider_customer(x, Asn(40)).unwrap();
+        g.sort_neighbors();
+
+        let mut config = PrependConfig::new();
+        config.set(v, PrependingPolicy::Uniform(2)); // λ = 3
+        config.set(p, PrependingPolicy::Uniform(3)); // intermediary ×4
+
+        let engine = RoutingEngine::new(&g);
+        let origin_only = engine.compute(
+            &DestinationSpec::new(v)
+                .prepend_config(config.clone())
+                .attacker(AttackerModel::new(m)),
+        );
+        let all = engine.compute(
+            &DestinationSpec::new(v)
+                .prepend_config(config)
+                .attacker(AttackerModel::new(m).strategy(AttackStrategy::StripAllPadding)),
+        );
+        let base_origin = origin_only.attacker_base_path().unwrap();
+        let base_all = all.attacker_base_path().unwrap();
+        assert_eq!(base_origin.to_string(), "10 10 10 10 1");
+        assert_eq!(base_all.to_string(), "10 1");
+        assert!(base_all.len() < base_origin.len());
+        assert!(all.polluted_fraction() >= origin_only.polluted_fraction());
+    }
+
+    #[test]
+    fn aspp_strategy_keeps_real_links_and_origin() {
+        use well_known::*;
+        let g = facebook_graph();
+        let spec = DestinationSpec::new(FACEBOOK)
+            .origin_padding(5)
+            .attacker(AttackerModel::new(KOREA_TELECOM));
+        let outcome = RoutingEngine::new(&g).compute(&spec);
+        for asn in g.asns() {
+            let path = outcome.observed_path(asn).unwrap();
+            // Origin unchanged everywhere…
+            assert_eq!(path.origin(), Some(FACEBOOK));
+            // …and every collapsed adjacency is a real link.
+            for w in path.collapsed().windows(2) {
+                assert!(
+                    g.relationship(w[0], w[1]).is_some(),
+                    "bogus link {} {} in {path}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_links_propagate_routes() {
+        // V's provider P has a sibling S; S must reach V through the sibling
+        // link with customer-class preference.
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        g.add_sibling(Asn(10), Asn(11)).unwrap();
+        g.add_provider_customer(Asn(11), Asn(2)).unwrap(); // S has a customer 2
+        g.sort_neighbors();
+        let outcome = RoutingEngine::new(&g).compute(&DestinationSpec::new(Asn(1)));
+        let s = outcome.route(Asn(11)).unwrap();
+        assert_eq!(s.class, RouteClass::FromCustomer);
+        // And S re-exports to its own customer.
+        assert!(outcome.route(Asn(2)).is_some());
+    }
+}

@@ -1,0 +1,213 @@
+//! Route churn: link failures and the BGP updates they trigger.
+//!
+//! The paper's Figure 5/6 measurements distinguish routing-*table* views
+//! from *update* streams and find that updates expose more prepending:
+//! "in the unstable states, these routes are more likely to be visible in
+//! the route monitoring system". This module produces exactly that
+//! instability — fail a link on the current best tree, recompute the
+//! equilibrium, and report every AS whose announced route changed.
+
+use aspp_topology::AsGraph;
+use aspp_types::{AsPath, Asn};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::engine::{DestinationSpec, RoutingEngine};
+
+/// One AS's route change caused by a churn event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteUpdate {
+    /// The AS whose announced route changed.
+    pub asn: Asn,
+    /// The previously announced path (`None` if the AS had no route).
+    pub old_path: Option<AsPath>,
+    /// The new announced path (`None` on withdrawal).
+    pub new_path: Option<AsPath>,
+}
+
+impl RouteUpdate {
+    /// Returns `true` if the update withdraws the route entirely.
+    #[must_use]
+    pub fn is_withdrawal(&self) -> bool {
+        self.new_path.is_none()
+    }
+}
+
+/// Computes the updates triggered by failing the link `a — b` while routing
+/// toward `spec`'s destination: every AS whose observed path differs between
+/// the intact and the degraded topology.
+///
+/// The input graph is not modified; the failed topology is a clone.
+///
+/// # Example
+///
+/// ```
+/// use aspp_routing::{events::updates_after_failure, DestinationSpec};
+/// use aspp_topology::AsGraph;
+/// use aspp_types::Asn;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = AsGraph::new();
+/// g.add_provider_customer(Asn(10), Asn(1))?;
+/// g.add_provider_customer(Asn(20), Asn(1))?;
+/// g.add_provider_customer(Asn(30), Asn(10))?;
+/// g.add_provider_customer(Asn(30), Asn(20))?;
+/// let spec = DestinationSpec::new(Asn(1));
+/// let updates = updates_after_failure(&g, &spec, Asn(10), Asn(1));
+/// // AS10 loses its direct route; AS30 fails over via AS20.
+/// assert!(updates.iter().any(|u| u.asn == Asn(30)));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn updates_after_failure(
+    graph: &AsGraph,
+    spec: &DestinationSpec,
+    a: Asn,
+    b: Asn,
+) -> Vec<RouteUpdate> {
+    let engine = RoutingEngine::new(graph);
+    let before = engine.compute(spec);
+    let mut degraded = graph.clone();
+    degraded.remove_link(a, b);
+    let degraded_engine = RoutingEngine::new(&degraded);
+    let after = degraded_engine.compute(spec);
+
+    let mut updates = Vec::new();
+    for asn in graph.asns() {
+        if asn == spec.victim() {
+            continue;
+        }
+        let old_path = before.observed_path(asn);
+        let new_path = after.observed_path(asn);
+        if old_path != new_path {
+            updates.push(RouteUpdate {
+                asn,
+                old_path,
+                new_path,
+            });
+        }
+    }
+    updates
+}
+
+/// Picks a random link on the destination's current best-route tree — the
+/// kind of failure that actually produces visible churn. Returns `None` if
+/// the destination has no incident routed link.
+#[must_use]
+pub fn random_tree_link<R: Rng>(
+    graph: &AsGraph,
+    spec: &DestinationSpec,
+    rng: &mut R,
+) -> Option<(Asn, Asn)> {
+    let engine = RoutingEngine::new(graph);
+    let outcome = engine.compute(spec);
+    let mut tree_links: Vec<(Asn, Asn)> = Vec::new();
+    for asn in graph.asns() {
+        if let Some(info) = outcome.route(asn) {
+            if let Some(hop) = info.next_hop {
+                tree_links.push((asn, hop));
+            }
+        }
+    }
+    tree_links.choose(rng).copied()
+}
+
+/// Runs `rounds` independent failure rounds (each on the intact topology)
+/// and returns all updates, flattened. Deterministic for a given RNG state.
+#[must_use]
+pub fn churn_rounds<R: Rng>(
+    graph: &AsGraph,
+    spec: &DestinationSpec,
+    rounds: usize,
+    rng: &mut R,
+) -> Vec<RouteUpdate> {
+    let mut all = Vec::new();
+    for _ in 0..rounds {
+        if let Some((a, b)) = random_tree_link(graph, spec, rng) {
+            all.extend(updates_after_failure(graph, spec, a, b));
+        }
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepend::{PrependConfig, PrependingPolicy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Victim 1 multi-homed to 10 (primary) and 20 (padded backup);
+    /// AS30 above both.
+    fn multihomed() -> (AsGraph, DestinationSpec) {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        g.add_provider_customer(Asn(20), Asn(1)).unwrap();
+        g.add_provider_customer(Asn(30), Asn(10)).unwrap();
+        g.add_provider_customer(Asn(30), Asn(20)).unwrap();
+        g.sort_neighbors();
+        let mut config = PrependConfig::new();
+        // Backup provisioning: heavy padding toward 20.
+        config.set(Asn(1), PrependingPolicy::per_neighbor(0, [(Asn(20), 4)]));
+        let spec = DestinationSpec::new(Asn(1)).prepend_config(config);
+        (g, spec)
+    }
+
+    #[test]
+    fn failover_reveals_padded_backup() {
+        let (g, spec) = multihomed();
+        let updates = updates_after_failure(&g, &spec, Asn(10), Asn(1));
+        let u30 = updates.iter().find(|u| u.asn == Asn(30)).expect("AS30 updates");
+        let new = u30.new_path.as_ref().unwrap();
+        // The backup path carries the padding: 30 20 1 1 1 1 1.
+        assert_eq!(new.to_string(), "30 20 1 1 1 1 1");
+        assert!(new.has_prepending());
+        let old = u30.old_path.as_ref().unwrap();
+        assert!(!old.has_prepending(), "primary path was clean: {old}");
+    }
+
+    #[test]
+    fn cutting_the_only_link_withdraws() {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        let spec = DestinationSpec::new(Asn(1));
+        let updates = updates_after_failure(&g, &spec, Asn(10), Asn(1));
+        assert_eq!(updates.len(), 1);
+        assert!(updates[0].is_withdrawal());
+        assert_eq!(updates[0].asn, Asn(10));
+    }
+
+    #[test]
+    fn unrelated_link_failure_is_silent() {
+        let (mut g, spec) = multihomed();
+        g.add_peering(Asn(40), Asn(41)).unwrap();
+        let updates = updates_after_failure(&g, &spec, Asn(40), Asn(41));
+        assert!(updates.is_empty());
+    }
+
+    #[test]
+    fn random_tree_link_is_on_a_best_path() {
+        let (g, spec) = multihomed();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (a, b) = random_tree_link(&g, &spec, &mut rng).unwrap();
+        assert!(g.relationship(a, b).is_some());
+        // Failing it must produce at least one update (it carried traffic).
+        let updates = updates_after_failure(&g, &spec, a, b);
+        assert!(!updates.is_empty());
+    }
+
+    #[test]
+    fn churn_rounds_accumulate_updates() {
+        let (g, spec) = multihomed();
+        let mut rng = StdRng::seed_from_u64(9);
+        let updates = churn_rounds(&g, &spec, 5, &mut rng);
+        assert!(!updates.is_empty());
+        // Updates in churn show the padded backup more often than tables do:
+        let padded = updates
+            .iter()
+            .filter(|u| u.new_path.as_ref().is_some_and(AsPath::has_prepending))
+            .count();
+        assert!(padded > 0, "churn should surface padded backup routes");
+    }
+}

@@ -1,0 +1,204 @@
+//! Per-AS routing tables with longest-prefix-match lookup.
+
+use std::collections::BTreeMap;
+
+use aspp_types::{AsPath, Ipv4Prefix};
+
+/// A BGP routing table: best path per prefix, with longest-prefix-match
+/// lookup. This is the structure behind the MRT-like monitor dumps in the
+/// corpus crate and the per-monitor views consumed by the detector.
+///
+/// # Example
+///
+/// ```
+/// use aspp_routing::RouteTable;
+/// use aspp_types::{AsPath, Ipv4Prefix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut table = RouteTable::new();
+/// table.insert("10.0.0.0/8".parse()?, "1 2".parse()?);
+/// table.insert("10.1.0.0/16".parse()?, "1 3".parse()?);
+///
+/// // Longest match wins.
+/// let path = table.lookup_addr(0x0a01_0101).unwrap(); // 10.1.1.1
+/// assert_eq!(path.to_string(), "1 3");
+/// let path = table.lookup_addr(0x0a02_0101).unwrap(); // 10.2.1.1
+/// assert_eq!(path.to_string(), "1 2");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouteTable {
+    entries: BTreeMap<Ipv4Prefix, AsPath>,
+}
+
+impl RouteTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        RouteTable::default()
+    }
+
+    /// Number of prefixes in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Installs (or replaces) the best path for `prefix`, returning the
+    /// previous path if one existed.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, path: AsPath) -> Option<AsPath> {
+        self.entries.insert(prefix, path)
+    }
+
+    /// Removes the entry for `prefix`.
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<AsPath> {
+        self.entries.remove(prefix)
+    }
+
+    /// The exact-match path for `prefix`, if present.
+    #[must_use]
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&AsPath> {
+        self.entries.get(prefix)
+    }
+
+    /// Longest-prefix-match lookup for a host address.
+    #[must_use]
+    pub fn lookup_addr(&self, addr: u32) -> Option<&AsPath> {
+        for len in (0..=32u8).rev() {
+            let key = Ipv4Prefix::containing(addr, len);
+            if let Some(path) = self.entries.get(&key) {
+                return Some(path);
+            }
+        }
+        None
+    }
+
+    /// The most specific table entry covering `prefix` (including an exact
+    /// match).
+    #[must_use]
+    pub fn lookup_prefix(&self, prefix: &Ipv4Prefix) -> Option<(Ipv4Prefix, &AsPath)> {
+        for len in (0..=prefix.len()).rev() {
+            let key = Ipv4Prefix::containing(prefix.addr(), len);
+            if let Some(path) = self.entries.get(&key) {
+                return Some((key, path));
+            }
+        }
+        None
+    }
+
+    /// Iterates over `(prefix, path)` entries in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, &AsPath)> {
+        self.entries.iter().map(|(&p, path)| (p, path))
+    }
+
+    /// Fraction of entries whose path shows prepending — the per-monitor
+    /// quantity behind the paper's Figure 5.
+    #[must_use]
+    pub fn prepending_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let padded = self
+            .entries
+            .values()
+            .filter(|p| p.has_prepending())
+            .count();
+        padded as f64 / self.entries.len() as f64
+    }
+}
+
+impl FromIterator<(Ipv4Prefix, AsPath)> for RouteTable {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, AsPath)>>(iter: I) -> Self {
+        RouteTable {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(Ipv4Prefix, AsPath)> for RouteTable {
+    fn extend<I: IntoIterator<Item = (Ipv4Prefix, AsPath)>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(entries: &[(&str, &str)]) -> RouteTable {
+        entries
+            .iter()
+            .map(|(p, path)| (p.parse().unwrap(), path.parse().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn empty_table_lookups() {
+        let t = RouteTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup_addr(0x0a000001), None);
+        assert_eq!(t.prepending_fraction(), 0.0);
+    }
+
+    #[test]
+    fn insert_replace_remove() {
+        let mut t = RouteTable::new();
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(t.insert(p, "1".parse().unwrap()), None);
+        let old = t.insert(p, "2 1".parse().unwrap()).unwrap();
+        assert_eq!(old.to_string(), "1");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(&p).unwrap().to_string(), "2 1");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn longest_prefix_match() {
+        let t = table(&[
+            ("0.0.0.0/0", "9"),
+            ("10.0.0.0/8", "1 2"),
+            ("10.1.0.0/16", "1 3"),
+            ("10.1.2.0/24", "1 4"),
+        ]);
+        assert_eq!(t.lookup_addr(0x0a010203).unwrap().to_string(), "1 4"); // 10.1.2.3
+        assert_eq!(t.lookup_addr(0x0a010303).unwrap().to_string(), "1 3"); // 10.1.3.3
+        assert_eq!(t.lookup_addr(0x0a020303).unwrap().to_string(), "1 2"); // 10.2.3.3
+        assert_eq!(t.lookup_addr(0x0b000001).unwrap().to_string(), "9"); // 11.0.0.1
+    }
+
+    #[test]
+    fn lookup_prefix_finds_covering_entry() {
+        let t = table(&[("10.0.0.0/8", "1 2")]);
+        let q: Ipv4Prefix = "10.5.0.0/16".parse().unwrap();
+        let (covering, path) = t.lookup_prefix(&q).unwrap();
+        assert_eq!(covering.to_string(), "10.0.0.0/8");
+        assert_eq!(path.to_string(), "1 2");
+        let miss: Ipv4Prefix = "11.0.0.0/8".parse().unwrap();
+        assert!(t.lookup_prefix(&miss).is_none());
+    }
+
+    #[test]
+    fn prepending_fraction_counts_padded_paths() {
+        let t = table(&[
+            ("10.0.0.0/8", "1 2 2 2"),
+            ("11.0.0.0/8", "1 2"),
+            ("12.0.0.0/8", "3 3 4"),
+            ("13.0.0.0/8", "5"),
+        ]);
+        assert!((t.prepending_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_in_prefix_order() {
+        let t = table(&[("11.0.0.0/8", "1"), ("10.0.0.0/8", "2")]);
+        let prefixes: Vec<String> = t.iter().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(prefixes, vec!["10.0.0.0/8", "11.0.0.0/8"]);
+    }
+}

@@ -1,0 +1,490 @@
+//! Synthetic hierarchical Internet generator.
+//!
+//! The paper simulates attacks "on the real Internet topology" inferred from
+//! RouteViews/RIPE tables. Those archives are not available offline, so this
+//! module generates a structurally equivalent stand-in: a provider-free
+//! tier-1 clique, multi-homed tier-2/tier-3 transit layers, a large stub
+//! fringe, and a handful of *richly-peered content ASes* that reproduce the
+//! paper's Figure 11 observation that "a small but well-connected enterprise
+//! ISP can even intercept a Tier-1 ISP's traffic".
+//!
+//! Generation is fully deterministic given a seed, so experiments and benches
+//! are reproducible.
+
+use aspp_types::Asn;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::AsGraph;
+
+/// ASN block in which generated tier-1 ASes live (`100`, `101`, …).
+pub const TIER1_BASE: u32 = 100;
+/// ASN block for tier-2 transit ASes.
+pub const TIER2_BASE: u32 = 1_000;
+/// ASN block for tier-3 regional ASes.
+pub const TIER3_BASE: u32 = 10_000;
+/// ASN block for stub (edge) ASes.
+pub const STUB_BASE: u32 = 20_000;
+/// ASN block for richly-peered content ASes.
+pub const CONTENT_BASE: u32 = 90_000;
+
+/// Configuration for the synthetic Internet generator.
+///
+/// Use one of the presets ([`small`](InternetConfig::small),
+/// [`medium`](InternetConfig::medium), [`large`](InternetConfig::large)) and
+/// refine with the builder methods.
+///
+/// # Example
+///
+/// ```
+/// use aspp_topology::gen::InternetConfig;
+/// use aspp_topology::tier::TierMap;
+///
+/// let graph = InternetConfig::small().seed(42).build();
+/// let tiers = TierMap::classify(&graph);
+/// // The core is a genuine clique, per the paper's tier-1 definition.
+/// assert!(tiers.verify_tier1_clique(&graph).is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct InternetConfig {
+    num_tier1: usize,
+    num_tier2: usize,
+    num_tier3: usize,
+    num_stubs: usize,
+    num_content: usize,
+    tier2_provider_range: (usize, usize),
+    tier3_provider_range: (usize, usize),
+    stub_provider_range: (usize, usize),
+    tier2_peer_prob: f64,
+    tier2_tier1_peer_prob: f64,
+    tier3_peer_prob: f64,
+    content_peer_fraction: f64,
+    seed: u64,
+}
+
+impl InternetConfig {
+    /// ~150-AS Internet: quick tests and doc examples.
+    #[must_use]
+    pub fn small() -> Self {
+        InternetConfig {
+            num_tier1: 6,
+            num_tier2: 20,
+            num_tier3: 40,
+            num_stubs: 80,
+            num_content: 3,
+            tier2_provider_range: (2, 3),
+            tier3_provider_range: (1, 3),
+            stub_provider_range: (1, 2),
+            tier2_peer_prob: 0.20,
+            tier2_tier1_peer_prob: 0.25,
+            tier3_peer_prob: 0.05,
+            content_peer_fraction: 0.5,
+            seed: 0,
+        }
+    }
+
+    /// ~1500-AS Internet: the scale used for the paper-figure experiments.
+    #[must_use]
+    pub fn medium() -> Self {
+        InternetConfig {
+            num_tier1: 12,
+            num_tier2: 120,
+            num_tier3: 400,
+            num_stubs: 950,
+            num_content: 8,
+            tier2_provider_range: (2, 4),
+            tier3_provider_range: (1, 3),
+            stub_provider_range: (1, 2),
+            tier2_peer_prob: 0.08,
+            tier2_tier1_peer_prob: 0.15,
+            tier3_peer_prob: 0.01,
+            content_peer_fraction: 0.4,
+            seed: 0,
+        }
+    }
+
+    /// ~5000-AS Internet: stress benchmarks.
+    #[must_use]
+    pub fn large() -> Self {
+        InternetConfig {
+            num_tier1: 14,
+            num_tier2: 300,
+            num_tier3: 1_200,
+            num_stubs: 3_450,
+            num_content: 16,
+            tier2_provider_range: (2, 4),
+            tier3_provider_range: (1, 3),
+            stub_provider_range: (1, 2),
+            tier2_peer_prob: 0.04,
+            tier2_tier1_peer_prob: 0.1,
+            tier3_peer_prob: 0.004,
+            content_peer_fraction: 0.3,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed (default 0). Identical configs and seeds produce
+    /// identical graphs.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of tier-1 core ASes (minimum 2).
+    #[must_use]
+    pub fn tier1_count(mut self, n: usize) -> Self {
+        self.num_tier1 = n.max(2);
+        self
+    }
+
+    /// Sets the number of tier-2 transit ASes.
+    #[must_use]
+    pub fn tier2_count(mut self, n: usize) -> Self {
+        self.num_tier2 = n;
+        self
+    }
+
+    /// Sets the number of tier-3 regional ASes.
+    #[must_use]
+    pub fn tier3_count(mut self, n: usize) -> Self {
+        self.num_tier3 = n;
+        self
+    }
+
+    /// Sets the number of stub ASes.
+    #[must_use]
+    pub fn stub_count(mut self, n: usize) -> Self {
+        self.num_stubs = n;
+        self
+    }
+
+    /// Sets the number of richly-peered content ASes.
+    #[must_use]
+    pub fn content_count(mut self, n: usize) -> Self {
+        self.num_content = n;
+        self
+    }
+
+    /// Sets the probability that any two tier-2 ASes peer.
+    #[must_use]
+    pub fn tier2_peer_prob(mut self, p: f64) -> Self {
+        self.tier2_peer_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the probability that a tier-2 AS peers with any given tier-1 —
+    /// the dense top-layer peering that lets routes compete peer-vs-peer by
+    /// length, as on the real Internet.
+    #[must_use]
+    pub fn tier2_tier1_peer_prob(mut self, p: f64) -> Self {
+        self.tier2_tier1_peer_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the fraction of transit ASes each content AS peers with.
+    #[must_use]
+    pub fn content_peer_fraction(mut self, p: f64) -> Self {
+        self.content_peer_fraction = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Total number of ASes this configuration will generate.
+    #[must_use]
+    pub fn total_ases(&self) -> usize {
+        self.num_tier1 + self.num_tier2 + self.num_tier3 + self.num_stubs + self.num_content
+    }
+
+    /// Generates the topology.
+    ///
+    /// The result always satisfies: (1) tier-1 ASes form a full peering
+    /// clique and have no providers; (2) every non-tier-1 AS has at least one
+    /// provider, so the graph is connected through the core; (3) adjacency
+    /// lists are sorted by ASN for deterministic iteration.
+    #[must_use]
+    pub fn build(&self) -> AsGraph {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut graph = AsGraph::with_capacity(self.total_ases());
+
+        let tier1: Vec<Asn> = (0..self.num_tier1)
+            .map(|i| Asn(TIER1_BASE + i as u32))
+            .collect();
+        let tier2: Vec<Asn> = (0..self.num_tier2)
+            .map(|i| Asn(TIER2_BASE + i as u32))
+            .collect();
+        let tier3: Vec<Asn> = (0..self.num_tier3)
+            .map(|i| Asn(TIER3_BASE + i as u32))
+            .collect();
+        let stubs: Vec<Asn> = (0..self.num_stubs)
+            .map(|i| Asn(STUB_BASE + i as u32))
+            .collect();
+        let content: Vec<Asn> = (0..self.num_content)
+            .map(|i| Asn(CONTENT_BASE + i as u32))
+            .collect();
+
+        // 1. Tier-1 full peering clique.
+        for (i, &a) in tier1.iter().enumerate() {
+            graph.add_as(a);
+            for &b in &tier1[i + 1..] {
+                graph.add_peering(a, b).expect("fresh clique edge");
+            }
+        }
+
+        // 2. Tier-2: multi-homed to tier-1, sparse mutual peering, and some
+        //    settlement-free peering up into the tier-1 layer.
+        for &asn in &tier2 {
+            self.attach_providers(&mut graph, &mut rng, asn, &tier1, self.tier2_provider_range);
+        }
+        self.sprinkle_peering(&mut graph, &mut rng, &tier2, self.tier2_peer_prob);
+        if self.tier2_tier1_peer_prob > 0.0 {
+            for &t2 in &tier2 {
+                for &t1 in &tier1 {
+                    if rng.gen_bool(self.tier2_tier1_peer_prob) {
+                        // Skip pairs already linked as provider/customer.
+                        let _ = graph.add_peering(t2, t1);
+                    }
+                }
+            }
+        }
+
+        // 3. Tier-3: multi-homed to tier-2, very sparse peering.
+        for &asn in &tier3 {
+            self.attach_providers(&mut graph, &mut rng, asn, &tier2, self.tier3_provider_range);
+        }
+        self.sprinkle_peering(&mut graph, &mut rng, &tier3, self.tier3_peer_prob);
+
+        // 4. Stubs: providers drawn from tier-2 ∪ tier-3.
+        let transit: Vec<Asn> = tier2.iter().chain(tier3.iter()).copied().collect();
+        for &asn in &stubs {
+            self.attach_providers(&mut graph, &mut rng, asn, &transit, self.stub_provider_range);
+        }
+
+        // 5. Content ASes: one or two transit providers plus rich peering
+        //    across every layer, tier-1 included — the "well-connected
+        //    enterprise" of the paper's Figure 11.
+        for &asn in &content {
+            self.attach_providers(&mut graph, &mut rng, asn, &tier2, (1, 2));
+            let mut candidates: Vec<Asn> =
+                tier1.iter().chain(transit.iter()).copied().collect();
+            let peer_count = ((candidates.len() as f64) * self.content_peer_fraction) as usize;
+            candidates.shuffle(&mut rng);
+            for &peer in candidates.iter().take(peer_count) {
+                // Skip pairs already linked as provider/customer.
+                let _ = graph.add_peering(asn, peer);
+            }
+        }
+
+        graph.sort_neighbors();
+        graph
+    }
+
+    /// Attaches `customer` to providers sampled from `pool` with
+    /// preferential attachment (probability proportional to current degree),
+    /// which produces the heavy-tailed customer-cone distribution of the
+    /// real Internet: a few transit ASes become huge, most stay small.
+    fn attach_providers(
+        &self,
+        graph: &mut AsGraph,
+        rng: &mut StdRng,
+        customer: Asn,
+        pool: &[Asn],
+        (lo, hi): (usize, usize),
+    ) {
+        graph.add_as(customer);
+        let want = rng.gen_range(lo..=hi).min(pool.len());
+        let mut chosen: Vec<Asn> = Vec::with_capacity(want);
+        while chosen.len() < want {
+            let total: usize = pool
+                .iter()
+                .filter(|p| !chosen.contains(p))
+                .map(|&p| graph.degree(p) + 1)
+                .sum();
+            if total == 0 {
+                break;
+            }
+            let mut ticket = rng.gen_range(0..total);
+            let pick = pool
+                .iter()
+                .filter(|p| !chosen.contains(p))
+                .find(|&&p| {
+                    let w = graph.degree(p) + 1;
+                    if ticket < w {
+                        true
+                    } else {
+                        ticket -= w;
+                        false
+                    }
+                })
+                .copied()
+                .expect("ticket is within total weight");
+            chosen.push(pick);
+        }
+        for provider in chosen {
+            graph
+                .add_provider_customer(provider, customer)
+                .expect("provider pool is disjoint from customer block");
+        }
+    }
+
+    fn sprinkle_peering(&self, graph: &mut AsGraph, rng: &mut StdRng, pool: &[Asn], prob: f64) {
+        if prob <= 0.0 {
+            return;
+        }
+        for (i, &a) in pool.iter().enumerate() {
+            for &b in &pool[i + 1..] {
+                if rng.gen_bool(prob) {
+                    let _ = graph.add_peering(a, b);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::TierMap;
+    use aspp_types::Relationship;
+
+    #[test]
+    fn small_preset_shape() {
+        let cfg = InternetConfig::small().seed(1);
+        let g = cfg.build();
+        assert_eq!(g.len(), cfg.total_ases());
+        let tiers = TierMap::classify(&g);
+        assert_eq!(tiers.tier1().count(), 6);
+        assert!(tiers.verify_tier1_clique(&g).is_ok());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = InternetConfig::small().seed(99).build();
+        let b = InternetConfig::small().seed(99).build();
+        let la: Vec<_> = a.links().collect();
+        let lb: Vec<_> = b.links().collect();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = InternetConfig::small().seed(1).build();
+        let b = InternetConfig::small().seed(2).build();
+        let la: Vec<_> = a.links().collect();
+        let lb: Vec<_> = b.links().collect();
+        assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn every_non_tier1_as_has_a_provider() {
+        let g = InternetConfig::small().seed(3).build();
+        for asn in g.asns() {
+            let is_tier1 = (TIER1_BASE..TIER1_BASE + 100).contains(&asn.value());
+            if !is_tier1 {
+                assert!(
+                    g.providers(asn).next().is_some(),
+                    "AS{asn} should have a provider"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_ases_reachable_from_core() {
+        let g = InternetConfig::small().seed(4).build();
+        let tiers = TierMap::classify(&g);
+        for asn in g.asns() {
+            assert_ne!(
+                tiers.tier_of(asn),
+                Some(TierMap::UNREACHABLE),
+                "AS{asn} unreachable from tier-1 core"
+            );
+        }
+    }
+
+    #[test]
+    fn content_ases_are_richly_peered() {
+        let g = InternetConfig::small().seed(5).build();
+        let content = Asn(CONTENT_BASE);
+        let peer_count = g.peers(content).count();
+        let stub_peer_avg = (0..20)
+            .map(|i| g.peers(Asn(STUB_BASE + i)).count())
+            .sum::<usize>() as f64
+            / 20.0;
+        assert!(
+            peer_count as f64 > stub_peer_avg + 5.0,
+            "content AS should peer far more than stubs ({peer_count} vs avg {stub_peer_avg})"
+        );
+    }
+
+    #[test]
+    fn stubs_have_no_customers() {
+        let g = InternetConfig::small().seed(6).build();
+        for i in 0..80 {
+            let stub = Asn(STUB_BASE + i);
+            assert_eq!(g.customers(stub).count(), 0, "stub AS{stub} has customers");
+        }
+    }
+
+    #[test]
+    fn medium_preset_scales() {
+        let cfg = InternetConfig::medium().seed(7);
+        let g = cfg.build();
+        assert_eq!(g.len(), cfg.total_ases());
+        assert!(g.len() >= 1400);
+        let tiers = TierMap::classify(&g);
+        assert!(tiers.verify_tier1_clique(&g).is_ok());
+        assert!(tiers.max_tier() >= 3);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let g = InternetConfig::small()
+            .tier1_count(4)
+            .tier2_count(5)
+            .tier3_count(5)
+            .stub_count(10)
+            .content_count(0)
+            .seed(8)
+            .build();
+        assert_eq!(g.len(), 24);
+        let tiers = TierMap::classify(&g);
+        assert_eq!(tiers.tier1().count(), 4);
+    }
+
+    #[test]
+    fn tier1_count_clamped_to_two() {
+        let g = InternetConfig::small()
+            .tier1_count(0)
+            .tier2_count(2)
+            .tier3_count(0)
+            .stub_count(0)
+            .content_count(0)
+            .build();
+        let tiers = TierMap::classify(&g);
+        assert_eq!(tiers.tier1().count(), 2);
+    }
+
+    #[test]
+    fn no_duplicate_links() {
+        let g = InternetConfig::small().seed(10).build();
+        let mut pairs: Vec<(Asn, Asn)> = g
+            .links()
+            .map(|(a, b, _)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        let before = pairs.len();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs.len(), before);
+    }
+
+    #[test]
+    fn relationships_well_formed() {
+        let g = InternetConfig::small().seed(11).build();
+        for (a, b, rel) in g.links() {
+            assert_eq!(g.relationship(a, b), Some(rel));
+            assert_eq!(g.relationship(b, a), Some(rel.reverse()));
+            assert_ne!(rel, Relationship::Sibling, "generator emits no siblings");
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! The annotated AS-level graph.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use aspp_types::{Asn, Relationship};
+
+/// An AS-level topology: an undirected graph whose edges are annotated with
+/// business relationships (customer-provider, peer-peer, sibling).
+///
+/// Nodes are addressed either by [`Asn`] (public API) or by dense `usize`
+/// indices (hot paths in the routing engine). Indices are assigned in
+/// insertion order and are stable for the life of the graph.
+///
+/// # Example
+///
+/// ```
+/// use aspp_topology::AsGraph;
+/// use aspp_types::{Asn, Relationship};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = AsGraph::new();
+/// g.add_provider_customer(Asn(3356), Asn(32934))?; // Level3 provides Facebook
+/// g.add_peering(Asn(3356), Asn(7018))?;            // Level3 peers with AT&T
+///
+/// assert_eq!(g.relationship(Asn(3356), Asn(32934)), Some(Relationship::Customer));
+/// assert_eq!(g.relationship(Asn(32934), Asn(3356)), Some(Relationship::Provider));
+/// assert_eq!(g.degree(Asn(3356)), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AsGraph {
+    index: HashMap<Asn, usize>,
+    nodes: Vec<Node>,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    asn: Asn,
+    /// `(neighbor index, relationship of that neighbor as seen from here)`.
+    neighbors: Vec<(usize, Relationship)>,
+}
+
+/// Errors produced while mutating an [`AsGraph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// Attempted to link an AS to itself.
+    SelfLoop(Asn),
+    /// The two ASes are already linked (possibly with another relationship).
+    DuplicateLink(Asn, Asn),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop(asn) => write!(f, "self-loop on AS{asn} rejected"),
+            GraphError::DuplicateLink(a, b) => {
+                write!(f, "link between AS{a} and AS{b} already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl AsGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        AsGraph::default()
+    }
+
+    /// Creates an empty graph with room for `n` ASes.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        AsGraph {
+            index: HashMap::with_capacity(n),
+            nodes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of ASes in the graph.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the graph has no ASes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total number of links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.neighbors.len()).sum::<usize>() / 2
+    }
+
+    /// Inserts `asn` as an isolated node if absent; returns its index.
+    pub fn add_as(&mut self, asn: Asn) -> usize {
+        if let Some(&idx) = self.index.get(&asn) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            asn,
+            neighbors: Vec::new(),
+        });
+        self.index.insert(asn, idx);
+        idx
+    }
+
+    /// Returns `true` if `asn` is present.
+    #[must_use]
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.index.contains_key(&asn)
+    }
+
+    /// Dense index of `asn`, if present.
+    #[must_use]
+    pub fn index_of(&self, asn: Asn) -> Option<usize> {
+        self.index.get(&asn).copied()
+    }
+
+    /// The ASN stored at dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[must_use]
+    pub fn asn_at(&self, idx: usize) -> Asn {
+        self.nodes[idx].asn
+    }
+
+    /// Iterates over all ASNs in insertion order.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.nodes.iter().map(|n| n.asn)
+    }
+
+    /// Adds a link where `b` is related to `a` as `rel_of_b`.
+    ///
+    /// For example `add_link(a, b, Relationship::Customer)` records that `b`
+    /// is `a`'s customer (equivalently, `a` is `b`'s provider). Both ASes are
+    /// inserted if absent.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] if `a == b`;
+    /// [`GraphError::DuplicateLink`] if the pair is already linked.
+    pub fn add_link(&mut self, a: Asn, b: Asn, rel_of_b: Relationship) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        let ia = self.add_as(a);
+        let ib = self.add_as(b);
+        if self.nodes[ia].neighbors.iter().any(|&(n, _)| n == ib) {
+            return Err(GraphError::DuplicateLink(a, b));
+        }
+        self.nodes[ia].neighbors.push((ib, rel_of_b));
+        self.nodes[ib].neighbors.push((ia, rel_of_b.reverse()));
+        Ok(())
+    }
+
+    /// Records that `provider` sells transit to `customer`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_link`](Self::add_link).
+    pub fn add_provider_customer(
+        &mut self,
+        provider: Asn,
+        customer: Asn,
+    ) -> Result<(), GraphError> {
+        self.add_link(provider, customer, Relationship::Customer)
+    }
+
+    /// Records a settlement-free peering between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_link`](Self::add_link).
+    pub fn add_peering(&mut self, a: Asn, b: Asn) -> Result<(), GraphError> {
+        self.add_link(a, b, Relationship::Peer)
+    }
+
+    /// Records a sibling link between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_link`](Self::add_link).
+    pub fn add_sibling(&mut self, a: Asn, b: Asn) -> Result<(), GraphError> {
+        self.add_link(a, b, Relationship::Sibling)
+    }
+
+    /// Removes the link between `a` and `b`, returning the relationship of
+    /// `b` as seen from `a` if the link existed. Nodes stay in the graph, so
+    /// dense indices remain valid — this is the primitive behind link-failure
+    /// churn simulation.
+    pub fn remove_link(&mut self, a: Asn, b: Asn) -> Option<Relationship> {
+        let ia = self.index_of(a)?;
+        let ib = self.index_of(b)?;
+        let pos_a = self.nodes[ia].neighbors.iter().position(|&(n, _)| n == ib)?;
+        let (_, rel) = self.nodes[ia].neighbors.remove(pos_a);
+        let pos_b = self.nodes[ib]
+            .neighbors
+            .iter()
+            .position(|&(n, _)| n == ia)
+            .expect("links are stored symmetrically");
+        self.nodes[ib].neighbors.remove(pos_b);
+        Some(rel)
+    }
+
+    /// The relationship of `b` as seen from `a`, or `None` if not adjacent
+    /// (or either AS is absent).
+    #[must_use]
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        let ia = self.index_of(a)?;
+        let ib = self.index_of(b)?;
+        self.nodes[ia]
+            .neighbors
+            .iter()
+            .find(|&&(n, _)| n == ib)
+            .map(|&(_, rel)| rel)
+    }
+
+    /// Degree (number of links) of `asn`; zero if absent.
+    #[must_use]
+    pub fn degree(&self, asn: Asn) -> usize {
+        self.index_of(asn)
+            .map_or(0, |i| self.nodes[i].neighbors.len())
+    }
+
+    /// Degree by dense index.
+    #[must_use]
+    pub fn degree_at(&self, idx: usize) -> usize {
+        self.nodes[idx].neighbors.len()
+    }
+
+    /// Iterates over `asn`'s neighbors with their relationships.
+    ///
+    /// Returns an empty iterator if `asn` is absent.
+    #[must_use]
+    pub fn neighbors(&self, asn: Asn) -> NeighborIter<'_> {
+        let slice = self
+            .index_of(asn)
+            .map_or(&[][..], |i| self.nodes[i].neighbors.as_slice());
+        NeighborIter {
+            graph: self,
+            inner: slice.iter(),
+        }
+    }
+
+    /// Raw neighbor list by dense index: `(neighbor index, relationship)`.
+    #[must_use]
+    pub fn neighbors_at(&self, idx: usize) -> &[(usize, Relationship)] {
+        &self.nodes[idx].neighbors
+    }
+
+    /// Iterates over the ASNs of `asn`'s neighbors with relationship `rel`.
+    pub fn neighbors_with(
+        &self,
+        asn: Asn,
+        rel: Relationship,
+    ) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors(asn)
+            .filter(move |&(_, r)| r == rel)
+            .map(|(n, _)| n)
+    }
+
+    /// `asn`'s customers.
+    pub fn customers(&self, asn: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(asn, Relationship::Customer)
+    }
+
+    /// `asn`'s peers.
+    pub fn peers(&self, asn: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(asn, Relationship::Peer)
+    }
+
+    /// `asn`'s providers.
+    pub fn providers(&self, asn: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(asn, Relationship::Provider)
+    }
+
+    /// Iterates over every link once as `(a, b, relationship_of_b_from_a)`,
+    /// with `index_of(a) < index_of(b)`.
+    pub fn links(&self) -> impl Iterator<Item = (Asn, Asn, Relationship)> + '_ {
+        self.nodes.iter().enumerate().flat_map(move |(ia, node)| {
+            node.neighbors
+                .iter()
+                .filter(move |&&(ib, _)| ia < ib)
+                .map(move |&(ib, rel)| (node.asn, self.nodes[ib].asn, rel))
+        })
+    }
+
+    /// Sorts every adjacency list by neighbor ASN, making iteration order
+    /// independent of insertion order. Engines call this once after
+    /// construction for deterministic behaviour.
+    pub fn sort_neighbors(&mut self) {
+        // Collect ASNs first to appease the borrow checker.
+        let asn_of: Vec<Asn> = self.nodes.iter().map(|n| n.asn).collect();
+        for node in &mut self.nodes {
+            node.neighbors.sort_by_key(|&(idx, _)| asn_of[idx]);
+        }
+    }
+
+    /// Returns the ASes sorted by descending degree (ties by ascending ASN) —
+    /// the ranking the paper uses to pick detection monitors (Section VI-C).
+    #[must_use]
+    pub fn asns_by_degree(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self.asns().collect();
+        v.sort_by(|&a, &b| {
+            self.degree(b)
+                .cmp(&self.degree(a))
+                .then_with(|| a.cmp(&b))
+        });
+        v
+    }
+}
+
+/// Iterator over a node's neighbors as `(Asn, Relationship)` pairs.
+///
+/// Produced by [`AsGraph::neighbors`].
+#[derive(Clone, Debug)]
+pub struct NeighborIter<'a> {
+    graph: &'a AsGraph,
+    inner: core::slice::Iter<'a, (usize, Relationship)>,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = (Asn, Relationship);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner
+            .next()
+            .map(|&(idx, rel)| (self.graph.nodes[idx].asn, rel))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(1), Asn(2)).unwrap();
+        g.add_provider_customer(Asn(1), Asn(3)).unwrap();
+        g.add_peering(Asn(2), Asn(3)).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = AsGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert_eq!(g.link_count(), 0);
+        assert_eq!(g.degree(Asn(1)), 0);
+        assert_eq!(g.neighbors(Asn(1)).count(), 0);
+        assert_eq!(g.relationship(Asn(1), Asn(2)), None);
+    }
+
+    #[test]
+    fn link_relationships_are_symmetric() {
+        let g = triangle();
+        assert_eq!(g.relationship(Asn(1), Asn(2)), Some(Relationship::Customer));
+        assert_eq!(g.relationship(Asn(2), Asn(1)), Some(Relationship::Provider));
+        assert_eq!(g.relationship(Asn(2), Asn(3)), Some(Relationship::Peer));
+        assert_eq!(g.relationship(Asn(3), Asn(2)), Some(Relationship::Peer));
+    }
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut g = triangle();
+        assert_eq!(
+            g.add_peering(Asn(5), Asn(5)).unwrap_err(),
+            GraphError::SelfLoop(Asn(5))
+        );
+        assert_eq!(
+            g.add_provider_customer(Asn(2), Asn(1)).unwrap_err(),
+            GraphError::DuplicateLink(Asn(2), Asn(1))
+        );
+        // Error display is meaningful.
+        assert!(GraphError::SelfLoop(Asn(5)).to_string().contains("AS5"));
+    }
+
+    #[test]
+    fn degree_and_counts() {
+        let g = triangle();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.link_count(), 3);
+        assert_eq!(g.degree(Asn(1)), 2);
+        assert_eq!(g.degree(Asn(2)), 2);
+    }
+
+    #[test]
+    fn relationship_filtered_iterators() {
+        let g = triangle();
+        let customers: Vec<Asn> = g.customers(Asn(1)).collect();
+        assert_eq!(customers, vec![Asn(2), Asn(3)]);
+        let providers: Vec<Asn> = g.providers(Asn(3)).collect();
+        assert_eq!(providers, vec![Asn(1)]);
+        let peers: Vec<Asn> = g.peers(Asn(2)).collect();
+        assert_eq!(peers, vec![Asn(3)]);
+    }
+
+    #[test]
+    fn links_iterate_once_each() {
+        let g = triangle();
+        let links: Vec<_> = g.links().collect();
+        assert_eq!(links.len(), 3);
+        // Each unordered pair appears exactly once.
+        let mut pairs: Vec<(Asn, Asn)> = links
+            .iter()
+            .map(|&(a, b, _)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn sibling_links() {
+        let mut g = AsGraph::new();
+        g.add_sibling(Asn(10), Asn(11)).unwrap();
+        assert_eq!(g.relationship(Asn(10), Asn(11)), Some(Relationship::Sibling));
+        assert_eq!(g.relationship(Asn(11), Asn(10)), Some(Relationship::Sibling));
+    }
+
+    #[test]
+    fn degree_ranking() {
+        let mut g = triangle();
+        g.add_provider_customer(Asn(1), Asn(4)).unwrap();
+        let ranked = g.asns_by_degree();
+        assert_eq!(ranked[0], Asn(1)); // degree 3
+        // Ties (2 and 3, both degree 2) break by ascending ASN.
+        assert_eq!(&ranked[1..3], &[Asn(2), Asn(3)]);
+        assert_eq!(ranked[3], Asn(4));
+    }
+
+    #[test]
+    fn sort_neighbors_orders_by_asn() {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(1), Asn(30)).unwrap();
+        g.add_provider_customer(Asn(1), Asn(20)).unwrap();
+        g.add_provider_customer(Asn(1), Asn(10)).unwrap();
+        g.sort_neighbors();
+        let order: Vec<Asn> = g.neighbors(Asn(1)).map(|(a, _)| a).collect();
+        assert_eq!(order, vec![Asn(10), Asn(20), Asn(30)]);
+    }
+
+    #[test]
+    fn dense_index_round_trip() {
+        let g = triangle();
+        for asn in g.asns() {
+            let idx = g.index_of(asn).unwrap();
+            assert_eq!(g.asn_at(idx), asn);
+        }
+        assert_eq!(g.index_of(Asn(99)), None);
+    }
+
+    #[test]
+    fn remove_link_works_both_directions() {
+        let mut g = triangle();
+        assert_eq!(g.remove_link(Asn(2), Asn(1)), Some(Relationship::Provider));
+        assert_eq!(g.relationship(Asn(1), Asn(2)), None);
+        assert_eq!(g.relationship(Asn(2), Asn(1)), None);
+        assert_eq!(g.link_count(), 2);
+        // Removing again is a no-op returning None.
+        assert_eq!(g.remove_link(Asn(1), Asn(2)), None);
+        // Nodes and indices survive.
+        assert!(g.contains(Asn(1)) && g.contains(Asn(2)));
+    }
+
+    #[test]
+    fn add_as_is_idempotent() {
+        let mut g = AsGraph::new();
+        let a = g.add_as(Asn(7));
+        let b = g.add_as(Asn(7));
+        assert_eq!(a, b);
+        assert_eq!(g.len(), 1);
+    }
+}

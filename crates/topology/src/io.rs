@@ -1,0 +1,245 @@
+//! Reading and writing AS topologies in the CAIDA serial-2 relationship
+//! format.
+//!
+//! The paper's topology comes from relationship inference over RouteViews
+//! data, cross-checked against CAIDA's published graphs. CAIDA distributes
+//! those as line-oriented text:
+//!
+//! ```text
+//! # comments start with '#'
+//! <provider-as>|<customer-as>|-1
+//! <peer-as>|<peer-as>|0
+//! <sibling-as>|<sibling-as>|2      (extension used by some datasets)
+//! ```
+//!
+//! With this module a user can run every experiment in this workspace on a
+//! real CAIDA `as-rel` snapshot instead of the synthetic generator.
+
+use std::fmt;
+
+use aspp_types::{Asn, Relationship};
+
+use crate::{AsGraph, GraphError};
+
+/// Error from [`from_caida`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTopologyError {
+    line_no: usize,
+    message: String,
+}
+
+impl ParseTopologyError {
+    fn new(line_no: usize, message: impl Into<String>) -> Self {
+        ParseTopologyError {
+            line_no,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending record.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line_no
+    }
+}
+
+impl fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "topology parse error at line {}: {}",
+            self.line_no, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseTopologyError {}
+
+/// Parses a CAIDA serial-2 style relationship file.
+///
+/// Duplicate links are tolerated when they agree and rejected when they
+/// conflict; self-loops are always rejected.
+///
+/// # Errors
+///
+/// Returns [`ParseTopologyError`] with the line number for malformed
+/// records, unknown relationship codes, self-loops, and conflicting
+/// duplicates.
+///
+/// # Example
+///
+/// ```
+/// use aspp_topology::io::from_caida;
+/// use aspp_types::{Asn, Relationship};
+///
+/// let text = "# as-rel\n3356|32934|-1\n7018|3356|0\n";
+/// let graph = from_caida(text).unwrap();
+/// assert_eq!(graph.relationship(Asn(3356), Asn(32934)), Some(Relationship::Customer));
+/// assert_eq!(graph.relationship(Asn(7018), Asn(3356)), Some(Relationship::Peer));
+/// ```
+pub fn from_caida(text: &str) -> Result<AsGraph, ParseTopologyError> {
+    let mut graph = AsGraph::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        if fields.len() < 3 {
+            return Err(ParseTopologyError::new(line_no, "need as1|as2|rel"));
+        }
+        let a: Asn = fields[0]
+            .parse()
+            .map_err(|e| ParseTopologyError::new(line_no, format!("{e}")))?;
+        let b: Asn = fields[1]
+            .parse()
+            .map_err(|e| ParseTopologyError::new(line_no, format!("{e}")))?;
+        let rel = match fields[2] {
+            "-1" => Relationship::Customer, // a is provider of b
+            "0" => Relationship::Peer,
+            "2" => Relationship::Sibling,
+            other => {
+                return Err(ParseTopologyError::new(
+                    line_no,
+                    format!("unknown relationship code {other:?}"),
+                ))
+            }
+        };
+        match graph.add_link(a, b, rel) {
+            Ok(()) => {}
+            Err(GraphError::DuplicateLink(..)) => {
+                // Tolerate exact duplicates; reject conflicts.
+                if graph.relationship(a, b) != Some(rel) {
+                    return Err(ParseTopologyError::new(
+                        line_no,
+                        format!("conflicting duplicate link {a}|{b}"),
+                    ));
+                }
+            }
+            Err(GraphError::SelfLoop(asn)) => {
+                return Err(ParseTopologyError::new(
+                    line_no,
+                    format!("self-loop on AS{asn}"),
+                ))
+            }
+        }
+    }
+    graph.sort_neighbors();
+    Ok(graph)
+}
+
+/// Serializes a graph to the CAIDA serial-2 format (provider first on `-1`
+/// lines), with links in deterministic order.
+///
+/// # Example
+///
+/// ```
+/// use aspp_topology::io::{from_caida, to_caida};
+/// use aspp_topology::gen::InternetConfig;
+///
+/// let graph = InternetConfig::small().seed(1).build();
+/// let text = to_caida(&graph);
+/// let reparsed = from_caida(&text).unwrap();
+/// assert_eq!(reparsed.len(), graph.len());
+/// assert_eq!(reparsed.link_count(), graph.link_count());
+/// ```
+#[must_use]
+pub fn to_caida(graph: &AsGraph) -> String {
+    let mut lines: Vec<String> = Vec::with_capacity(graph.link_count());
+    for (a, b, rel) in graph.links() {
+        let line = match rel {
+            Relationship::Customer => format!("{a}|{b}|-1"),
+            Relationship::Provider => format!("{b}|{a}|-1"),
+            Relationship::Peer => {
+                let (x, y) = if a <= b { (a, b) } else { (b, a) };
+                format!("{x}|{y}|0")
+            }
+            Relationship::Sibling => {
+                let (x, y) = if a <= b { (a, b) } else { (b, a) };
+                format!("{x}|{y}|2")
+            }
+        };
+        lines.push(line);
+    }
+    lines.sort();
+    let mut out = String::from("# aspp topology, CAIDA serial-2 format\n");
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::InternetConfig;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_preserves_every_link() {
+        let graph = InternetConfig::small().seed(5).build();
+        let reparsed = from_caida(&to_caida(&graph)).unwrap();
+        assert_eq!(reparsed.len(), graph.len());
+        for (a, b, rel) in graph.links() {
+            assert_eq!(reparsed.relationship(a, b), Some(rel), "{a}|{b}");
+        }
+    }
+
+    #[test]
+    fn parses_all_relationship_codes() {
+        let g = from_caida("1|2|-1\n2|3|0\n3|4|2\n").unwrap();
+        assert_eq!(g.relationship(Asn(1), Asn(2)), Some(Relationship::Customer));
+        assert_eq!(g.relationship(Asn(2), Asn(1)), Some(Relationship::Provider));
+        assert_eq!(g.relationship(Asn(2), Asn(3)), Some(Relationship::Peer));
+        assert_eq!(g.relationship(Asn(3), Asn(4)), Some(Relationship::Sibling));
+    }
+
+    #[test]
+    fn tolerates_agreeing_duplicates() {
+        let g = from_caida("1|2|-1\n1|2|-1\n").unwrap();
+        assert_eq!(g.link_count(), 1);
+    }
+
+    #[test]
+    fn rejects_conflicting_duplicates() {
+        let err = from_caida("1|2|-1\n1|2|0\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("conflicting"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (text, line) in [
+            ("1|2", 1),
+            ("x|2|-1", 1),
+            ("1|y|-1", 1),
+            ("1|2|7", 1),
+            ("1|1|0", 1),
+            ("# ok\n\n1|2|-1\nbroken", 4),
+        ] {
+            let err = from_caida(text).unwrap_err();
+            assert_eq!(err.line(), line, "for {text:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_comment_only_files_parse() {
+        assert!(from_caida("").unwrap().is_empty());
+        assert!(from_caida("# nothing here\n\n").unwrap().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(seed in any::<u64>()) {
+            let graph = InternetConfig::small()
+                .tier2_count(6).tier3_count(6).stub_count(10).seed(seed).build();
+            let reparsed = from_caida(&to_caida(&graph)).unwrap();
+            prop_assert_eq!(reparsed.link_count(), graph.link_count());
+            for (a, b, rel) in graph.links() {
+                prop_assert_eq!(reparsed.relationship(a, b), Some(rel));
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Topology analytics: degree statistics and relationship mix.
+
+use std::collections::BTreeMap;
+
+use aspp_types::Relationship;
+
+use crate::AsGraph;
+
+/// Summary statistics over an AS graph.
+///
+/// # Example
+///
+/// ```
+/// use aspp_topology::{gen::InternetConfig, metrics::GraphStats};
+///
+/// let g = InternetConfig::small().seed(1).build();
+/// let stats = GraphStats::compute(&g);
+/// assert_eq!(stats.as_count, g.len());
+/// assert!(stats.avg_degree > 1.0);
+/// assert!(stats.peering_links + stats.provider_links + stats.sibling_links == stats.link_count);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of ASes.
+    pub as_count: usize,
+    /// Number of links.
+    pub link_count: usize,
+    /// Provider-customer links.
+    pub provider_links: usize,
+    /// Peer-peer links.
+    pub peering_links: usize,
+    /// Sibling links.
+    pub sibling_links: usize,
+    /// Mean degree.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    #[must_use]
+    pub fn compute(graph: &AsGraph) -> Self {
+        let mut provider_links = 0;
+        let mut peering_links = 0;
+        let mut sibling_links = 0;
+        for (_, _, rel) in graph.links() {
+            match rel {
+                Relationship::Customer | Relationship::Provider => provider_links += 1,
+                Relationship::Peer => peering_links += 1,
+                Relationship::Sibling => sibling_links += 1,
+            }
+        }
+        let link_count = graph.link_count();
+        let as_count = graph.len();
+        let max_degree = graph.asns().map(|a| graph.degree(a)).max().unwrap_or(0);
+        GraphStats {
+            as_count,
+            link_count,
+            provider_links,
+            peering_links,
+            sibling_links,
+            avg_degree: if as_count == 0 {
+                0.0
+            } else {
+                2.0 * link_count as f64 / as_count as f64
+            },
+            max_degree,
+        }
+    }
+}
+
+/// Histogram of node degrees: `degree -> number of ASes with that degree`.
+///
+/// ```
+/// use aspp_topology::{AsGraph, metrics::degree_distribution};
+/// use aspp_types::Asn;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = AsGraph::new();
+/// g.add_peering(Asn(1), Asn(2))?;
+/// g.add_provider_customer(Asn(1), Asn(3))?;
+/// let hist = degree_distribution(&g);
+/// assert_eq!(hist[&1], 2); // ASes 2 and 3
+/// assert_eq!(hist[&2], 1); // AS 1
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn degree_distribution(graph: &AsGraph) -> BTreeMap<usize, usize> {
+    let mut hist = BTreeMap::new();
+    for asn in graph.asns() {
+        *hist.entry(graph.degree(asn)).or_insert(0) += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::InternetConfig;
+    use aspp_types::Asn;
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let stats = GraphStats::compute(&AsGraph::new());
+        assert_eq!(stats.as_count, 0);
+        assert_eq!(stats.avg_degree, 0.0);
+        assert_eq!(stats.max_degree, 0);
+    }
+
+    #[test]
+    fn stats_count_link_kinds() {
+        let mut g = AsGraph::new();
+        g.add_peering(Asn(1), Asn(2)).unwrap();
+        g.add_provider_customer(Asn(1), Asn(3)).unwrap();
+        g.add_sibling(Asn(3), Asn(4)).unwrap();
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.provider_links, 1);
+        assert_eq!(stats.peering_links, 1);
+        assert_eq!(stats.sibling_links, 1);
+        assert_eq!(stats.link_count, 3);
+    }
+
+    #[test]
+    fn degree_distribution_sums_to_as_count() {
+        let g = InternetConfig::small().seed(2).build();
+        let hist = degree_distribution(&g);
+        let total: usize = hist.values().sum();
+        assert_eq!(total, g.len());
+    }
+
+    #[test]
+    fn generated_internet_has_heavy_tail() {
+        let g = InternetConfig::medium().seed(3).build();
+        let stats = GraphStats::compute(&g);
+        // Tier-1s concentrate degree: the max degree should far exceed the mean.
+        assert!(stats.max_degree as f64 > stats.avg_degree * 5.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Tier classification and customer-cone analytics.
+//!
+//! The paper's impact analysis distinguishes attacker/victim locations by
+//! tier: "a tier-1 AS is an AS with no providers and is peering with all
+//! other tier-1 ASes" (Section VI-B). Lower tiers are defined by provider
+//! distance from the core: a tier-k AS buys transit from some tier-(k-1) AS.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use aspp_types::Asn;
+
+use crate::AsGraph;
+
+/// Tier assignment for every AS in a graph.
+///
+/// Tier 1 is the provider-free core; an AS at tier *k* > 1 has its best
+/// (lowest-tier) provider at tier *k − 1*. ASes unreachable from the core by
+/// provider→customer edges (possible in pathological graphs) are assigned
+/// [`TierMap::UNREACHABLE`].
+///
+/// # Example
+///
+/// ```
+/// use aspp_topology::{AsGraph, tier::TierMap};
+/// use aspp_types::Asn;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = AsGraph::new();
+/// g.add_peering(Asn(1), Asn(2))?;             // two tier-1s
+/// g.add_provider_customer(Asn(1), Asn(10))?;  // tier-2
+/// g.add_provider_customer(Asn(10), Asn(100))?; // tier-3 stub
+/// let tiers = TierMap::classify(&g);
+/// assert_eq!(tiers.tier_of(Asn(1)), Some(1));
+/// assert_eq!(tiers.tier_of(Asn(10)), Some(2));
+/// assert_eq!(tiers.tier_of(Asn(100)), Some(3));
+/// assert!(tiers.is_stub(&g, Asn(100)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct TierMap {
+    tiers: HashMap<Asn, u32>,
+}
+
+impl TierMap {
+    /// Tier value assigned to ASes with no provider path from the core.
+    pub const UNREACHABLE: u32 = u32::MAX;
+
+    /// Classifies every AS in `graph`.
+    ///
+    /// Tier-1 ASes are those with no providers; every other AS's tier is one
+    /// more than the minimum tier among its providers (BFS from the core).
+    /// Sibling links are ignored for tier computation.
+    #[must_use]
+    pub fn classify(graph: &AsGraph) -> Self {
+        let mut tiers: HashMap<Asn, u32> = HashMap::with_capacity(graph.len());
+        let mut queue: VecDeque<Asn> = VecDeque::new();
+
+        for asn in graph.asns() {
+            if graph.providers(asn).next().is_none() {
+                tiers.insert(asn, 1);
+                queue.push_back(asn);
+            }
+        }
+
+        // Multi-source BFS down provider->customer edges.
+        while let Some(asn) = queue.pop_front() {
+            let next_tier = tiers[&asn] + 1;
+            for customer in graph.customers(asn) {
+                let entry = tiers.entry(customer).or_insert(u32::MAX);
+                if next_tier < *entry {
+                    *entry = next_tier;
+                    queue.push_back(customer);
+                }
+            }
+        }
+
+        for asn in graph.asns() {
+            tiers.entry(asn).or_insert(Self::UNREACHABLE);
+        }
+
+        TierMap { tiers }
+    }
+
+    /// The tier of `asn`, or `None` if it was not in the classified graph.
+    #[must_use]
+    pub fn tier_of(&self, asn: Asn) -> Option<u32> {
+        self.tiers.get(&asn).copied()
+    }
+
+    /// Iterates over all tier-1 (provider-free core) ASes.
+    pub fn tier1(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.in_tier(1)
+    }
+
+    /// Iterates over all ASes at exactly tier `t`.
+    pub fn in_tier(&self, t: u32) -> impl Iterator<Item = Asn> + '_ {
+        self.tiers
+            .iter()
+            .filter(move |&(_, &tier)| tier == t)
+            .map(|(&asn, _)| asn)
+    }
+
+    /// The deepest finite tier present.
+    #[must_use]
+    pub fn max_tier(&self) -> u32 {
+        self.tiers
+            .values()
+            .copied()
+            .filter(|&t| t != Self::UNREACHABLE)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if `asn` has no customers (an edge/stub network).
+    #[must_use]
+    pub fn is_stub(&self, graph: &AsGraph, asn: Asn) -> bool {
+        graph.customers(asn).next().is_none()
+    }
+
+    /// Verifies the paper's tier-1 definition: every pair of tier-1 ASes is
+    /// connected by a peering (or sibling) link. Returns the offending pair
+    /// on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first tier-1 pair found without a direct peering/sibling
+    /// link.
+    pub fn verify_tier1_clique(&self, graph: &AsGraph) -> Result<(), (Asn, Asn)> {
+        let mut t1: Vec<Asn> = self.tier1().collect();
+        t1.sort();
+        for (i, &a) in t1.iter().enumerate() {
+            for &b in &t1[i + 1..] {
+                match graph.relationship(a, b) {
+                    Some(aspp_types::Relationship::Peer)
+                    | Some(aspp_types::Relationship::Sibling) => {}
+                    _ => return Err((a, b)),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the customer cone of `asn`: the set of ASes reachable from it by
+/// repeatedly following provider→customer (or sibling) edges, including
+/// `asn` itself. The paper uses cone membership to reason about which ASes
+/// resist pollution ("an AS is not polluted only if it is a direct or
+/// indirect customer of the victim …", Section VI-B).
+///
+/// # Example
+///
+/// ```
+/// use aspp_topology::{AsGraph, tier::customer_cone};
+/// use aspp_types::Asn;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = AsGraph::new();
+/// g.add_provider_customer(Asn(1), Asn(2))?;
+/// g.add_provider_customer(Asn(2), Asn(3))?;
+/// g.add_provider_customer(Asn(9), Asn(3))?; // 3 is multi-homed
+/// let cone = customer_cone(&g, Asn(1));
+/// assert!(cone.contains(&Asn(1)) && cone.contains(&Asn(2)) && cone.contains(&Asn(3)));
+/// assert!(!cone.contains(&Asn(9)));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn customer_cone(graph: &AsGraph, asn: Asn) -> HashSet<Asn> {
+    let mut cone = HashSet::new();
+    if !graph.contains(asn) {
+        return cone;
+    }
+    let mut queue = VecDeque::new();
+    cone.insert(asn);
+    queue.push_back(asn);
+    while let Some(current) = queue.pop_front() {
+        for (neighbor, rel) in graph.neighbors(current) {
+            if matches!(
+                rel,
+                aspp_types::Relationship::Customer | aspp_types::Relationship::Sibling
+            ) && cone.insert(neighbor)
+            {
+                queue.push_back(neighbor);
+            }
+        }
+    }
+    cone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspp_types::Relationship;
+
+    /// Small hierarchy:
+    ///   1 -- 2 (peers, tier-1 clique)
+    ///   1 -> 10, 2 -> 11 (tier-2)
+    ///   10 -> 100, 11 -> 100 (multi-homed tier-3)
+    fn hierarchy() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.add_peering(Asn(1), Asn(2)).unwrap();
+        g.add_provider_customer(Asn(1), Asn(10)).unwrap();
+        g.add_provider_customer(Asn(2), Asn(11)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(100)).unwrap();
+        g.add_provider_customer(Asn(11), Asn(100)).unwrap();
+        g
+    }
+
+    #[test]
+    fn classification_levels() {
+        let g = hierarchy();
+        let tiers = TierMap::classify(&g);
+        assert_eq!(tiers.tier_of(Asn(1)), Some(1));
+        assert_eq!(tiers.tier_of(Asn(2)), Some(1));
+        assert_eq!(tiers.tier_of(Asn(10)), Some(2));
+        assert_eq!(tiers.tier_of(Asn(11)), Some(2));
+        assert_eq!(tiers.tier_of(Asn(100)), Some(3));
+        assert_eq!(tiers.tier_of(Asn(999)), None);
+        assert_eq!(tiers.max_tier(), 3);
+    }
+
+    #[test]
+    fn tier1_iterator_and_clique_check() {
+        let g = hierarchy();
+        let tiers = TierMap::classify(&g);
+        let mut t1: Vec<Asn> = tiers.tier1().collect();
+        t1.sort();
+        assert_eq!(t1, vec![Asn(1), Asn(2)]);
+        assert_eq!(tiers.verify_tier1_clique(&g), Ok(()));
+    }
+
+    #[test]
+    fn clique_violation_detected() {
+        let mut g = hierarchy();
+        // A third provider-free AS not peering with the others.
+        g.add_provider_customer(Asn(3), Asn(12)).unwrap();
+        let tiers = TierMap::classify(&g);
+        let err = tiers.verify_tier1_clique(&g).unwrap_err();
+        assert!(err.0 == Asn(3) || err.1 == Asn(3));
+    }
+
+    #[test]
+    fn multihomed_takes_minimum_tier() {
+        let mut g = hierarchy();
+        // 100 also buys directly from tier-1 AS1 -> becomes tier-2.
+        g.add_provider_customer(Asn(1), Asn(100)).unwrap();
+        let tiers = TierMap::classify(&g);
+        assert_eq!(tiers.tier_of(Asn(100)), Some(2));
+    }
+
+    #[test]
+    fn stub_detection() {
+        let g = hierarchy();
+        let tiers = TierMap::classify(&g);
+        assert!(tiers.is_stub(&g, Asn(100)));
+        assert!(!tiers.is_stub(&g, Asn(10)));
+    }
+
+    #[test]
+    fn cone_includes_sibling_reachable() {
+        let mut g = hierarchy();
+        g.add_sibling(Asn(100), Asn(101)).unwrap();
+        let cone = customer_cone(&g, Asn(10));
+        assert!(cone.contains(&Asn(101)), "siblings join the cone");
+        assert_eq!(customer_cone(&g, Asn(999)).len(), 0);
+    }
+
+    #[test]
+    fn cone_never_climbs_up_or_across() {
+        let mut g = hierarchy();
+        g.add_peering(Asn(10), Asn(11)).unwrap();
+        let cone = customer_cone(&g, Asn(10));
+        assert!(!cone.contains(&Asn(1)), "providers excluded");
+        assert!(!cone.contains(&Asn(11)), "peers excluded");
+        assert!(cone.contains(&Asn(100)));
+    }
+
+    #[test]
+    fn isolated_cycle_is_unreachable() {
+        // Customer cycle with no provider-free entry point.
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(1), Asn(2)).unwrap();
+        g.add_provider_customer(Asn(2), Asn(3)).unwrap();
+        g.add_provider_customer(Asn(3), Asn(1)).unwrap();
+        let tiers = TierMap::classify(&g);
+        for asn in [Asn(1), Asn(2), Asn(3)] {
+            assert_eq!(tiers.tier_of(asn), Some(TierMap::UNREACHABLE));
+        }
+        assert_eq!(tiers.max_tier(), 0);
+    }
+
+    #[test]
+    fn peer_only_as_is_tier1_by_definition() {
+        let mut g = AsGraph::new();
+        g.add_peering(Asn(5), Asn(6)).unwrap();
+        let tiers = TierMap::classify(&g);
+        assert_eq!(tiers.tier_of(Asn(5)), Some(1));
+        assert_eq!(g.relationship(Asn(5), Asn(6)), Some(Relationship::Peer));
+    }
+}

@@ -1,0 +1,127 @@
+//! BGP announcements.
+
+use core::fmt;
+
+use crate::{AsPath, Asn, Ipv4Prefix};
+
+/// A BGP route announcement: a destination prefix together with the AS path
+/// over which it was learned.
+///
+/// This is the unit exchanged between simulated ASes, recorded in the
+/// MRT-like corpus format, and inspected by the detection algorithm.
+///
+/// # Example
+///
+/// ```
+/// use aspp_types::{Announcement, AsPath, Asn, Ipv4Prefix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ann = Announcement::new(
+///     "69.171.224.0/20".parse::<Ipv4Prefix>()?,
+///     "4134 9318 32934 32934 32934".parse::<AsPath>()?,
+/// );
+/// assert_eq!(ann.origin(), Some(Asn(32934)));
+/// assert_eq!(ann.to_string(), "69.171.224.0/20 4134 9318 32934 32934 32934");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Announcement {
+    prefix: Ipv4Prefix,
+    path: AsPath,
+}
+
+impl Announcement {
+    /// Creates an announcement for `prefix` carrying `path`.
+    #[must_use]
+    pub fn new(prefix: Ipv4Prefix, path: AsPath) -> Self {
+        Announcement { prefix, path }
+    }
+
+    /// The destination prefix.
+    #[must_use]
+    pub fn prefix(&self) -> Ipv4Prefix {
+        self.prefix
+    }
+
+    /// The AS path, most-recent-first.
+    #[must_use]
+    pub fn path(&self) -> &AsPath {
+        &self.path
+    }
+
+    /// Mutable access to the AS path (used by the simulated attacker).
+    pub fn path_mut(&mut self) -> &mut AsPath {
+        &mut self.path
+    }
+
+    /// The origin AS of the route, if the path is non-empty.
+    #[must_use]
+    pub fn origin(&self) -> Option<Asn> {
+        self.path.origin()
+    }
+
+    /// Consumes the announcement, returning its parts.
+    #[must_use]
+    pub fn into_parts(self) -> (Ipv4Prefix, AsPath) {
+        (self.prefix, self.path)
+    }
+
+    /// Returns a copy with `asn` prepended once to the path, as a correctly
+    /// behaving BGP speaker does when propagating.
+    #[must_use]
+    pub fn propagated_by(&self, asn: Asn) -> Announcement {
+        Announcement {
+            prefix: self.prefix,
+            path: self.path.prepended(asn),
+        }
+    }
+}
+
+impl fmt::Display for Announcement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.prefix, self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(prefix: &str, path: &str) -> Announcement {
+        Announcement::new(prefix.parse().unwrap(), path.parse().unwrap())
+    }
+
+    #[test]
+    fn accessors() {
+        let a = ann("10.0.0.0/8", "1 2 3");
+        assert_eq!(a.prefix().to_string(), "10.0.0.0/8");
+        assert_eq!(a.origin(), Some(Asn(3)));
+        assert_eq!(a.path().len(), 3);
+    }
+
+    #[test]
+    fn propagation_prepends_once() {
+        let a = ann("10.0.0.0/8", "2 3");
+        let b = a.propagated_by(Asn(1));
+        assert_eq!(b.path().to_string(), "1 2 3");
+        assert_eq!(a.path().to_string(), "2 3", "original untouched");
+        assert_eq!(b.prefix(), a.prefix());
+    }
+
+    #[test]
+    fn attacker_strips_via_path_mut() {
+        let mut a = ann("69.171.224.0/20", "9 32934 32934 32934");
+        let removed = a.path_mut().strip_origin_padding(1);
+        assert_eq!(removed, 2);
+        assert_eq!(a.to_string(), "69.171.224.0/20 9 32934");
+    }
+
+    #[test]
+    fn into_parts_round_trip() {
+        let a = ann("10.0.0.0/8", "1 2");
+        let (prefix, path) = a.clone().into_parts();
+        assert_eq!(Announcement::new(prefix, path), a);
+    }
+}

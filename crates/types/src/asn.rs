@@ -1,0 +1,126 @@
+//! Autonomous system numbers.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::error::ParseAsnError;
+
+/// An autonomous system number (ASN).
+///
+/// The public field allows literal construction (`Asn(7018)`), mirroring how
+/// ASNs appear in BGP tooling. Four-byte ASNs are supported because the type
+/// wraps a `u32`.
+///
+/// # Example
+///
+/// ```
+/// use aspp_types::Asn;
+///
+/// let att: Asn = "7018".parse().unwrap();
+/// assert_eq!(att, Asn(7018));
+/// assert_eq!(att.to_string(), "7018");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// Returns the raw 32-bit ASN value.
+    ///
+    /// ```
+    /// # use aspp_types::Asn;
+    /// assert_eq!(Asn(64512).value(), 64512);
+    /// ```
+    #[must_use]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if this ASN falls in a private-use range
+    /// (64512–65534 for 2-byte, 4200000000–4294967294 for 4-byte ASNs).
+    ///
+    /// ```
+    /// # use aspp_types::Asn;
+    /// assert!(Asn(64512).is_private());
+    /// assert!(!Asn(7018).is_private());
+    /// ```
+    #[must_use]
+    pub const fn is_private(self) -> bool {
+        (self.0 >= 64512 && self.0 <= 65534)
+            || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(value: u32) -> Self {
+        Asn(value)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(asn: Asn) -> Self {
+        asn.0
+    }
+}
+
+impl FromStr for Asn {
+    type Err = ParseAsnError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.trim()
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| ParseAsnError::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for raw in [0u32, 1, 7018, 32934, 65535, 4_294_967_295] {
+            let asn = Asn(raw);
+            let parsed: Asn = asn.to_string().parse().unwrap();
+            assert_eq!(parsed, asn);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Asn>().is_err());
+        assert!("AS7018".parse::<Asn>().is_err());
+        assert!("-1".parse::<Asn>().is_err());
+        assert!("4294967296".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        assert_eq!(" 7018 ".parse::<Asn>().unwrap(), Asn(7018));
+    }
+
+    #[test]
+    fn private_ranges() {
+        assert!(Asn(64512).is_private());
+        assert!(Asn(65534).is_private());
+        assert!(!Asn(65535).is_private());
+        assert!(Asn(4_200_000_000).is_private());
+        assert!(!Asn(4_294_967_295).is_private());
+        assert!(!Asn(1).is_private());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Asn(100) < Asn(7018));
+        let mut v = vec![Asn(3), Asn(1), Asn(2)];
+        v.sort();
+        assert_eq!(v, vec![Asn(1), Asn(2), Asn(3)]);
+    }
+}

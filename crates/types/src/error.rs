@@ -1,0 +1,131 @@
+//! Error types for parsing the textual BGP representations.
+
+use core::fmt;
+use std::error::Error;
+
+/// Error returned when a string cannot be parsed as an [`Asn`](crate::Asn).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAsnError {
+    input: String,
+}
+
+impl ParseAsnError {
+    pub(crate) fn new(input: &str) -> Self {
+        ParseAsnError {
+            input: input.to_owned(),
+        }
+    }
+
+    /// The rejected input string.
+    #[must_use]
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseAsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ASN syntax: {:?}", self.input)
+    }
+}
+
+impl Error for ParseAsnError {}
+
+/// Error returned when a string cannot be parsed as an
+/// [`Ipv4Prefix`](crate::Ipv4Prefix).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParsePrefixError {
+    /// The string was not in `a.b.c.d/len` form.
+    Syntax(String),
+    /// The prefix length was greater than 32.
+    LengthOutOfRange(u8),
+    /// The address had non-zero bits below the prefix length.
+    HostBitsSet {
+        /// The offending address as parsed.
+        addr: u32,
+        /// The declared prefix length.
+        len: u8,
+    },
+}
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePrefixError::Syntax(s) => write!(f, "invalid prefix syntax: {s:?}"),
+            ParsePrefixError::LengthOutOfRange(len) => {
+                write!(f, "prefix length {len} out of range (max 32)")
+            }
+            ParsePrefixError::HostBitsSet { addr, len } => write!(
+                f,
+                "address {}.{}.{}.{} has host bits set below /{len}",
+                addr >> 24,
+                (addr >> 16) & 0xff,
+                (addr >> 8) & 0xff,
+                addr & 0xff
+            ),
+        }
+    }
+}
+
+impl Error for ParsePrefixError {}
+
+/// Error returned when a string cannot be parsed as an
+/// [`AsPath`](crate::AsPath).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAsPathError {
+    token: String,
+}
+
+impl ParseAsPathError {
+    pub(crate) fn new(token: &str) -> Self {
+        ParseAsPathError {
+            token: token.to_owned(),
+        }
+    }
+
+    /// The path token that failed to parse as an ASN.
+    #[must_use]
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+}
+
+impl fmt::Display for ParseAsPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AS path token: {:?}", self.token)
+    }
+}
+
+impl Error for ParseAsPathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ParseAsnError::new("ASX");
+        assert!(e.to_string().contains("ASX"));
+        assert!(e.to_string().starts_with("invalid"));
+
+        let e = ParsePrefixError::LengthOutOfRange(40);
+        assert!(e.to_string().contains("40"));
+
+        let e = ParsePrefixError::HostBitsSet {
+            addr: 0x0a000001,
+            len: 24,
+        };
+        assert!(e.to_string().contains("10.0.0.1"));
+
+        let e = ParseAsPathError::new("x");
+        assert!(e.to_string().contains('x'));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseAsnError>();
+        assert_send_sync::<ParsePrefixError>();
+        assert_send_sync::<ParseAsPathError>();
+    }
+}

@@ -1,0 +1,327 @@
+//! IPv4 prefixes in CIDR notation.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::error::ParsePrefixError;
+
+/// An IPv4 address block in CIDR notation, e.g. `69.171.224.0/20`.
+///
+/// The network address is canonicalized: constructing a prefix whose address
+/// has host bits set is an error, which keeps `Eq`/`Hash` meaningful.
+///
+/// # Example
+///
+/// ```
+/// use aspp_types::Ipv4Prefix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fb: Ipv4Prefix = "69.171.224.0/20".parse()?;
+/// let host: Ipv4Prefix = "69.171.239.255/32".parse()?;
+/// assert!(fb.contains(&host));
+/// assert_eq!(fb.to_string(), "69.171.224.0/20");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Creates a prefix from a network address (as a big-endian `u32`) and a
+    /// prefix length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePrefixError::LengthOutOfRange`] if `len > 32` and
+    /// [`ParsePrefixError::HostBitsSet`] if `addr` has bits set beyond `len`.
+    ///
+    /// ```
+    /// use aspp_types::Ipv4Prefix;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p = Ipv4Prefix::new(0x0a000000, 8)?; // 10.0.0.0/8
+    /// assert_eq!(p.to_string(), "10.0.0.0/8");
+    /// assert!(Ipv4Prefix::new(0x0a000001, 8).is_err());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(addr: u32, len: u8) -> Result<Self, ParsePrefixError> {
+        if len > 32 {
+            return Err(ParsePrefixError::LengthOutOfRange(len));
+        }
+        if addr & !Self::mask_for(len) != 0 {
+            return Err(ParsePrefixError::HostBitsSet { addr, len });
+        }
+        Ok(Ipv4Prefix { addr, len })
+    }
+
+    /// Creates the prefix covering `addr` at length `len`, zeroing host bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    ///
+    /// ```
+    /// # use aspp_types::Ipv4Prefix;
+    /// let p = Ipv4Prefix::containing(0x0a0a0a0a, 16); // 10.10.10.10 -> 10.10.0.0/16
+    /// assert_eq!(p.to_string(), "10.10.0.0/16");
+    /// ```
+    #[must_use]
+    pub fn containing(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} out of range");
+        Ipv4Prefix {
+            addr: addr & Self::mask_for(len),
+            len,
+        }
+    }
+
+    /// The network address as a big-endian `u32`.
+    #[must_use]
+    pub const fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    // `len` here is CIDR terminology (mask length), not a container size, so
+    // an `is_empty` counterpart would be meaningless.
+    #[allow(clippy::len_without_is_empty)]
+    #[must_use]
+    pub const fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Returns `true` for the zero-length default route `0.0.0.0/0`.
+    #[must_use]
+    pub const fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `other` is equal to or more specific than `self`.
+    ///
+    /// ```
+    /// # use aspp_types::Ipv4Prefix;
+    /// let a: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+    /// let b: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+    /// assert!(a.contains(&b));
+    /// assert!(!b.contains(&a));
+    /// assert!(a.contains(&a));
+    /// ```
+    #[must_use]
+    pub fn contains(&self, other: &Ipv4Prefix) -> bool {
+        other.len >= self.len && (other.addr & Self::mask_for(self.len)) == self.addr
+    }
+
+    /// Returns `true` if the given host address falls inside this prefix.
+    ///
+    /// ```
+    /// # use aspp_types::Ipv4Prefix;
+    /// let p: Ipv4Prefix = "192.168.0.0/16".parse().unwrap();
+    /// assert!(p.contains_addr(0xc0a80101)); // 192.168.1.1
+    /// assert!(!p.contains_addr(0x08080808)); // 8.8.8.8
+    /// ```
+    #[must_use]
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        (addr & Self::mask_for(self.len)) == self.addr
+    }
+
+    /// Splits the prefix into its two immediate more-specific halves, or
+    /// `None` for a /32.
+    ///
+    /// ```
+    /// # use aspp_types::Ipv4Prefix;
+    /// let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+    /// let (lo, hi) = p.split().unwrap();
+    /// assert_eq!(lo.to_string(), "10.0.0.0/9");
+    /// assert_eq!(hi.to_string(), "10.128.0.0/9");
+    /// ```
+    #[must_use]
+    pub fn split(&self) -> Option<(Ipv4Prefix, Ipv4Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let len = self.len + 1;
+        let hi_bit = 1u32 << (32 - len);
+        Some((
+            Ipv4Prefix {
+                addr: self.addr,
+                len,
+            },
+            Ipv4Prefix {
+                addr: self.addr | hi_bit,
+                len,
+            },
+        ))
+    }
+
+    fn mask_for(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        }
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            self.addr >> 24,
+            (self.addr >> 16) & 0xff,
+            (self.addr >> 8) & 0xff,
+            self.addr & 0xff,
+            self.len
+        )
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (addr_part, len_part) = s
+            .split_once('/')
+            .ok_or_else(|| ParsePrefixError::Syntax(s.to_owned()))?;
+        let len: u8 = len_part
+            .parse()
+            .map_err(|_| ParsePrefixError::Syntax(s.to_owned()))?;
+        let mut octets = [0u8; 4];
+        let mut count = 0;
+        for part in addr_part.split('.') {
+            if count == 4 {
+                return Err(ParsePrefixError::Syntax(s.to_owned()));
+            }
+            octets[count] = part
+                .parse()
+                .map_err(|_| ParsePrefixError::Syntax(s.to_owned()))?;
+            count += 1;
+        }
+        if count != 4 {
+            return Err(ParsePrefixError::Syntax(s.to_owned()));
+        }
+        let addr = u32::from_be_bytes(octets);
+        Ipv4Prefix::new(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "69.171.224.0/20",
+            "69.171.255.0/24",
+            "255.255.255.255/32",
+        ] {
+            let p: Ipv4Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for s in [
+            "",
+            "10.0.0.0",
+            "10.0.0/8",
+            "10.0.0.0.0/8",
+            "10.0.0.0/33",
+            "10.0.0.1/24",
+            "256.0.0.0/8",
+            "a.b.c.d/8",
+            "10.0.0.0/x",
+        ] {
+            assert!(s.parse::<Ipv4Prefix>().is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn specific_error_variants() {
+        assert_eq!(
+            Ipv4Prefix::new(0, 33).unwrap_err(),
+            ParsePrefixError::LengthOutOfRange(33)
+        );
+        assert!(matches!(
+            Ipv4Prefix::new(1, 24).unwrap_err(),
+            ParsePrefixError::HostBitsSet { .. }
+        ));
+    }
+
+    #[test]
+    fn containment_semantics() {
+        let default: Ipv4Prefix = "0.0.0.0/0".parse().unwrap();
+        let a: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let b: Ipv4Prefix = "10.64.0.0/10".parse().unwrap();
+        let c: Ipv4Prefix = "11.0.0.0/8".parse().unwrap();
+        assert!(default.contains(&a));
+        assert!(a.contains(&b));
+        assert!(!a.contains(&c));
+        assert!(!b.contains(&a));
+        assert!(default.is_default());
+        assert!(!a.is_default());
+    }
+
+    #[test]
+    fn containing_zeroes_host_bits() {
+        let p = Ipv4Prefix::containing(u32::from_be_bytes([192, 168, 34, 57]), 24);
+        assert_eq!(p.to_string(), "192.168.34.0/24");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn containing_panics_on_bad_length() {
+        let _ = Ipv4Prefix::containing(0, 40);
+    }
+
+    #[test]
+    fn split_halves_cover_parent() {
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let (lo, hi) = p.split().unwrap();
+        assert!(p.contains(&lo) && p.contains(&hi));
+        assert!(!lo.contains(&hi) && !hi.contains(&lo));
+        let host: Ipv4Prefix = "1.2.3.4/32".parse().unwrap();
+        assert!(host.split().is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(addr in any::<u32>(), len in 0u8..=32) {
+            let p = Ipv4Prefix::containing(addr, len);
+            let parsed: Ipv4Prefix = p.to_string().parse().unwrap();
+            prop_assert_eq!(parsed, p);
+        }
+
+        #[test]
+        fn prop_contains_is_reflexive_and_antisymmetric(
+            addr in any::<u32>(), len_a in 0u8..=32, len_b in 0u8..=32
+        ) {
+            let a = Ipv4Prefix::containing(addr, len_a);
+            let b = Ipv4Prefix::containing(addr, len_b);
+            prop_assert!(a.contains(&a));
+            if a.contains(&b) && b.contains(&a) {
+                prop_assert_eq!(a, b);
+            }
+        }
+
+        #[test]
+        fn prop_split_children_contained(addr in any::<u32>(), len in 0u8..=31) {
+            let p = Ipv4Prefix::containing(addr, len);
+            let (lo, hi) = p.split().unwrap();
+            prop_assert!(p.contains(&lo));
+            prop_assert!(p.contains(&hi));
+            prop_assert_eq!(lo.len(), len + 1);
+            prop_assert_eq!(hi.len(), len + 1);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! AS business relationships and route-learning classes.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// The business relationship of a neighbor, from the local AS's point of
+/// view, following Gao's classification.
+///
+/// Edges in the AS graph are annotated with the neighbor's role: traffic to a
+/// `Customer` earns money, traffic over a `Peer` is settlement-free, traffic
+/// via a `Provider` costs money. `Sibling` links connect ASes under common
+/// administration and exchange full routes in both directions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Relationship {
+    /// The neighbor is our customer (we are its provider).
+    Customer,
+    /// The neighbor is a settlement-free peer.
+    Peer,
+    /// The neighbor is our provider (we are its customer).
+    Provider,
+    /// The neighbor is a sibling AS under the same administration.
+    Sibling,
+}
+
+impl Relationship {
+    /// The same link as seen from the other end.
+    ///
+    /// ```
+    /// use aspp_types::Relationship;
+    /// assert_eq!(Relationship::Customer.reverse(), Relationship::Provider);
+    /// assert_eq!(Relationship::Peer.reverse(), Relationship::Peer);
+    /// assert_eq!(Relationship::Sibling.reverse(), Relationship::Sibling);
+    /// ```
+    #[must_use]
+    pub const fn reverse(self) -> Relationship {
+        match self {
+            Relationship::Customer => Relationship::Provider,
+            Relationship::Provider => Relationship::Customer,
+            Relationship::Peer => Relationship::Peer,
+            Relationship::Sibling => Relationship::Sibling,
+        }
+    }
+
+    /// All relationship kinds, in preference order for route selection.
+    pub const ALL: [Relationship; 4] = [
+        Relationship::Customer,
+        Relationship::Peer,
+        Relationship::Provider,
+        Relationship::Sibling,
+    ];
+}
+
+impl fmt::Display for Relationship {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Relationship::Customer => "customer",
+            Relationship::Peer => "peer",
+            Relationship::Provider => "provider",
+            Relationship::Sibling => "sibling",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for Relationship {
+    type Err = ParseRelationshipError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "customer" | "c2p-rev" | "p2c" => Ok(Relationship::Customer),
+            "peer" | "p2p" => Ok(Relationship::Peer),
+            "provider" | "c2p" => Ok(Relationship::Provider),
+            "sibling" | "s2s" => Ok(Relationship::Sibling),
+            other => Err(ParseRelationshipError {
+                input: other.to_owned(),
+            }),
+        }
+    }
+}
+
+/// Error returned when a string is not a relationship name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRelationshipError {
+    input: String,
+}
+
+impl fmt::Display for ParseRelationshipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid relationship name: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseRelationshipError {}
+
+/// How a route was learned, which determines both its local preference and
+/// its legal export scope (the valley-free rule).
+///
+/// The ordering implements the Gao–Rexford preference: routes you originate
+/// beat everything, customer routes beat peer routes, peer routes beat
+/// provider routes. `RouteClass` derives `Ord` with exactly that meaning —
+/// **smaller is better**.
+///
+/// ```
+/// use aspp_types::RouteClass;
+///
+/// assert!(RouteClass::Origin < RouteClass::FromCustomer);
+/// assert!(RouteClass::FromCustomer < RouteClass::FromPeer);
+/// assert!(RouteClass::FromPeer < RouteClass::FromProvider);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RouteClass {
+    /// The AS originates the prefix itself.
+    Origin,
+    /// Learned from a customer (or sibling re-export of a customer route).
+    FromCustomer,
+    /// Learned from a settlement-free peer.
+    FromPeer,
+    /// Learned from a provider.
+    FromProvider,
+}
+
+impl RouteClass {
+    /// The class a route acquires when learned over a link with the given
+    /// neighbor relationship. Sibling links preserve the customer class
+    /// (siblings exchange everything as if internal).
+    ///
+    /// ```
+    /// use aspp_types::{Relationship, RouteClass};
+    /// assert_eq!(RouteClass::from_neighbor(Relationship::Customer), RouteClass::FromCustomer);
+    /// assert_eq!(RouteClass::from_neighbor(Relationship::Sibling), RouteClass::FromCustomer);
+    /// ```
+    #[must_use]
+    pub const fn from_neighbor(rel: Relationship) -> RouteClass {
+        match rel {
+            Relationship::Customer | Relationship::Sibling => RouteClass::FromCustomer,
+            Relationship::Peer => RouteClass::FromPeer,
+            Relationship::Provider => RouteClass::FromProvider,
+        }
+    }
+
+    /// Whether the valley-free export rule lets a route of this class be
+    /// announced to a neighbor with relationship `to`.
+    ///
+    /// Origin and customer routes are exported to everyone; peer and
+    /// provider routes only downhill, to customers (and siblings).
+    ///
+    /// ```
+    /// use aspp_types::{Relationship, RouteClass};
+    ///
+    /// // A provider-learned route must not be re-announced to another provider…
+    /// assert!(!RouteClass::FromProvider.may_export_to(Relationship::Provider));
+    /// // …but flows freely to customers.
+    /// assert!(RouteClass::FromProvider.may_export_to(Relationship::Customer));
+    /// // Customer routes go everywhere (they earn money).
+    /// assert!(RouteClass::FromCustomer.may_export_to(Relationship::Peer));
+    /// ```
+    #[must_use]
+    pub const fn may_export_to(self, to: Relationship) -> bool {
+        match self {
+            RouteClass::Origin | RouteClass::FromCustomer => true,
+            RouteClass::FromPeer | RouteClass::FromProvider => {
+                matches!(to, Relationship::Customer | Relationship::Sibling)
+            }
+        }
+    }
+}
+
+impl fmt::Display for RouteClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RouteClass::Origin => "origin",
+            RouteClass::FromCustomer => "from-customer",
+            RouteClass::FromPeer => "from-peer",
+            RouteClass::FromProvider => "from-provider",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involutive() {
+        for rel in Relationship::ALL {
+            assert_eq!(rel.reverse().reverse(), rel);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_canonical_and_caida_spellings() {
+        assert_eq!("customer".parse::<Relationship>().unwrap(), Relationship::Customer);
+        assert_eq!("p2p".parse::<Relationship>().unwrap(), Relationship::Peer);
+        assert_eq!("c2p".parse::<Relationship>().unwrap(), Relationship::Provider);
+        assert_eq!("s2s".parse::<Relationship>().unwrap(), Relationship::Sibling);
+        assert!("friend".parse::<Relationship>().is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for rel in Relationship::ALL {
+            assert_eq!(rel.to_string().parse::<Relationship>().unwrap(), rel);
+        }
+    }
+
+    #[test]
+    fn preference_order_matches_gao_rexford() {
+        let mut classes = [
+            RouteClass::FromProvider,
+            RouteClass::Origin,
+            RouteClass::FromPeer,
+            RouteClass::FromCustomer,
+        ];
+        classes.sort();
+        assert_eq!(
+            classes,
+            [
+                RouteClass::Origin,
+                RouteClass::FromCustomer,
+                RouteClass::FromPeer,
+                RouteClass::FromProvider,
+            ]
+        );
+    }
+
+    #[test]
+    fn valley_free_export_matrix() {
+        use Relationship::*;
+        use RouteClass::*;
+        // (class, to, allowed)
+        let cases = [
+            (Origin, Customer, true),
+            (Origin, Peer, true),
+            (Origin, Provider, true),
+            (FromCustomer, Customer, true),
+            (FromCustomer, Peer, true),
+            (FromCustomer, Provider, true),
+            (FromPeer, Customer, true),
+            (FromPeer, Peer, false),
+            (FromPeer, Provider, false),
+            (FromProvider, Customer, true),
+            (FromProvider, Peer, false),
+            (FromProvider, Provider, false),
+            (FromPeer, Sibling, true),
+            (FromProvider, Sibling, true),
+        ];
+        for (class, to, allowed) in cases {
+            assert_eq!(
+                class.may_export_to(to),
+                allowed,
+                "{class} -> {to} expected {allowed}"
+            );
+        }
+    }
+
+    #[test]
+    fn sibling_links_carry_customer_class() {
+        assert_eq!(
+            RouteClass::from_neighbor(Relationship::Sibling),
+            RouteClass::FromCustomer
+        );
+    }
+}

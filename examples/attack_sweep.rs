@@ -1,0 +1,25 @@
+//! Reproduces the attack-impact figures (paper Figures 7–12) on the
+//! synthetic Internet and prints each series.
+//!
+//! Run with: `cargo run --release --example attack_sweep [--paper]`
+
+use aspp_repro::experiments::{impact, Scale};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let scale = if paper { Scale::Paper } else { Scale::Smoke };
+    let seed = 2024;
+    let graph = scale.internet(seed);
+    eprintln!(
+        "running Figures 7-12 at {:?} scale ({} ASes)…",
+        scale,
+        graph.len()
+    );
+
+    println!("{}", impact::fig7(&graph, scale, seed).render());
+    println!("{}", impact::fig8(&graph, scale, seed).render());
+    println!("{}", impact::fig9(&graph).render());
+    println!("{}", impact::fig10(&graph).render());
+    println!("{}", impact::fig11(&graph).render());
+    println!("{}", impact::fig12(&graph).render());
+}

@@ -1,0 +1,23 @@
+//! Detection evaluation (paper Figures 13 and 14): how many attacks the
+//! multi-vantage-point detector catches, and how much of the Internet is
+//! polluted before the alarm fires.
+//!
+//! Run with: `cargo run --release --example detection_monitoring [--paper]`
+
+use aspp_repro::experiments::{detection, Scale};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let scale = if paper { Scale::Paper } else { Scale::Smoke };
+    let seed = 2024;
+    let graph = scale.internet(seed);
+    eprintln!(
+        "running detection evaluation at {:?} scale ({} ASes, {} attack pairs)…",
+        scale,
+        graph.len(),
+        scale.detection_pairs()
+    );
+
+    println!("{}", detection::fig13(&graph, scale, seed).render());
+    println!("{}", detection::fig14(&graph, scale, seed).render());
+}

@@ -1,0 +1,12 @@
+//! The paper's Section III case study: the March 22nd 2011 Facebook routing
+//! anomaly, reproduced at both the control plane (Figure 1) and data plane
+//! (Table I).
+//!
+//! Run with: `cargo run --release --example facebook_anomaly`
+
+use aspp_repro::experiments::case_study;
+
+fn main() {
+    let study = case_study::run(2024);
+    println!("{}", study.render());
+}

@@ -1,0 +1,27 @@
+//! ASPP usage characterization (paper Figures 5 and 6): generates the
+//! MRT-like corpus, measures per-monitor prepending fractions and padding
+//! depths, and prints the curves.
+//!
+//! Run with: `cargo run --release --example measure_prepending [--paper]`
+
+use aspp_repro::experiments::{usage, Scale};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let scale = if paper { Scale::Paper } else { Scale::Smoke };
+    let result = usage::run(scale, 2024);
+    println!("{}", result.render());
+
+    // Persist the corpus in the MRT-like text format, as a real measurement
+    // pipeline would.
+    let text = result.corpus.to_text();
+    let path = std::env::temp_dir().join("aspp_corpus.txt");
+    if std::fs::write(&path, &text).is_ok() {
+        eprintln!(
+            "corpus written to {} ({} table entries, {} updates)",
+            path.display(),
+            result.corpus.table_entry_count(),
+            result.corpus.updates().len()
+        );
+    }
+}

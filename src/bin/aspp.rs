@@ -1,0 +1,322 @@
+//! `aspp` — command-line front end for the ASPP interception study.
+//!
+//! ```text
+//! aspp case-study                       reproduce §III / Figure 1 / Table I
+//! aspp usage      [--paper] [--seed N]  Figures 5–6 corpus measurement
+//! aspp impact     [--paper] [--seed N] [--figure 7..12|all]
+//! aspp detection  [--paper] [--seed N]  Figures 13–14
+//! aspp selection  [--paper] [--seed N]  vantage-point selection study
+//! aspp stealth    [--seed N]            MOAS / link-anomaly / ASPP visibility
+//! aspp simulate   --victim A --attacker B [options]
+//! aspp corpus     --out FILE [--prefixes N] [--seed N]
+//! aspp measure    FILE                  measure an existing corpus file
+//! ```
+
+use std::process::ExitCode;
+
+/// Prints a line to stdout, ignoring broken-pipe errors so that
+/// `aspp … | head` exits cleanly instead of panicking.
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+use aspp_repro::attack::mitigation;
+use aspp_repro::data::measure;
+use aspp_repro::experiments::{case_study, detection, extensions, impact, usage, Scale};
+use aspp_repro::prelude::*;
+use aspp_repro::report::pct;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{}", usage_text());
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "case-study" => cmd_case_study(rest),
+        "usage" => cmd_usage(rest),
+        "impact" => cmd_impact(rest),
+        "detection" => cmd_detection(rest),
+        "selection" => cmd_selection(rest),
+        "stealth" => cmd_stealth(rest),
+        "mitigate" => cmd_mitigate(rest),
+        "simulate" => cmd_simulate(rest),
+        "corpus" => cmd_corpus(rest),
+        "measure" => cmd_measure(rest),
+        "help" | "--help" | "-h" => {
+            out!("{}", usage_text());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage_text())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_text() -> &'static str {
+    "aspp — ASPP-based BGP prefix interception: simulation, measurement, detection
+
+USAGE:
+  aspp case-study
+  aspp usage      [--paper] [--seed N]
+  aspp impact     [--paper] [--seed N] [--figure 7|8|9|10|11|12|all]
+  aspp detection  [--paper] [--seed N]
+  aspp selection  [--paper] [--seed N]
+  aspp stealth    [--seed N]
+  aspp mitigate   [--seed N]
+  aspp simulate   --victim ASN --attacker ASN [--padding N] [--keep N]
+                  [--violate] [--strategy strip|strip-all|forge|origin]
+                  [--scale small|medium|large] [--seed N]
+  aspp corpus     --out FILE [--prefixes N] [--monitors N] [--seed N]
+  aspp measure    FILE"
+}
+
+/// Minimal flag parser: `--key value` pairs, bare `--flag` booleans, and
+/// positional arguments.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { args }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("invalid value for {name}: {raw:?}")),
+        }
+    }
+
+    fn positional(&self) -> Option<&'a str> {
+        self.args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .map(String::as_str)
+    }
+
+    fn scale(&self) -> Scale {
+        if self.has("--paper") {
+            Scale::Paper
+        } else {
+            Scale::Smoke
+        }
+    }
+
+    fn seed(&self) -> Result<u64, String> {
+        Ok(self.parsed::<u64>("--seed")?.unwrap_or(2024))
+    }
+}
+
+fn cmd_case_study(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    out!("{}", case_study::run(flags.seed()?).render());
+    Ok(())
+}
+
+fn cmd_usage(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    out!("{}", usage::run(flags.scale(), flags.seed()?).render());
+    Ok(())
+}
+
+fn cmd_impact(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let scale = flags.scale();
+    let seed = flags.seed()?;
+    let graph = scale.internet(seed);
+    let which = flags.value("--figure").unwrap_or("all");
+    let mut printed = false;
+    let mut run = |name: &str, text: String| {
+        if which == "all" || which == name {
+            out!("{text}");
+            printed = true;
+        }
+    };
+    run("7", impact::fig7(&graph, scale, seed).render());
+    run("8", impact::fig8(&graph, scale, seed).render());
+    run("9", impact::fig9(&graph).render());
+    run("10", impact::fig10(&graph).render());
+    run("11", impact::fig11(&graph).render());
+    run("12", impact::fig12(&graph).render());
+    if printed {
+        Ok(())
+    } else {
+        Err(format!("unknown figure {which:?} (use 7..12 or all)"))
+    }
+}
+
+fn cmd_detection(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let scale = flags.scale();
+    let seed = flags.seed()?;
+    let graph = scale.internet(seed);
+    out!("{}", detection::fig13(&graph, scale, seed).render());
+    out!("{}", detection::fig14(&graph, scale, seed).render());
+    Ok(())
+}
+
+fn cmd_selection(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let scale = flags.scale();
+    let seed = flags.seed()?;
+    let graph = scale.internet(seed);
+    out!("{}", detection::vantage_selection(&graph, scale, seed).render());
+    Ok(())
+}
+
+fn cmd_stealth(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let seed = flags.seed()?;
+    let graph = Scale::Smoke.internet(seed);
+    out!("{}", extensions::stealth(&graph, seed).render());
+    Ok(())
+}
+
+fn cmd_mitigate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let graph = flags.scale().internet(flags.seed()?);
+    out!("{}", extensions::mitigations(&graph).render());
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let victim = Asn(flags
+        .parsed::<u32>("--victim")?
+        .ok_or("--victim ASN is required")?);
+    let attacker = Asn(flags
+        .parsed::<u32>("--attacker")?
+        .ok_or("--attacker ASN is required")?);
+    let padding = flags.parsed::<usize>("--padding")?.unwrap_or(3);
+    let keep = flags.parsed::<usize>("--keep")?.unwrap_or(1);
+    let seed = flags.seed()?;
+    let graph = match flags.value("--scale").unwrap_or("small") {
+        "small" => InternetConfig::small().seed(seed).build(),
+        "medium" => InternetConfig::medium().seed(seed).build(),
+        "large" => InternetConfig::large().seed(seed).build(),
+        other => return Err(format!("unknown scale {other:?}")),
+    };
+    if !graph.contains(victim) {
+        return Err(format!("victim AS{victim} not in the generated topology"));
+    }
+    if !graph.contains(attacker) {
+        return Err(format!("attacker AS{attacker} not in the generated topology"));
+    }
+
+    let strategy = match flags.value("--strategy").unwrap_or("strip") {
+        "strip" => AttackStrategy::StripPadding { keep },
+        "strip-all" => AttackStrategy::StripAllPadding,
+        "forge" => AttackStrategy::ForgeDirect,
+        "origin" => AttackStrategy::OriginHijack,
+        other => return Err(format!("unknown strategy {other:?}")),
+    };
+    let mode = if flags.has("--violate") {
+        ExportMode::ViolateValleyFree
+    } else {
+        ExportMode::Compliant
+    };
+
+    let exp = HijackExperiment::new(victim, attacker)
+        .padding(padding)
+        .keep(keep)
+        .export_mode(mode)
+        .strategy(strategy);
+    let impact = run_experiment(&graph, &exp);
+    out!("{impact}");
+
+    // Data-plane fate summary.
+    let engine = RoutingEngine::new(&graph);
+    let outcome = engine.compute(&exp.to_spec());
+    let stats = forwarding::delivery_stats(&outcome);
+    out!(
+        "data plane: delivered {}%, intercepted {}%, blackholed {}%",
+        pct(stats.delivered),
+        pct(stats.intercepted),
+        pct(stats.blackholed),
+    );
+
+    // Mitigation preview for the ASPP strategy.
+    if matches!(strategy, AttackStrategy::StripPadding { .. }) && padding > 1 {
+        let relief = mitigation::padding_reduction(&graph, &exp, 1);
+        out!(
+            "mitigation (padding reduction to 1): pollution {}% -> {}%",
+            pct(relief.polluted_before),
+            pct(relief.polluted_after),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_corpus(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let out = flags.value("--out").ok_or("--out FILE is required")?;
+    let prefixes = flags.parsed::<usize>("--prefixes")?.unwrap_or(100);
+    let monitor_count = flags.parsed::<usize>("--monitors")?.unwrap_or(30);
+    let seed = flags.seed()?;
+    let graph = InternetConfig::medium().seed(seed).build();
+    let corpus = CorpusConfig::new(prefixes)
+        .monitors_top_degree(monitor_count)
+        .seed(seed)
+        .generate(&graph);
+    std::fs::write(out, corpus.to_text()).map_err(|e| format!("writing {out}: {e}"))?;
+    out!(
+        "wrote {out}: {} table entries, {} updates, {} monitors",
+        corpus.table_entry_count(),
+        corpus.updates().len(),
+        corpus.monitors().count(),
+    );
+    Ok(())
+}
+
+fn cmd_measure(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let path = flags.positional().ok_or("a corpus FILE is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let corpus = Corpus::parse(&text).map_err(|e| e.to_string())?;
+    let summary = measure::usage_summary(&corpus);
+    out!(
+        "monitors: {}   table entries: {}   updates: {}",
+        corpus.monitors().count(),
+        corpus.table_entry_count(),
+        corpus.updates().len(),
+    );
+    out!(
+        "table prepending fraction: mean {}%, max {}%",
+        pct(summary.mean_table_fraction),
+        pct(summary.max_table_fraction),
+    );
+    out!(
+        "padding depth shares: x2 {}%, x3 {}%, >10 {}%",
+        pct(summary.depth2_share),
+        pct(summary.depth3_share),
+        pct(summary.deep_share),
+    );
+    out!("update prepending fraction: mean {}%", pct(summary.mean_update_fraction));
+    Ok(())
+}

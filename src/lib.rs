@@ -1,0 +1,11 @@
+//! Root facade for the ASPP interception-attack reproduction workspace.
+//!
+//! This crate re-exports [`aspp_core`], which in turn exposes the full public
+//! API: topology generation, policy routing, the ASPP interception attack
+//! simulator, the detection algorithm, and the per-figure experiment
+//! harness. See the workspace `README.md` for a tour and `examples/` for
+//! runnable entry points.
+
+#![forbid(unsafe_code)]
+
+pub use aspp_core::*;

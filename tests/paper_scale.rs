@@ -1,0 +1,107 @@
+//! Paper-scale shape assertions — the EXPERIMENTS.md contract, executable.
+//!
+//! These run the full `Scale::Paper` experiments (a ~1500-AS Internet, 80+27
+//! hijack instances, 200 detection pairs) and assert the qualitative shapes
+//! recorded in EXPERIMENTS.md. They take tens of seconds in release mode and
+//! are `#[ignore]`d by default; run them with:
+//!
+//! ```sh
+//! cargo test --release --test paper_scale -- --ignored
+//! ```
+
+use aspp_repro::experiments::{detection, impact, usage, Scale};
+
+const SEED: u64 = 2024;
+
+#[test]
+#[ignore = "paper-scale run: seconds in release, minutes in debug"]
+fn fig7_tier1_pairs_pollute_heavily() {
+    let graph = Scale::Paper.internet(SEED);
+    let f7 = impact::fig7(&graph, Scale::Paper, SEED);
+    assert_eq!(f7.impacts.len(), 80);
+    assert!(f7.mean_after() > 0.5, "mean {}", f7.mean_after());
+    // Every instance dominates its own baseline.
+    for i in &f7.impacts {
+        assert!(i.after_fraction >= i.before_fraction - 1e-9);
+    }
+}
+
+#[test]
+#[ignore = "paper-scale run"]
+fn fig8_random_pairs_mostly_weak() {
+    let graph = Scale::Paper.internet(SEED);
+    let f8 = impact::fig8(&graph, Scale::Paper, SEED);
+    assert_eq!(f8.impacts.len(), 27);
+    assert!(f8.mean_after() < 0.1, "random pairs stay weak: {}", f8.mean_after());
+}
+
+#[test]
+#[ignore = "paper-scale run"]
+fn fig9_shape_matches_paper() {
+    let graph = Scale::Paper.internet(SEED);
+    let series: Vec<f64> = impact::fig9(&graph)
+        .compliant
+        .iter()
+        .map(|i| i.after_fraction)
+        .collect();
+    // Paper: 30% → 80% → >95% → plateau. Ours: sharp λ=2 jump, >90% by λ=4,
+    // flat tail.
+    assert!(series[1] > series[0] + 0.2, "{series:?}");
+    assert!(series[3] > 0.85, "{series:?}");
+    assert!((series[7] - series[4]).abs() < 0.02, "{series:?}");
+}
+
+#[test]
+#[ignore = "paper-scale run"]
+fn fig12_violating_curve_grows_compliant_stays_flat() {
+    let graph = Scale::Paper.internet(SEED);
+    let f12 = impact::fig12(&graph);
+    let compliant: Vec<f64> = f12.compliant.iter().map(|i| i.after_fraction).collect();
+    let violating: Vec<f64> = f12
+        .violating
+        .as_ref()
+        .unwrap()
+        .iter()
+        .map(|i| i.after_fraction)
+        .collect();
+    assert!(compliant[7] < 0.1, "compliant confined: {compliant:?}");
+    assert!(violating[7] > 0.5, "violating grows large: {violating:?}");
+    assert!(violating[7] > violating[0] + 0.3);
+}
+
+#[test]
+#[ignore = "paper-scale run"]
+fn fig13_accuracy_monotone_and_high_at_the_top() {
+    let graph = Scale::Paper.internet(SEED);
+    let curve = detection::fig13(&graph, Scale::Paper, SEED);
+    assert!(curve
+        .points
+        .windows(2)
+        .all(|w| w[1].accuracy >= w[0].accuracy - 1e-9));
+    assert!(
+        curve.best_accuracy() > 0.9,
+        "best accuracy {}",
+        curve.best_accuracy()
+    );
+}
+
+#[test]
+#[ignore = "paper-scale run"]
+fn fig5_fig6_headline_numbers_in_range() {
+    let result = usage::run(Scale::Paper, SEED);
+    let s = &result.summary;
+    assert!(
+        (0.08..=0.25).contains(&s.mean_table_fraction),
+        "mean table fraction {}",
+        s.mean_table_fraction
+    );
+    assert!(
+        (0.25..=0.5).contains(&s.depth2_share),
+        "depth-2 share {}",
+        s.depth2_share
+    );
+    assert!(
+        result.updates_cdf.mean() > result.all_table_cdf.mean(),
+        "updates show more prepending"
+    );
+}
