@@ -2,7 +2,10 @@
 
 use std::fmt;
 
-use aspp_routing::{AttackStrategy, AttackerModel, DestinationSpec, ExportMode, RoutingEngine, TieBreak};
+use aspp_routing::{
+    AttackStrategy, AttackerModel, DestinationSpec, ExportMode, RouteWorkspace, RoutingEngine,
+    TieBreak,
+};
 use aspp_topology::AsGraph;
 use aspp_types::Asn;
 
@@ -176,8 +179,24 @@ impl fmt::Display for HijackImpact {
 /// (propagated from the routing engine).
 #[must_use]
 pub fn run_experiment(graph: &AsGraph, exp: &HijackExperiment) -> HijackImpact {
+    run_experiment_with(graph, exp, &mut RouteWorkspace::with_cache_capacity(0))
+}
+
+/// Runs one experiment, reusing `ws` for scratch state and the clean-pass
+/// cache. Sweeps that revisit a victim (λ sweeps, attacker sweeps) should
+/// prefer this over [`run_experiment`] and keep one workspace per thread.
+///
+/// # Panics
+///
+/// Same as [`run_experiment`].
+#[must_use]
+pub fn run_experiment_with(
+    graph: &AsGraph,
+    exp: &HijackExperiment,
+    ws: &mut RouteWorkspace,
+) -> HijackImpact {
     let engine = RoutingEngine::new(graph);
-    let outcome = engine.compute(&exp.to_spec());
+    let outcome = engine.compute_with(&exp.to_spec(), ws);
     HijackImpact {
         experiment: *exp,
         before_fraction: outcome.baseline_fraction(),
@@ -191,34 +210,35 @@ pub fn run_experiment(graph: &AsGraph, exp: &HijackExperiment) -> HijackImpact {
 /// Runs many experiments across worker threads (scoped, no `'static`
 /// bounds), preserving input order. Used by the figure sweeps, where each
 /// data point is an independent equilibrium computation.
+///
+/// Each worker owns one contiguous chunk of the input and writes results
+/// straight into the matching output chunk — no locks, no slot cells — and
+/// carries its own [`RouteWorkspace`], so consecutive experiments against
+/// the same victim share cached clean passes. Results are identical to
+/// mapping [`run_experiment`] serially.
 #[must_use]
 pub fn run_experiments_parallel(graph: &AsGraph, exps: &[HijackExperiment]) -> Vec<HijackImpact> {
+    if exps.is_empty() {
+        return Vec::new();
+    }
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
-        .min(exps.len().max(1));
+        .min(exps.len());
+    let chunk = exps.len().div_ceil(workers);
     let mut results: Vec<Option<HijackImpact>> = vec![None; exps.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_slots: Vec<std::sync::Mutex<Option<HijackImpact>>> =
-        (0..exps.len()).map(|_| std::sync::Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= exps.len() {
-                    break;
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in exps.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                let mut ws = RouteWorkspace::new();
+                for (exp, out) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *out = Some(run_experiment_with(graph, exp, &mut ws));
                 }
-                let impact = run_experiment(graph, &exps[i]);
-                *results_slots[i].lock().expect("no poisoning") = Some(impact);
             });
         }
-    })
-    .expect("worker threads never panic");
+    });
 
-    for (slot, out) in results_slots.iter().zip(results.iter_mut()) {
-        *out = *slot.lock().expect("no poisoning");
-    }
     results
         .into_iter()
         .map(|r| r.expect("every experiment ran"))
@@ -266,8 +286,7 @@ mod tests {
     fn violating_export_never_reduces_impact() {
         let g = InternetConfig::small().seed(32).build();
         for (v, m) in [(Asn(100), Asn(20_003)), (Asn(20_004), Asn(20_005))] {
-            let compliant =
-                run_experiment(&g, &HijackExperiment::new(v, m).padding(5));
+            let compliant = run_experiment(&g, &HijackExperiment::new(v, m).padding(5));
             let violating = run_experiment(
                 &g,
                 &HijackExperiment::new(v, m)
@@ -289,10 +308,39 @@ mod tests {
         let exps: Vec<HijackExperiment> = (0..6)
             .map(|i| HijackExperiment::new(Asn(100 + i), Asn(20_000 + i)).padding(3))
             .collect();
-        let serial: Vec<HijackImpact> =
-            exps.iter().map(|e| run_experiment(&g, e)).collect();
+        let serial: Vec<HijackImpact> = exps.iter().map(|e| run_experiment(&g, e)).collect();
         let parallel = run_experiments_parallel(&g, &exps);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_with_shared_victims_matches_serial() {
+        // Repeated victims across padding levels exercise the per-worker
+        // clean-pass cache; results must still be byte-identical to serial.
+        let g = InternetConfig::small().seed(34).build();
+        let mut exps = Vec::new();
+        for pad in 1..6 {
+            for m in [Asn(20_001), Asn(20_002), Asn(20_003)] {
+                exps.push(HijackExperiment::new(Asn(100), m).padding(pad));
+            }
+        }
+        let serial: Vec<HijackImpact> = exps.iter().map(|e| run_experiment(&g, e)).collect();
+        assert_eq!(serial, run_experiments_parallel(&g, &exps));
+        assert!(run_experiments_parallel(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        let g = InternetConfig::small().seed(35).build();
+        let mut ws = RouteWorkspace::new();
+        for pad in 1..5 {
+            let exp = HijackExperiment::new(Asn(100), Asn(20_001)).padding(pad);
+            assert_eq!(
+                run_experiment(&g, &exp),
+                run_experiment_with(&g, &exp, &mut ws)
+            );
+        }
+        assert!(ws.cache_hits() + ws.cache_misses() > 0);
     }
 
     #[test]

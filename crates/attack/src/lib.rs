@@ -30,5 +30,7 @@ pub mod mitigation;
 pub mod scenarios;
 pub mod sweep;
 
-pub use aspp_routing::ExportMode;
-pub use experiment::{run_experiment, run_experiments_parallel, HijackExperiment, HijackImpact};
+pub use aspp_routing::{ExportMode, RouteWorkspace};
+pub use experiment::{
+    run_experiment, run_experiment_with, run_experiments_parallel, HijackExperiment, HijackImpact,
+};

@@ -37,7 +37,8 @@ pub fn facebook_topology() -> AsGraph {
     g.add_peering(NTT, LEVEL3).expect("fresh edge");
     g.add_provider_customer(CHINA_TELECOM, KOREA_TELECOM)
         .expect("fresh edge");
-    g.add_provider_customer(LEVEL3, FACEBOOK).expect("fresh edge");
+    g.add_provider_customer(LEVEL3, FACEBOOK)
+        .expect("fresh edge");
     g.add_provider_customer(KOREA_TELECOM, FACEBOOK)
         .expect("fresh edge");
     g.sort_neighbors();
@@ -72,15 +73,7 @@ pub fn facebook_anomaly_spec() -> DestinationSpec {
 #[must_use]
 pub fn figure3_topology() -> AsGraph {
     let mut g = AsGraph::new();
-    let (v, a, c, m, e, b, d) = (
-        Asn(1),
-        Asn(10),
-        Asn(12),
-        Asn(66),
-        Asn(55),
-        Asn(77),
-        Asn(13),
-    );
+    let (v, a, c, m, e, b, d) = (Asn(1), Asn(10), Asn(12), Asn(66), Asn(55), Asn(77), Asn(13));
     g.add_provider_customer(a, v).expect("fresh edge");
     g.add_provider_customer(c, v).expect("fresh edge");
     g.add_peering(a, c).expect("fresh edge");
@@ -144,10 +137,7 @@ mod tests {
         // V announces [V V V] to A and [V V] to C in the figure; reproduce
         // with a per-neighbor policy.
         let mut config = aspp_routing::PrependConfig::new();
-        config.set(
-            V,
-            aspp_routing::PrependingPolicy::per_neighbor(2, [(C, 1)]),
-        );
+        config.set(V, aspp_routing::PrependingPolicy::per_neighbor(2, [(C, 1)]));
         let outcome = engine.compute(&DestinationSpec::new(V).prepend_config(config));
         // E observes [E A V V V] as in the figure.
         assert_eq!(outcome.observed_path(E).unwrap().to_string(), "55 10 1 1 1");

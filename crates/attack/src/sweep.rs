@@ -1,6 +1,6 @@
 //! Experiment sweeps reproducing the paper's Figures 7–12.
 
-use aspp_routing::ExportMode;
+use aspp_routing::{ExportMode, RouteWorkspace};
 use aspp_topology::tier::TierMap;
 use aspp_topology::AsGraph;
 use aspp_types::Asn;
@@ -8,7 +8,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::experiment::{run_experiments_parallel, HijackExperiment, HijackImpact};
+use crate::experiment::{
+    run_experiment_with, run_experiments_parallel, HijackExperiment, HijackImpact,
+};
 
 /// Samples `n` distinct tier-1 attacker/victim pairs (Figure 7: "80
 /// instances of such hijacking cases with 3 prepended instances").
@@ -53,6 +55,11 @@ pub fn random_pair_experiments(
 
 /// Samples pairs with the attacker drawn from `attackers` and the victim
 /// from `victims` (attacker ≠ victim), λ = `padding`.
+///
+/// Samples **without replacement**: every returned pair is distinct, and
+/// exactly `n` experiments are returned whenever the pools admit that many
+/// distinct pairs. When they don't (tiny pools), every distinct pair is
+/// returned once — the only case where the result is shorter than `n`.
 #[must_use]
 pub fn pair_experiments(
     victims: &[Asn],
@@ -62,17 +69,47 @@ pub fn pair_experiments(
     seed: u64,
 ) -> Vec<HijackExperiment> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(n);
-    let mut guard = 0;
-    while out.len() < n && guard < n * 50 + 100 {
-        guard += 1;
-        let (Some(&v), Some(&m)) = (victims.choose(&mut rng), attackers.choose(&mut rng)) else {
-            break;
-        };
-        if v == m {
-            continue;
+    let attacker_set: std::collections::HashSet<Asn> = attackers.iter().copied().collect();
+    let overlap = victims.iter().filter(|v| attacker_set.contains(v)).count();
+    let total = victims.len() * attackers.len() - overlap;
+    let target = n.min(total);
+    if target == 0 {
+        return Vec::new();
+    }
+
+    let mut out = Vec::with_capacity(target);
+    if total <= n.saturating_mul(4).max(64) {
+        // Small pair space: enumerate every distinct pair and shuffle, which
+        // guarantees the full count with no rejection loop.
+        let mut pairs: Vec<(Asn, Asn)> = victims
+            .iter()
+            .flat_map(|&v| {
+                attackers
+                    .iter()
+                    .filter(move |&&m| m != v)
+                    .map(move |&m| (v, m))
+            })
+            .collect();
+        pairs.shuffle(&mut rng);
+        pairs.truncate(target);
+        out.extend(
+            pairs
+                .into_iter()
+                .map(|(v, m)| HijackExperiment::new(v, m).padding(padding)),
+        );
+    } else {
+        // Large pair space: rejection-sample with dedup. Since
+        // total > 4n, each draw is fresh with probability > 3/4 and the
+        // loop terminates quickly.
+        let mut seen = std::collections::HashSet::with_capacity(target);
+        while out.len() < target {
+            let &v = victims.choose(&mut rng).expect("non-empty pool");
+            let &m = attackers.choose(&mut rng).expect("non-empty pool");
+            if v == m || !seen.insert((v, m)) {
+                continue;
+            }
+            out.push(HijackExperiment::new(v, m).padding(padding));
         }
-        out.push(HijackExperiment::new(v, m).padding(padding));
     }
     out
 }
@@ -82,11 +119,9 @@ pub fn pair_experiments(
 #[must_use]
 pub fn run_ranked(graph: &AsGraph, exps: &[HijackExperiment]) -> Vec<HijackImpact> {
     let mut impacts = run_experiments_parallel(graph, exps);
-    impacts.sort_by(|a, b| {
-        b.after_fraction
-            .partial_cmp(&a.after_fraction)
-            .expect("fractions are finite")
-    });
+    // total_cmp: a NaN fraction (impossible today, but a degenerate
+    // population could produce one) must not panic mid-sort.
+    impacts.sort_by(|a, b| b.after_fraction.total_cmp(&a.after_fraction));
     impacts
 }
 
@@ -123,6 +158,32 @@ pub fn prepend_sweep(
         })
         .collect();
     run_experiments_parallel(graph, &exps)
+}
+
+/// Serial variant of [`prepend_sweep`] that reuses `ws` across λ values and
+/// across calls. The clean pass is keyed by `(victim, prepending config,
+/// tie-break)`, so re-running a sweep — or sweeping several attackers
+/// against the same victim and λ grid — serves the victim's clean passes
+/// from cache and only computes the attacked passes. Results are identical
+/// to [`prepend_sweep`].
+#[must_use]
+pub fn prepend_sweep_with(
+    graph: &AsGraph,
+    victim: Asn,
+    attacker: Asn,
+    paddings: impl IntoIterator<Item = usize>,
+    mode: ExportMode,
+    ws: &mut RouteWorkspace,
+) -> Vec<HijackImpact> {
+    paddings
+        .into_iter()
+        .map(|p| {
+            let exp = HijackExperiment::new(victim, attacker)
+                .padding(p)
+                .export_mode(mode);
+            run_experiment_with(graph, &exp, ws)
+        })
+        .collect()
 }
 
 /// Picks one AS per requested tier, deterministically: the lowest-ASN member
@@ -216,6 +277,48 @@ mod tests {
     }
 
     #[test]
+    fn two_as_pool_yields_each_pair_once() {
+        // Only two distinct ordered pairs exist; asking for five must return
+        // exactly those two, not duplicates and not an empty guard-bailout.
+        let pool = [Asn(1), Asn(2)];
+        let exps = pair_experiments(&pool, &pool, 5, 3, 0);
+        assert_eq!(exps.len(), 2);
+        let mut pairs: Vec<_> = exps.iter().map(|e| (e.victim(), e.attacker())).collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(Asn(1), Asn(2)), (Asn(2), Asn(1))]);
+    }
+
+    #[test]
+    fn sampled_pairs_are_distinct() {
+        let g = graph();
+        let exps = random_pair_experiments(&g, 40, 3, 2);
+        let mut pairs: Vec<_> = exps.iter().map(|e| (e.victim(), e.attacker())).collect();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 40, "pairs must be sampled without replacement");
+    }
+
+    #[test]
+    fn workspace_sweep_matches_parallel_sweep() {
+        let g = graph();
+        let mut ws = RouteWorkspace::new();
+        for _ in 0..2 {
+            let reused = prepend_sweep_with(
+                &g,
+                Asn(100),
+                Asn(101),
+                1..=6,
+                ExportMode::Compliant,
+                &mut ws,
+            );
+            let fresh = prepend_sweep(&g, Asn(100), Asn(101), 1..=6, ExportMode::Compliant);
+            assert_eq!(fresh, reused);
+        }
+        // The second sweep served every clean pass from cache.
+        assert_eq!(ws.cache_hits(), 6);
+    }
+
+    #[test]
     fn representative_and_stub_pickers() {
         let g = graph();
         let t1 = representative_of_tier(&g, 1).unwrap();
@@ -237,6 +340,9 @@ mod tests {
         assert!(last > first, "padding must increase pollution");
         // Plateau: the last two λ values pollute (nearly) identically.
         let prev = series[6].after_fraction;
-        assert!((last - prev).abs() < 0.02, "plateau expected: {prev} vs {last}");
+        assert!(
+            (last - prev).abs() < 0.02,
+            "plateau expected: {prev} vs {last}"
+        );
     }
 }

@@ -21,7 +21,11 @@ fn facebook_scenario_spec_reproduces_three_pad_route() {
     let g = facebook_topology();
     let outcome = RoutingEngine::new(&g).compute(&facebook_anomaly_spec());
     let path = outcome.observed_path(well_known::ATT).unwrap();
-    assert_eq!(path.origin_padding(), 3, "paper's anomalous route keeps 3 copies");
+    assert_eq!(
+        path.origin_padding(),
+        3,
+        "paper's anomalous route keeps 3 copies"
+    );
 }
 
 #[test]
@@ -32,7 +36,10 @@ fn figure3_constants_are_wired_to_the_topology() {
         g.relationship(A, V),
         Some(aspp_types::Relationship::Customer)
     );
-    assert_eq!(g.relationship(M, B), Some(aspp_types::Relationship::Customer));
+    assert_eq!(
+        g.relationship(M, B),
+        Some(aspp_types::Relationship::Customer)
+    );
     assert_eq!(g.relationship(A, C), Some(aspp_types::Relationship::Peer));
 }
 
@@ -78,7 +85,10 @@ fn pair_experiments_avoid_self_attacks() {
 fn sweep_modes_cover_range_exactly() {
     let g = internet(504);
     let series = prepend_sweep(&g, Asn(20_002), Asn(100), [2, 4, 6], ExportMode::Compliant);
-    let lambdas: Vec<usize> = series.iter().map(|i| i.experiment.padding_level()).collect();
+    let lambdas: Vec<usize> = series
+        .iter()
+        .map(|i| i.experiment.padding_level())
+        .collect();
     assert_eq!(lambdas, vec![2, 4, 6]);
 }
 

@@ -29,7 +29,10 @@ fn bench(c: &mut Criterion) {
         .origin_padding(4)
         .attacker(AttackerModel::new(Asn(100)));
     let sim_messages = BgpSimulation::new(&graph).run(&spec).messages_processed();
-    println!("message-level convergence: {sim_messages} messages for {} ASes", graph.len());
+    println!(
+        "message-level convergence: {sim_messages} messages for {} ASes",
+        graph.len()
+    );
     group.bench_function("bgp_sim_attacked", |b| {
         b.iter(|| black_box(BgpSimulation::new(&graph).run(black_box(&spec))));
     });

@@ -43,7 +43,10 @@ fn bench(c: &mut Criterion) {
     for (name, inferred) in [
         ("gao", gao_infer(&paths, &seed, InferParams::default())),
         ("degree", degree_infer(&paths, InferParams::default())),
-        ("consensus", consensus_infer(&paths, &seed, InferParams::default())),
+        (
+            "consensus",
+            consensus_infer(&paths, &seed, InferParams::default()),
+        ),
     ] {
         let acc = InferenceAccuracy::compare(&graph, &inferred);
         println!(

@@ -157,9 +157,7 @@ mod tests {
     fn table1_delay_shape() {
         let study = run(5);
         // Cross-ocean detour at least doubles the RTT, and lands >150 ms.
-        assert!(
-            study.anomalous_trace.final_rtt_ms() > 2.0 * study.normal_trace.final_rtt_ms()
-        );
+        assert!(study.anomalous_trace.final_rtt_ms() > 2.0 * study.normal_trace.final_rtt_ms());
         assert!(study.anomalous_trace.final_rtt_ms() > 150.0);
         // Hops traverse AT&T -> China Telecom -> Korea -> Facebook in order.
         let seq = study.anomalous_trace.as_sequence();

@@ -103,8 +103,7 @@ pub fn fig14(graph: &AsGraph, scale: Scale, seed: u64) -> DetectionLatency {
         // Skip infeasible/ineffective attacks the same way Figure 13 does.
         let engine = aspp_routing::RoutingEngine::new(graph);
         let outcome = engine.compute(&exp.to_spec());
-        if !outcome.has_attack() || outcome.polluted_count() == 0 || outcome.changed_count() == 0
-        {
+        if !outcome.has_attack() || outcome.polluted_count() == 0 || outcome.changed_count() == 0 {
             continue;
         }
         total += 1;
@@ -134,12 +133,7 @@ impl SelectionStudy {
     /// Renders the three strategies' accuracies per budget.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut table = TextTable::new([
-            "monitor budget",
-            "greedy %",
-            "top-degree %",
-            "random %",
-        ]);
+        let mut table = TextTable::new(["monitor budget", "greedy %", "top-degree %", "random %"]);
         for c in &self.comparisons {
             table.row([
                 c.budget.to_string(),
@@ -148,8 +142,10 @@ impl SelectionStudy {
                 format!("{:.1}", c.random * 100.0),
             ]);
         }
-        format!("# Vantage-point selection (paper future work)
-{table}")
+        format!(
+            "# Vantage-point selection (paper future work)
+{table}"
+        )
     }
 }
 
@@ -183,7 +179,11 @@ mod tests {
             .points
             .windows(2)
             .all(|w| w[1].accuracy >= w[0].accuracy - 1e-9));
-        assert!(curve.best_accuracy() > 0.5, "best {}", curve.best_accuracy());
+        assert!(
+            curve.best_accuracy() > 0.5,
+            "best {}",
+            curve.best_accuracy()
+        );
         assert!(curve.render().contains("Figure 13"));
     }
 

@@ -129,7 +129,12 @@ impl MitigationStudy {
     /// Renders the before/after table.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut table = TextTable::new(["defense", "polluted before %", "polluted after %", "relief %"]);
+        let mut table = TextTable::new([
+            "defense",
+            "polluted before %",
+            "polluted after %",
+            "relief %",
+        ]);
         for (name, report) in [
             ("padding reduction (λ→1)", &self.padding_reduction),
             ("deaggregation (/x+1 specifics)", &self.deaggregation),

@@ -1,8 +1,7 @@
 //! Attack-impact experiments — the paper's Figures 7 through 12.
 
 use aspp_attack::sweep::{
-    best_connected_stub, prepend_sweep, random_pair_experiments, run_ranked,
-    tier1_pair_experiments,
+    best_connected_stub, prepend_sweep, random_pair_experiments, run_ranked, tier1_pair_experiments,
 };
 use aspp_attack::{ExportMode, HijackImpact};
 use aspp_topology::tier::{customer_cone, TierMap};
@@ -349,8 +348,7 @@ mod tests {
         assert!(v8 > 0.5, "violating pollution at λ=8: {v8}");
         // And both grow with λ.
         assert!(
-            violating.last().unwrap().after_fraction
-                > violating.first().unwrap().after_fraction
+            violating.last().unwrap().after_fraction > violating.first().unwrap().after_fraction
         );
         assert!(sweep.render().contains("violate"));
     }
@@ -362,7 +360,10 @@ mod tests {
         let violating = sweep.violating.as_ref().unwrap();
         let c8 = sweep.compliant.last().unwrap().after_fraction;
         let v8 = violating.last().unwrap().after_fraction;
-        assert!(v8 >= c8, "violating ({v8}) at least as strong as compliant ({c8})");
+        assert!(
+            v8 >= c8,
+            "violating ({v8}) at least as strong as compliant ({c8})"
+        );
         assert!(v8 > 0.3, "violating attacker gains real traction: {v8}");
         assert!(c8 < 0.2, "compliant small attacker stays confined: {c8}");
     }

@@ -3,11 +3,11 @@
 
 use std::collections::BTreeMap;
 
-use aspp_data::tier1_monitors;
 use aspp_data::measure::{
     self, fraction_cdf, table_depth_distribution, update_depth_distribution, UsageSummary,
 };
 use aspp_data::stats::Cdf;
+use aspp_data::tier1_monitors;
 use aspp_data::{Corpus, CorpusConfig};
 
 use super::Scale;

@@ -42,15 +42,14 @@ pub use aspp_types as types;
 /// Convenience re-exports of the most used items.
 pub mod prelude {
     pub use aspp_attack::{
-        run_experiment, scenarios, sweep, ExportMode, HijackExperiment, HijackImpact,
+        run_experiment, run_experiment_with, run_experiments_parallel, scenarios, sweep,
+        ExportMode, HijackExperiment, HijackImpact, RouteWorkspace,
     };
     pub use aspp_data::{measure, stats::Cdf, Corpus, CorpusConfig};
-    pub use aspp_dataplane::{
-        forwarding, simulate_traceroute, Region, RegionMap, Traceroute,
-    };
+    pub use aspp_dataplane::{forwarding, simulate_traceroute, Region, RegionMap, Traceroute};
     pub use aspp_detect::{
-        baseline, eval as detect_eval, monitors, realtime, selection, Alarm, Confidence,
-        Detector, RouteView,
+        baseline, eval as detect_eval, monitors, realtime, selection, Alarm, Confidence, Detector,
+        RouteView,
     };
     pub use aspp_routing::{
         bgp, AttackStrategy, AttackerModel, DestinationSpec, ExportMode as RoutingExportMode,

@@ -1,7 +1,9 @@
 //! Synthetic public-monitor corpus generation.
 
 use aspp_routing::events::{random_tree_link, updates_after_failure};
-use aspp_routing::{AttackerModel, DestinationSpec, PrependConfig, PrependingPolicy, RoutingEngine};
+use aspp_routing::{
+    AttackerModel, DestinationSpec, PrependConfig, PrependingPolicy, RoutingEngine,
+};
 use aspp_topology::tier::TierMap;
 use aspp_topology::AsGraph;
 use aspp_types::{Asn, Ipv4Prefix};
@@ -204,8 +206,7 @@ impl CorpusConfig {
         for &asn in &transit {
             if rng.gen_bool(self.intermediary_pad_rate) {
                 let depth = self.intermediary_depth.sample(&mut rng);
-                let overrides: Vec<(Asn, usize)> =
-                    graph.peers(asn).map(|p| (p, depth)).collect();
+                let overrides: Vec<(Asn, usize)> = graph.peers(asn).map(|p| (p, depth)).collect();
                 base_config.set(asn, PrependingPolicy::per_neighbor(0, overrides));
             }
         }
@@ -220,8 +221,7 @@ impl CorpusConfig {
         let mut seq = 0u64;
         let mut attacked_prefix_spec: Option<(Ipv4Prefix, DestinationSpec)> = None;
         for (i, &origin) in origins.iter().enumerate() {
-            let prefix =
-                Ipv4Prefix::containing(0x0a00_0000 + ((i as u32) << 8), 24);
+            let prefix = Ipv4Prefix::containing(0x0a00_0000 + ((i as u32) << 8), 24);
             let mut config = base_config.clone();
             // For differential padders, remember the clean primary provider:
             // failing that link is what exposes the padded backup routes in
@@ -236,11 +236,8 @@ impl CorpusConfig {
                     // the rest.
                     let mut providers: Vec<Asn> = graph.providers(origin).collect();
                     providers.sort();
-                    let overrides: Vec<(Asn, usize)> = providers
-                        .iter()
-                        .skip(1)
-                        .map(|&p| (p, depth))
-                        .collect();
+                    let overrides: Vec<(Asn, usize)> =
+                        providers.iter().skip(1).map(|&p| (p, depth)).collect();
                     if overrides.is_empty() {
                         config.set(origin, PrependingPolicy::Uniform(depth));
                     } else {
@@ -279,8 +276,8 @@ impl CorpusConfig {
             // primary provider link (the failure mode that makes padded
             // backup routes visible in updates — Section VI-A), and a subset
             // of other prefixes lose a random provider link.
-            let periodic = self.churn_events > 0
-                && i % (self.prefixes / self.churn_events.max(1)).max(1) == 0;
+            let periodic =
+                self.churn_events > 0 && i % (self.prefixes / self.churn_events.max(1)).max(1) == 0;
             if clean_primary.is_some() || periodic {
                 let mut providers: Vec<Asn> = graph.providers(origin).collect();
                 providers.sort();
@@ -437,7 +434,10 @@ mod tests {
     #[test]
     fn tier1_monitor_extraction() {
         let g = InternetConfig::small().seed(9).build();
-        let corpus = CorpusConfig::new(10).monitors_top_degree(20).seed(7).generate(&g);
+        let corpus = CorpusConfig::new(10)
+            .monitors_top_degree(20)
+            .seed(7)
+            .generate(&g);
         let t1 = tier1_monitors(&g, &corpus);
         assert!(!t1.is_empty());
         for m in t1 {

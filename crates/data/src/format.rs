@@ -83,7 +83,11 @@ impl CorpusParseError {
 
 impl fmt::Display for CorpusParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "corpus parse error at line {}: {}", self.line_no, self.message)
+        write!(
+            f,
+            "corpus parse error at line {}: {}",
+            self.line_no, self.message
+        )
     }
 }
 

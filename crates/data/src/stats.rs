@@ -25,7 +25,9 @@ impl Cdf {
     #[must_use]
     pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
         let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // total_cmp so a future caller that stops pre-filtering can never
+        // panic the sort; the filter above still drops non-finite samples.
+        sorted.sort_by(f64::total_cmp);
         Cdf { sorted }
     }
 
@@ -48,8 +50,7 @@ impl Cdf {
             return 0.0;
         }
         let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len());
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         self.sorted[rank - 1]
     }
 
@@ -135,6 +136,18 @@ mod tests {
         let cdf = Cdf::from_samples([1.0, f64::NAN, f64::INFINITY, 2.0]);
         assert_eq!(cdf.len(), 2);
         assert_eq!(cdf.range(), Some((1.0, 2.0)));
+    }
+
+    #[test]
+    fn degenerate_batches_never_panic() {
+        // All-NaN input: everything filtered, behaves as empty.
+        let cdf = Cdf::from_samples([f64::NAN, f64::NAN]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.quantile(0.9), 0.0);
+        // Signed zeros and subnormals sort without panicking.
+        let cdf = Cdf::from_samples([0.0, -0.0, f64::MIN_POSITIVE / 2.0]);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf.range().map(|(_, hi)| hi), Some(f64::MIN_POSITIVE / 2.0));
     }
 
     #[test]

@@ -5,7 +5,9 @@ use aspp_data::measure::{
     update_prepending_fractions, usage_summary,
 };
 use aspp_data::stats::{normalized_histogram, Cdf};
-use aspp_data::{tier1_monitors, Corpus, CorpusConfig, DepthDistribution, UpdateAction, UpdateRecord};
+use aspp_data::{
+    tier1_monitors, Corpus, CorpusConfig, DepthDistribution, UpdateAction, UpdateRecord,
+};
 use aspp_topology::gen::InternetConfig;
 use aspp_types::Asn;
 use rand::rngs::StdRng;
@@ -26,8 +28,14 @@ fn zero_prefix_corpus_is_empty_but_valid() {
 #[test]
 fn corpus_seeds_change_everything_but_structure() {
     let g = InternetConfig::small().seed(402).build();
-    let a = CorpusConfig::new(20).monitors_top_degree(10).seed(1).generate(&g);
-    let b = CorpusConfig::new(20).monitors_top_degree(10).seed(2).generate(&g);
+    let a = CorpusConfig::new(20)
+        .monitors_top_degree(10)
+        .seed(1)
+        .generate(&g);
+    let b = CorpusConfig::new(20)
+        .monitors_top_degree(10)
+        .seed(2)
+        .generate(&g);
     assert_eq!(a.monitors().count(), b.monitors().count());
     assert_ne!(a, b, "different seeds, different routes/padding");
 }
@@ -95,7 +103,10 @@ fn measurement_functions_agree_on_manual_corpus() {
 #[test]
 fn tier1_monitor_subset_is_consistent_with_classification() {
     let g = InternetConfig::small().seed(405).build();
-    let corpus = CorpusConfig::new(10).monitors_top_degree(20).seed(7).generate(&g);
+    let corpus = CorpusConfig::new(10)
+        .monitors_top_degree(20)
+        .seed(7)
+        .generate(&g);
     let t1 = tier1_monitors(&g, &corpus);
     let all: Vec<Asn> = corpus.monitors().collect();
     for m in &t1 {

@@ -237,12 +237,9 @@ mod tests {
     #[test]
     fn origin_hijack_blackholes() {
         let g = line_graph();
-        let spec = DestinationSpec::new(Asn(1))
-            .origin_padding(4)
-            .attacker(
-                AttackerModel::new(Asn(66))
-                    .strategy(aspp_routing::AttackStrategy::OriginHijack),
-            );
+        let spec = DestinationSpec::new(Asn(1)).origin_padding(4).attacker(
+            AttackerModel::new(Asn(66)).strategy(aspp_routing::AttackStrategy::OriginHijack),
+        );
         let outcome = RoutingEngine::new(&g).compute(&spec);
         // 77 is polluted (1-hop bogus origin beats the padded real route).
         assert!(outcome.is_polluted(Asn(77)));
@@ -278,12 +275,14 @@ mod tests {
         let spec = DestinationSpec::new(Asn(20_000))
             .origin_padding(5)
             .attacker(
-                AttackerModel::new(Asn(100))
-                    .strategy(aspp_routing::AttackStrategy::OriginHijack),
+                AttackerModel::new(Asn(100)).strategy(aspp_routing::AttackStrategy::OriginHijack),
             );
         let outcome = RoutingEngine::new(&g).compute(&spec);
         let stats = delivery_stats(&outcome);
-        assert!(stats.blackholed > 0.1, "hijack blackholes traffic: {stats:?}");
+        assert!(
+            stats.blackholed > 0.1,
+            "hijack blackholes traffic: {stats:?}"
+        );
         assert!(
             (stats.blackholed - outcome.polluted_fraction()).abs() < 0.1,
             "blackholed ≈ polluted: {stats:?} vs {}",

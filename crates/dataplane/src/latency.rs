@@ -155,7 +155,10 @@ mod tests {
     fn transpacific_is_much_slower_than_domestic() {
         let domestic = Region::UsEast.propagation_ms(Region::UsWest);
         let transpacific = Region::UsEast.propagation_ms(Region::Korea);
-        assert!(transpacific > domestic * 2.0, "{transpacific} vs {domestic}");
+        assert!(
+            transpacific > domestic * 2.0,
+            "{transpacific} vs {domestic}"
+        );
         // Korea and China are close.
         assert!(Region::Korea.propagation_ms(Region::China) < 15.0);
     }

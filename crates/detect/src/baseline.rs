@@ -178,7 +178,13 @@ mod tests {
         // 7 announces a direct route to 1: link 7-1 is new.
         let v = view(&["8 7 1"]);
         let anomalies = detect_link_anomalies(&known, &v);
-        assert_eq!(anomalies, vec![LinkAnomaly { from: Asn(7), to: Asn(1) }]);
+        assert_eq!(
+            anomalies,
+            vec![LinkAnomaly {
+                from: Asn(7),
+                to: Asn(1)
+            }]
+        );
     }
 
     #[test]

@@ -275,11 +275,7 @@ impl ViewIndex {
 fn strip_head(path: &AsPath) -> Option<AsPath> {
     let hops = path.hops();
     let head = *hops.first()?;
-    let rest: Vec<Asn> = hops
-        .iter()
-        .copied()
-        .skip_while(|&h| h == head)
-        .collect();
+    let rest: Vec<Asn> = hops.iter().copied().skip_while(|&h| h == head).collect();
     if rest.is_empty() {
         None
     } else {
@@ -391,7 +387,9 @@ mod tests {
 
         let monitors = [B, D, E];
         let before = RouteView::from_paths(
-            monitors.iter().filter_map(|&m| outcome.clean_observed_path(m)),
+            monitors
+                .iter()
+                .filter_map(|&m| outcome.clean_observed_path(m)),
         );
         let after =
             RouteView::from_paths(monitors.iter().filter_map(|&m| outcome.observed_path(m)));
@@ -413,9 +411,7 @@ mod tests {
         let spec = DestinationSpec::new(V).origin_padding(3);
         let outcome = engine.compute(&spec);
         let monitors = [B, D, E];
-        let view = RouteView::from_paths(
-            monitors.iter().filter_map(|&m| outcome.observed_path(m)),
-        );
+        let view = RouteView::from_paths(monitors.iter().filter_map(|&m| outcome.observed_path(m)));
         let detector = Detector::new(&g);
         assert!(detector.scan(&view, &view).is_empty());
     }
@@ -434,12 +430,10 @@ mod tests {
         let before_out = engine.compute(&before_spec);
         let after_out = engine.compute(&after_spec);
         let monitors = [B, D, E];
-        let before = RouteView::from_paths(
-            monitors.iter().filter_map(|&m| before_out.observed_path(m)),
-        );
-        let after = RouteView::from_paths(
-            monitors.iter().filter_map(|&m| after_out.observed_path(m)),
-        );
+        let before =
+            RouteView::from_paths(monitors.iter().filter_map(|&m| before_out.observed_path(m)));
+        let after =
+            RouteView::from_paths(monitors.iter().filter_map(|&m| after_out.observed_path(m)));
         let detector = Detector::new(&g);
         let alarms = detector.scan(&before, &after);
         assert!(

@@ -2,7 +2,7 @@
 //! of monitors) and Figure 14 (fraction of ASes polluted before detection).
 
 use aspp_attack::HijackExperiment;
-use aspp_routing::{RoutingEngine, RoutingOutcome};
+use aspp_routing::{RouteWorkspace, RoutingEngine, RoutingOutcome};
 use aspp_topology::AsGraph;
 use aspp_types::Asn;
 
@@ -132,6 +132,9 @@ pub fn accuracy_vs_monitors(
             scope.spawn(|_| {
                 let engine = RoutingEngine::new(graph);
                 let detector = Detector::new(graph);
+                // One workspace per worker: the heap is reused across every
+                // equilibrium, and repeated victims share clean passes.
+                let mut ws = RouteWorkspace::new();
                 let mut local = vec![Tally::default(); monitor_counts.len()];
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -139,7 +142,7 @@ pub fn accuracy_vs_monitors(
                         break;
                     }
                     let exp = &exps[i];
-                    let outcome = engine.compute(&exp.to_spec());
+                    let outcome = engine.compute_with(&exp.to_spec(), &mut ws);
                     if !outcome.has_attack()
                         || outcome.polluted_count() == 0
                         || outcome.changed_count() == 0
@@ -317,6 +320,7 @@ pub fn false_positive_rate(
 
     let engine = RoutingEngine::new(graph);
     let detector = Detector::new(graph);
+    let mut ws = RouteWorkspace::new();
     let mut report = FalsePositiveReport::default();
     for &victim in victims {
         let mut providers: Vec<Asn> = graph.providers(victim).collect();
@@ -329,16 +333,12 @@ pub fn false_positive_rate(
         config.set(victim, PrependingPolicy::per_neighbor(2, [(primary, 0)]));
         let after_spec = DestinationSpec::new(victim).prepend_config(config);
 
-        let before_out = engine.compute(&before_spec);
-        let after_out = engine.compute(&after_spec);
-        let before = RouteView::from_paths(
-            monitors
-                .iter()
-                .filter_map(|&m| before_out.observed_path(m)),
-        );
-        let after = RouteView::from_paths(
-            monitors.iter().filter_map(|&m| after_out.observed_path(m)),
-        );
+        let before_out = engine.compute_with(&before_spec, &mut ws);
+        let after_out = engine.compute_with(&after_spec, &mut ws);
+        let before =
+            RouteView::from_paths(monitors.iter().filter_map(|&m| before_out.observed_path(m)));
+        let after =
+            RouteView::from_paths(monitors.iter().filter_map(|&m| after_out.observed_path(m)));
         report.scenarios += 1;
         let alarms = detector.scan(&before, &after);
         if !alarms.is_empty() {
@@ -361,11 +361,17 @@ pub fn visibility_matrix(
     attacker: Asn,
     padding: usize,
     monitors: &[Asn],
-) -> Vec<(aspp_routing::AttackStrategy, crate::baseline::VisibilityReport)> {
+) -> Vec<(
+    aspp_routing::AttackStrategy,
+    crate::baseline::VisibilityReport,
+)> {
     use aspp_routing::{AttackStrategy, AttackerModel, DestinationSpec};
 
     let engine = RoutingEngine::new(graph);
     let detector = Detector::new(graph);
+    // All three strategies share one victim and padding, so the clean pass
+    // is computed once and served from the workspace cache twice.
+    let mut ws = RouteWorkspace::new();
     let strategies = [
         AttackStrategy::StripPadding { keep: 1 },
         AttackStrategy::ForgeDirect,
@@ -377,7 +383,7 @@ pub fn visibility_matrix(
             let spec = DestinationSpec::new(victim)
                 .origin_padding(padding)
                 .attacker(AttackerModel::new(attacker).strategy(strategy));
-            let outcome = engine.compute(&spec);
+            let outcome = engine.compute_with(&spec, &mut ws);
             let before = RouteView::from_paths(
                 monitors
                     .iter()
@@ -399,12 +405,14 @@ pub fn visibility_matrix(
 /// whose route has already switched show the attacked path, the others the
 /// clean path.
 fn hybrid_view(outcome: &RoutingOutcome<'_>, monitors: &[Asn], round: u32) -> RouteView {
-    RouteView::from_paths(monitors.iter().filter_map(|&m| {
-        match outcome.pollution_distance(m) {
-            Some(d) if d <= round => outcome.observed_path(m),
-            _ => outcome.clean_observed_path(m),
-        }
-    }))
+    RouteView::from_paths(
+        monitors
+            .iter()
+            .filter_map(|&m| match outcome.pollution_distance(m) {
+                Some(d) if d <= round => outcome.observed_path(m),
+                _ => outcome.clean_observed_path(m),
+            }),
+    )
 }
 
 #[cfg(test)]

@@ -169,10 +169,7 @@ impl<'g> StreamingDetector<'g> {
     where
         I: IntoIterator<Item = &'a UpdateRecord>,
     {
-        updates
-            .into_iter()
-            .flat_map(|u| self.process(u))
-            .collect()
+        updates.into_iter().flat_map(|u| self.process(u)).collect()
     }
 }
 

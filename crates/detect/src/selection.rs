@@ -133,16 +133,12 @@ pub fn greedy_selection(
             let gain = attacks
                 .iter()
                 .zip(&covered)
-                .filter(|&(attack, &is_covered)| {
-                    !is_covered && detects(&detector, attack, &trial)
-                })
+                .filter(|&(attack, &is_covered)| !is_covered && detects(&detector, attack, &trial))
                 .count();
             let bootstrap = attacks
                 .iter()
                 .zip(&covered)
-                .filter(|&(attack, &is_covered)| {
-                    !is_covered && attack.changed.contains(&candidate)
-                })
+                .filter(|&(attack, &is_covered)| !is_covered && attack.changed.contains(&candidate))
                 .count();
             let key = (gain, bootstrap);
             let better = match best {
@@ -178,11 +174,7 @@ pub fn greedy_selection(
 
 /// Detection accuracy of a fixed monitor set over held-out attacks.
 #[must_use]
-pub fn evaluate_selection(
-    graph: &AsGraph,
-    attacks: &[HijackExperiment],
-    monitors: &[Asn],
-) -> f64 {
+pub fn evaluate_selection(graph: &AsGraph, attacks: &[HijackExperiment], monitors: &[Asn]) -> f64 {
     let detector = Detector::new(graph);
     let prepared = prepare(graph, attacks);
     if prepared.is_empty() {

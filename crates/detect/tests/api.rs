@@ -27,7 +27,9 @@ fn alarm_quantifies_removed_padding_exactly() {
         let outcome = engine.compute(&spec);
         let monitors = [B, D, E];
         let before = RouteView::from_paths(
-            monitors.iter().filter_map(|&m| outcome.clean_observed_path(m)),
+            monitors
+                .iter()
+                .filter_map(|&m| outcome.clean_observed_path(m)),
         );
         let after =
             RouteView::from_paths(monitors.iter().filter_map(|&m| outcome.observed_path(m)));
@@ -100,7 +102,9 @@ fn streaming_detector_matches_batch_detector() {
 
     // Batch detection.
     let before = RouteView::from_paths(
-        monitors.iter().filter_map(|&m| outcome.clean_observed_path(m)),
+        monitors
+            .iter()
+            .filter_map(|&m| outcome.clean_observed_path(m)),
     );
     let after = RouteView::from_paths(monitors.iter().filter_map(|&m| outcome.observed_path(m)));
     let batch = Detector::new(&g).scan(&before, &after);
@@ -121,8 +125,7 @@ fn streaming_detector_matches_batch_detector() {
             }));
         }
     }
-    let batch_suspects: std::collections::HashSet<Asn> =
-        batch.iter().map(|a| a.suspect).collect();
+    let batch_suspects: std::collections::HashSet<Asn> = batch.iter().map(|a| a.suspect).collect();
     let stream_suspects: std::collections::HashSet<Asn> =
         stream_alarms.iter().map(|a| a.alarm.suspect).collect();
     assert_eq!(batch_suspects, stream_suspects);
@@ -162,7 +165,10 @@ fn moas_detector_needs_paths_not_magic() {
     let empty = RouteView::new();
     assert!(detect_moas(&empty, &empty).is_none());
     let one = RouteView::from_paths(["7 1".parse::<AsPath>().unwrap()]);
-    assert!(detect_moas(&empty, &one).is_none(), "single origin, no alert");
+    assert!(
+        detect_moas(&empty, &one).is_none(),
+        "single origin, no alert"
+    );
 }
 
 #[test]

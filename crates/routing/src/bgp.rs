@@ -254,7 +254,9 @@ impl<'g> BgpSimulation<'g> {
         // The origin self-originates and advertises to every neighbor.
         let victim_asn = spec.victim();
         for &(nbr, _) in self.graph.neighbors_at(v_idx) {
-            let copies = 1 + spec.prepending().extra_for(victim_asn, self.graph.asn_at(nbr));
+            let copies = 1 + spec
+                .prepending()
+                .extra_for(victim_asn, self.graph.asn_at(nbr));
             queue.push_back(Message {
                 from: v_idx,
                 to: nbr,
@@ -310,8 +312,7 @@ impl<'g> BgpSimulation<'g> {
 
             // Receiver-side import: loop detection, then classification.
             let imported = msg.route.and_then(|r| {
-                if r.path.contains(to_asn)
-                    || r.poison.as_ref().is_some_and(|p| p.contains(&to_asn))
+                if r.path.contains(to_asn) || r.poison.as_ref().is_some_and(|p| p.contains(&to_asn))
                 {
                     None // AS path loop (or poisoned chain): discard
                 } else {
@@ -402,30 +403,22 @@ impl<'g> BgpSimulation<'g> {
 
 /// The decision process over an Adj-RIB-In: class, then effective length,
 /// then the configured tie-break.
-fn select_best(
-    graph: &AsGraph,
-    node: &NodeState,
-    tie: TieBreak,
-) -> Option<(usize, RibRoute)> {
+fn select_best(graph: &AsGraph, node: &NodeState, tie: TieBreak) -> Option<(usize, RibRoute)> {
     node.adj_rib_in
         .iter()
         .min_by(|(an, a), (bn, b)| {
             let key = |r: &RibRoute| (r.class, r.path.len() as u32);
-            key(a)
-                .cmp(&key(b))
-                .then_with(|| match tie {
-                    TieBreak::LowestNeighborAsn => {
-                        graph.asn_at(**an).cmp(&graph.asn_at(**bn))
-                    }
-                    TieBreak::PreferClean => a
-                        .tainted
-                        .cmp(&b.tainted)
-                        .then_with(|| graph.asn_at(**an).cmp(&graph.asn_at(**bn))),
-                    TieBreak::PreferAttacker => b
-                        .tainted
-                        .cmp(&a.tainted)
-                        .then_with(|| graph.asn_at(**an).cmp(&graph.asn_at(**bn))),
-                })
+            key(a).cmp(&key(b)).then_with(|| match tie {
+                TieBreak::LowestNeighborAsn => graph.asn_at(**an).cmp(&graph.asn_at(**bn)),
+                TieBreak::PreferClean => a
+                    .tainted
+                    .cmp(&b.tainted)
+                    .then_with(|| graph.asn_at(**an).cmp(&graph.asn_at(**bn))),
+                TieBreak::PreferAttacker => b
+                    .tainted
+                    .cmp(&a.tainted)
+                    .then_with(|| graph.asn_at(**an).cmp(&graph.asn_at(**bn))),
+            })
         })
         .map(|(&nbr, r)| (nbr, r.clone()))
 }
@@ -523,9 +516,7 @@ fn attacker_exports(
                 ExportMode::Compliant => match attacker.attack_strategy() {
                     AttackStrategy::OriginHijack => true,
                     _ => match rel_of_nbr {
-                        Relationship::Customer | Relationship::Sibling | Relationship::Peer => {
-                            true
-                        }
+                        Relationship::Customer | Relationship::Sibling | Relationship::Peer => true,
                         Relationship::Provider => export_class.may_export_to(rel_of_nbr),
                     },
                 },
@@ -562,16 +553,9 @@ mod tests {
                         "length mismatch at AS{asn}"
                     );
                     assert_eq!(a.next_hop, b.next_hop, "next hop mismatch at AS{asn}");
-                    assert_eq!(
-                        a.via_attacker, b.via_attacker,
-                        "taint mismatch at AS{asn}"
-                    );
+                    assert_eq!(a.via_attacker, b.via_attacker, "taint mismatch at AS{asn}");
                 }
-                (a, b) => assert_eq!(
-                    a.is_some(),
-                    b.is_some(),
-                    "reachability mismatch at AS{asn}"
-                ),
+                (a, b) => assert_eq!(a.is_some(), b.is_some(), "reachability mismatch at AS{asn}"),
             }
         }
     }
@@ -579,7 +563,10 @@ mod tests {
     #[test]
     fn clean_simulation_matches_engine_on_facebook_topology() {
         let g = crate::engine::tests_support::facebook_graph();
-        check_equivalence(&g, &DestinationSpec::new(well_known::FACEBOOK).origin_padding(5));
+        check_equivalence(
+            &g,
+            &DestinationSpec::new(well_known::FACEBOOK).origin_padding(5),
+        );
     }
 
     #[test]

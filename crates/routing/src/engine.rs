@@ -26,7 +26,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use aspp_topology::AsGraph;
+use aspp_topology::{AsGraph, CsrIndex};
 use aspp_types::{AsPath, Asn, Relationship, RouteClass};
 
 use crate::decision::TieBreak;
@@ -208,8 +208,10 @@ impl DestinationSpec {
     /// clamped to at least 1.
     #[must_use]
     pub fn origin_padding(mut self, copies: usize) -> Self {
-        self.prepend
-            .set(self.victim, PrependingPolicy::Uniform(copies.saturating_sub(1)));
+        self.prepend.set(
+            self.victim,
+            PrependingPolicy::Uniform(copies.saturating_sub(1)),
+        );
         self
     }
 
@@ -283,6 +285,147 @@ struct NodeRoute {
 
 type Pass = Vec<Option<NodeRoute>>;
 
+/// Identity stamp for the graph a workspace's cached passes were computed
+/// against. Combines the graph's address, mutation counter and node count so
+/// a workspace reused across graphs (or across mutations of one graph) drops
+/// its stale cache instead of serving wrong routes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct GraphStamp {
+    ptr: usize,
+    version: u64,
+    nodes: usize,
+}
+
+impl GraphStamp {
+    fn of(graph: &AsGraph) -> Self {
+        GraphStamp {
+            ptr: std::ptr::from_ref(graph) as usize,
+            version: graph.version(),
+            nodes: graph.len(),
+        }
+    }
+}
+
+/// One memoized clean (no-attack) pass, keyed by everything that influences
+/// it: the victim, the prepending configuration and the tie-break rule.
+#[derive(Clone, Debug)]
+struct CleanEntry {
+    victim: Asn,
+    tie: TieBreak,
+    prepend: PrependConfig,
+    pass: Pass,
+}
+
+/// Reusable per-thread scratch state for route computation.
+///
+/// [`RoutingEngine::compute`] allocates a fresh priority heap and, when an
+/// attacker is present, recomputes the clean (no-attack) equilibrium for
+/// every call. Sweeps — λ sweeps, attacker-placement sweeps, detection
+/// evaluations — issue thousands of such calls against the same victim, so a
+/// `RouteWorkspace` keeps two things alive across calls:
+///
+/// * the label heap, so its allocation is reused instead of regrown; and
+/// * a small LRU cache of clean passes keyed by `(victim, prepending
+///   config, tie-break)`, so repeated computations over the same victim
+///   skip the redundant clean pass entirely and only run the attacked pass.
+///
+/// Results are **bit-identical** to [`RoutingEngine::compute`]: the clean
+/// pass is deterministic, so replaying a cached copy and recomputing it
+/// produce the same routes. The cache watches the graph's
+/// [`version`](AsGraph::version) and is dropped automatically if the
+/// workspace is reused against a mutated (or different) graph.
+///
+/// A workspace is cheap to construct and intended to live one-per-thread;
+/// it is `Send` but not shared (`&mut` access only).
+///
+/// # Example
+///
+/// ```
+/// use aspp_routing::{DestinationSpec, RouteWorkspace, RoutingEngine};
+/// use aspp_topology::AsGraph;
+/// use aspp_types::Asn;
+///
+/// let mut graph = AsGraph::new();
+/// graph.add_provider_customer(Asn(1), Asn(2)).unwrap();
+/// let engine = RoutingEngine::new(&graph);
+/// let mut ws = RouteWorkspace::new();
+/// for pad in 1..4 {
+///     let spec = DestinationSpec::new(Asn(2)).origin_padding(pad);
+///     let outcome = engine.compute_with(&spec, &mut ws);
+///     assert!(outcome.route(Asn(1)).is_some());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct RouteWorkspace {
+    heap: BinaryHeap<Reverse<Label>>,
+    clean_cache: Vec<CleanEntry>,
+    cache_capacity: usize,
+    stamp: Option<GraphStamp>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for RouteWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouteWorkspace {
+    /// Clean-pass cache capacity used by [`new`](Self::new): large enough to
+    /// hold every λ of a Figure-9-style sweep with room to spare, small
+    /// enough that the linear key scan stays trivial.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 32;
+
+    /// A workspace with the default clean-pass cache capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_cache_capacity(Self::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// A workspace whose clean-pass cache holds at most `capacity` passes
+    /// (`0` disables caching; the heap is still reused).
+    #[must_use]
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        RouteWorkspace {
+            heap: BinaryHeap::new(),
+            clean_cache: Vec::new(),
+            cache_capacity: capacity,
+            stamp: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Drops all cached passes and scratch allocations, keeping the
+    /// configured capacity and the hit/miss counters.
+    pub fn clear(&mut self) {
+        self.heap = BinaryHeap::new();
+        self.clean_cache.clear();
+        self.clean_cache.shrink_to_fit();
+        self.stamp = None;
+    }
+
+    /// Number of clean passes served from cache so far.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of clean passes that had to be computed (cache misses, plus
+    /// every pass when caching is disabled).
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of clean passes currently held in the cache.
+    #[must_use]
+    pub fn cached_passes(&self) -> usize {
+        self.clean_cache.len()
+    }
+}
+
 /// The policy-routing engine bound to one topology.
 #[derive(Clone, Copy, Debug)]
 pub struct RoutingEngine<'g> {
@@ -314,6 +457,27 @@ impl<'g> RoutingEngine<'g> {
     /// if attacker == victim.
     #[must_use]
     pub fn compute(&self, spec: &DestinationSpec) -> RoutingOutcome<'g> {
+        // A throwaway workspace with caching disabled: identical behaviour
+        // (and identical results) to the historical allocate-per-call path.
+        self.compute_with(spec, &mut RouteWorkspace::with_cache_capacity(0))
+    }
+
+    /// Computes the routing equilibrium for `spec`, reusing `ws` for scratch
+    /// allocations and the clean-pass cache.
+    ///
+    /// Returns exactly what [`compute`](Self::compute) returns — see
+    /// [`RouteWorkspace`] for the equivalence guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim (or configured attacker) is not in the graph, or
+    /// if attacker == victim.
+    #[must_use]
+    pub fn compute_with(
+        &self,
+        spec: &DestinationSpec,
+        ws: &mut RouteWorkspace,
+    ) -> RoutingOutcome<'g> {
         let v_idx = self
             .graph
             .index_of(spec.victim)
@@ -327,7 +491,7 @@ impl<'g> RoutingEngine<'g> {
             );
         }
 
-        let clean = self.propagate(spec, v_idx, None);
+        let clean = self.clean_pass(spec, v_idx, ws);
 
         let attacked = spec.attacker.as_ref().and_then(|att| {
             let m_idx = self.graph.index_of(att.asn).expect("checked above");
@@ -336,15 +500,13 @@ impl<'g> RoutingEngine<'g> {
                 AttackStrategy::StripPadding { keep } => {
                     // Reconstruct M's received path to find the strippable
                     // padding; claimed path = M's real route, shortened.
-                    let m_path =
-                        reconstruct_received(self.graph, spec, &clean, None, m_idx)?;
+                    let m_path = reconstruct_received(self.graph, spec, &clean, None, m_idx)?;
                     let padding = m_path.origin_padding();
                     let removed = padding.saturating_sub(keep);
                     (m_route.len - removed as u32, chain_of(&clean, m_idx))
                 }
                 AttackStrategy::StripAllPadding => {
-                    let m_path =
-                        reconstruct_received(self.graph, spec, &clean, None, m_idx)?;
+                    let m_path = reconstruct_received(self.graph, spec, &clean, None, m_idx)?;
                     (m_path.unique_len() as u32, chain_of(&clean, m_idx))
                 }
                 // Claimed path [M V]: length 1 before M's own prepend. The
@@ -359,6 +521,7 @@ impl<'g> RoutingEngine<'g> {
             Some(self.propagate(
                 spec,
                 v_idx,
+                ws,
                 Some(AttackSeed {
                     m_idx,
                     base_len,
@@ -387,11 +550,57 @@ impl<'g> RoutingEngine<'g> {
         }
     }
 
+    /// Looks up (or computes and caches) the clean equilibrium for `spec`.
+    fn clean_pass(&self, spec: &DestinationSpec, v_idx: usize, ws: &mut RouteWorkspace) -> Pass {
+        if ws.cache_capacity == 0 {
+            ws.misses += 1;
+            return self.propagate(spec, v_idx, ws, None);
+        }
+        let stamp = GraphStamp::of(self.graph);
+        if ws.stamp != Some(stamp) {
+            ws.clean_cache.clear();
+            ws.stamp = Some(stamp);
+        }
+        if let Some(pos) = ws
+            .clean_cache
+            .iter()
+            .position(|e| e.victim == spec.victim && e.tie == spec.tie && e.prepend == spec.prepend)
+        {
+            ws.hits += 1;
+            // Move-to-front LRU; the cache is small, so the rotate is cheap.
+            ws.clean_cache[..=pos].rotate_right(1);
+            return ws.clean_cache[0].pass.clone();
+        }
+        ws.misses += 1;
+        let pass = self.propagate(spec, v_idx, ws, None);
+        if ws.clean_cache.len() >= ws.cache_capacity {
+            ws.clean_cache.pop();
+        }
+        ws.clean_cache.insert(
+            0,
+            CleanEntry {
+                victim: spec.victim,
+                tie: spec.tie,
+                prepend: spec.prepend.clone(),
+                pass: pass.clone(),
+            },
+        );
+        pass
+    }
+
     /// The label-correcting Dijkstra described in the module docs.
-    fn propagate(&self, spec: &DestinationSpec, v_idx: usize, attack: Option<AttackSeed>) -> Pass {
+    fn propagate(
+        &self,
+        spec: &DestinationSpec,
+        v_idx: usize,
+        ws: &mut RouteWorkspace,
+        attack: Option<AttackSeed>,
+    ) -> Pass {
         let n = self.graph.len();
+        let csr = self.graph.csr();
         let mut best: Pass = vec![None; n];
-        let mut heap: BinaryHeap<Reverse<Label>> = BinaryHeap::new();
+        let heap = &mut ws.heap;
+        heap.clear();
 
         best[v_idx] = Some(NodeRoute {
             class: RouteClass::Origin,
@@ -401,22 +610,21 @@ impl<'g> RoutingEngine<'g> {
         });
 
         // Victim's exports.
-        self.export_from(spec, v_idx, RouteClass::Origin, 0, false, &mut heap, None);
+        self.export_from(spec, csr, v_idx, RouteClass::Origin, 0, false, heap, None);
 
         // Attacker: pin its clean route and seed its modified exports.
         if let Some(att) = &attack {
             best[att.m_idx] = Some(att.pinned);
             let m_asn = self.graph.asn_at(att.m_idx);
-            for &(x_idx, rel_of_x) in self.graph.neighbors_at(att.m_idx) {
+            for &(x_idx, rel_of_x) in csr.neighbors(att.m_idx) {
+                let x_idx = x_idx as usize;
                 if x_idx == v_idx {
                     continue;
                 }
                 let allowed = match att.mode {
                     ExportMode::ViolateValleyFree => true,
                     ExportMode::Compliant => match rel_of_x {
-                        Relationship::Customer | Relationship::Sibling | Relationship::Peer => {
-                            true
-                        }
+                        Relationship::Customer | Relationship::Sibling | Relationship::Peer => true,
                         Relationship::Provider => att.clean_class.may_export_to(rel_of_x),
                     },
                 };
@@ -456,11 +664,12 @@ impl<'g> RoutingEngine<'g> {
             // attacked pass; its exports were pre-seeded.
             self.export_from(
                 spec,
+                csr,
                 node,
                 label.class,
                 label.len,
                 label.via_attacker,
-                &mut heap,
+                heap,
                 attack.as_ref().map(|a| a.m_idx),
             );
         }
@@ -472,6 +681,7 @@ impl<'g> RoutingEngine<'g> {
     fn export_from(
         &self,
         spec: &DestinationSpec,
+        csr: &CsrIndex,
         node: usize,
         class: RouteClass,
         len: u32,
@@ -483,7 +693,8 @@ impl<'g> RoutingEngine<'g> {
             return;
         }
         let node_asn = self.graph.asn_at(node);
-        for &(x_idx, rel_of_x) in self.graph.neighbors_at(node) {
+        for &(x_idx, rel_of_x) in csr.neighbors(node) {
+            let x_idx = x_idx as usize;
             if !class.may_export_to(rel_of_x) {
                 continue;
             }
@@ -732,9 +943,7 @@ impl RoutingOutcome<'_> {
             .iter()
             .enumerate()
             .filter(|&(i, r)| {
-                Some(i) != self.m_idx
-                    && i != self.v_idx
-                    && r.is_some_and(|r| r.via_attacker)
+                Some(i) != self.m_idx && i != self.v_idx && r.is_some_and(|r| r.via_attacker)
             })
             .count();
         polluted as f64 / self.population().max(1) as f64
@@ -807,20 +1016,16 @@ impl RoutingOutcome<'_> {
             .map_or(AttackStrategy::default(), |a| a.attack_strategy())
         {
             AttackStrategy::StripPadding { keep } => {
-                let mut p =
-                    reconstruct_received(self.graph, &self.spec, &self.clean, None, m_idx)?;
+                let mut p = reconstruct_received(self.graph, &self.spec, &self.clean, None, m_idx)?;
                 p.strip_origin_padding(keep);
                 Some(p)
             }
             AttackStrategy::StripAllPadding => {
-                let mut p =
-                    reconstruct_received(self.graph, &self.spec, &self.clean, None, m_idx)?;
+                let mut p = reconstruct_received(self.graph, &self.spec, &self.clean, None, m_idx)?;
                 p.strip_all_padding();
                 Some(p)
             }
-            AttackStrategy::ForgeDirect => {
-                Some(AsPath::origin_with_padding(self.spec.victim(), 1))
-            }
+            AttackStrategy::ForgeDirect => Some(AsPath::origin_with_padding(self.spec.victim(), 1)),
             AttackStrategy::OriginHijack => Some(AsPath::new()),
         }
     }
@@ -873,10 +1078,7 @@ impl RoutingOutcome<'_> {
         if self.attacked.is_none() {
             return 0;
         }
-        self.graph
-            .asns()
-            .filter(|&a| self.route_changed(a))
-            .count()
+        self.graph.asns().filter(|&a| self.route_changed(a)).count()
     }
 
     /// Iterates over every AS in the underlying topology.
@@ -924,7 +1126,8 @@ pub(crate) mod tests_support {
         g.add_peering(NTT, ATT).unwrap();
         g.add_peering(NTT, CHINA_TELECOM).unwrap();
         g.add_peering(NTT, LEVEL3).unwrap();
-        g.add_provider_customer(CHINA_TELECOM, KOREA_TELECOM).unwrap();
+        g.add_provider_customer(CHINA_TELECOM, KOREA_TELECOM)
+            .unwrap();
         g.add_provider_customer(LEVEL3, FACEBOOK).unwrap();
         g.add_provider_customer(KOREA_TELECOM, FACEBOOK).unwrap();
         g.sort_neighbors();
@@ -934,8 +1137,8 @@ pub(crate) mod tests_support {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::tests_support::facebook_graph;
+    use super::*;
     use aspp_topology::gen::InternetConfig;
     use aspp_types::well_known;
 
@@ -951,7 +1154,10 @@ mod tests {
         // AT&T reaches Facebook via Level3 (peer), with 5 origin copies:
         // observed path "7018 3356 32934 x5" = 7 hops.
         let att_path = outcome.observed_path(ATT).unwrap();
-        assert_eq!(att_path.to_string(), "7018 3356 32934 32934 32934 32934 32934");
+        assert_eq!(
+            att_path.to_string(),
+            "7018 3356 32934 32934 32934 32934 32934"
+        );
         assert_eq!(att_path.origin_padding(), 5);
     }
 
@@ -1120,7 +1326,11 @@ mod tests {
             .attacker(AttackerModel::new(KOREA_TELECOM));
         let outcome = engine.compute(&spec);
         let base = outcome.attacker_base_path().unwrap();
-        assert_eq!(base.to_string(), "32934", "stripped to a single origin copy");
+        assert_eq!(
+            base.to_string(),
+            "32934",
+            "stripped to a single origin copy"
+        );
         assert!(outcome.polluted_fraction() > 0.0);
         assert!(outcome.baseline_fraction() < outcome.polluted_fraction());
         // The victim itself is never polluted.
@@ -1362,6 +1572,73 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn workspace_results_bit_identical_with_cache_hits() {
+        let graph = InternetConfig::small().seed(5).build();
+        let engine = RoutingEngine::new(&graph);
+        let asns: Vec<Asn> = graph.asns().collect();
+        let (victim, attacker) = (asns[3], asns[asns.len() - 2]);
+        assert_ne!(victim, attacker);
+        let mut ws = RouteWorkspace::new();
+        for _round in 0..3 {
+            for pad in 1..5 {
+                let spec = DestinationSpec::new(victim)
+                    .origin_padding(pad)
+                    .attacker(AttackerModel::new(attacker));
+                let fresh = engine.compute(&spec);
+                let reused = engine.compute_with(&spec, &mut ws);
+                for asn in graph.asns() {
+                    assert_eq!(fresh.route(asn), reused.route(asn));
+                    assert_eq!(fresh.observed_path(asn), reused.observed_path(asn));
+                }
+            }
+        }
+        // Four distinct (victim, padding) keys; rounds two and three hit.
+        assert_eq!(ws.cache_misses(), 4);
+        assert_eq!(ws.cache_hits(), 8);
+    }
+
+    #[test]
+    fn workspace_cache_dropped_on_graph_mutation() {
+        use well_known::*;
+        let mut graph = facebook_graph();
+        let mut ws = RouteWorkspace::new();
+        {
+            let engine = RoutingEngine::new(&graph);
+            let spec = DestinationSpec::new(FACEBOOK).origin_padding(2);
+            let _ = engine.compute_with(&spec, &mut ws);
+            let _ = engine.compute_with(&spec, &mut ws);
+            assert_eq!(ws.cache_hits(), 1);
+        }
+        graph.add_provider_customer(ATT, Asn(65_000)).unwrap();
+        {
+            let engine = RoutingEngine::new(&graph);
+            let spec = DestinationSpec::new(FACEBOOK).origin_padding(2);
+            let out = engine.compute_with(&spec, &mut ws);
+            assert!(out.route(Asn(65_000)).is_some());
+            assert_eq!(ws.cache_hits(), 1, "stale pass must not be served");
+            assert_eq!(ws.cached_passes(), 1);
+        }
+    }
+
+    #[test]
+    fn workspace_cache_respects_capacity() {
+        let g = facebook_graph();
+        let engine = RoutingEngine::new(&g);
+        let mut ws = RouteWorkspace::with_cache_capacity(2);
+        for pad in [1usize, 2, 3, 1] {
+            let spec = DestinationSpec::new(well_known::FACEBOOK).origin_padding(pad);
+            let _ = engine.compute_with(&spec, &mut ws);
+        }
+        // LRU of capacity 2: pad=1 was evicted by pad=3, so the final pad=1
+        // call misses again.
+        assert_eq!(ws.cached_passes(), 2);
+        assert_eq!(ws.cache_hits(), 0);
+        assert_eq!(ws.cache_misses(), 4);
+        ws.clear();
+        assert_eq!(ws.cached_passes(), 0);
     }
 
     #[test]

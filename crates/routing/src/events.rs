@@ -158,7 +158,10 @@ mod tests {
     fn failover_reveals_padded_backup() {
         let (g, spec) = multihomed();
         let updates = updates_after_failure(&g, &spec, Asn(10), Asn(1));
-        let u30 = updates.iter().find(|u| u.asn == Asn(30)).expect("AS30 updates");
+        let u30 = updates
+            .iter()
+            .find(|u| u.asn == Asn(30))
+            .expect("AS30 updates");
         let new = u30.new_path.as_ref().unwrap();
         // The backup path carries the padding: 30 20 1 1 1 1 1.
         assert_eq!(new.to_string(), "30 20 1 1 1 1 1");

@@ -48,8 +48,8 @@ mod table;
 
 pub use decision::{RouteCandidate, TieBreak};
 pub use engine::{
-    AttackStrategy, AttackerModel, DestinationSpec, ExportMode, RouteInfo, RoutingEngine,
-    RoutingOutcome,
+    AttackStrategy, AttackerModel, DestinationSpec, ExportMode, RouteInfo, RouteWorkspace,
+    RoutingEngine, RoutingOutcome,
 };
 pub use prepend::{PrependConfig, PrependingPolicy};
 pub use table::RouteTable;

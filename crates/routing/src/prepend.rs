@@ -72,12 +72,9 @@ impl PrependingPolicy {
         match self {
             PrependingPolicy::None => 0,
             PrependingPolicy::Uniform(extra) => *extra,
-            PrependingPolicy::PerNeighbor { default, overrides } => overrides
-                .values()
-                .copied()
-                .max()
-                .unwrap_or(0)
-                .max(*default),
+            PrependingPolicy::PerNeighbor { default, overrides } => {
+                overrides.values().copied().max().unwrap_or(0).max(*default)
+            }
         }
     }
 

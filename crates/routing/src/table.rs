@@ -105,11 +105,7 @@ impl RouteTable {
         if self.entries.is_empty() {
             return 0.0;
         }
-        let padded = self
-            .entries
-            .values()
-            .filter(|p| p.has_prepending())
-            .count();
+        let padded = self.entries.values().filter(|p| p.has_prepending()).count();
         padded as f64 / self.entries.len() as f64
     }
 }

@@ -22,7 +22,11 @@ fn tie_break_preferences_order_pollution() {
     let graph = internet(201);
     let engine = RoutingEngine::new(&graph);
     let mut fractions = Vec::new();
-    for tie in [TieBreak::PreferClean, TieBreak::LowestNeighborAsn, TieBreak::PreferAttacker] {
+    for tie in [
+        TieBreak::PreferClean,
+        TieBreak::LowestNeighborAsn,
+        TieBreak::PreferAttacker,
+    ] {
         let spec = DestinationSpec::new(Asn(20_000))
             .origin_padding(2)
             .tie_break(tie)
@@ -172,9 +176,7 @@ fn bgp_simulation_polluted_fraction_matches_engine() {
         .attacker(AttackerModel::new(Asn(1_004)));
     let sim = BgpSimulation::new(&graph).run(&spec);
     let engine = RoutingEngine::new(&graph).compute(&spec);
-    assert!(
-        (sim.polluted_fraction(Some(Asn(1_004))) - engine.polluted_fraction()).abs() < 1e-9
-    );
+    assert!((sim.polluted_fraction(Some(Asn(1_004))) - engine.polluted_fraction()).abs() < 1e-9);
 }
 
 #[test]

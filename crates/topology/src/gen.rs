@@ -257,7 +257,13 @@ impl InternetConfig {
         // 4. Stubs: providers drawn from tier-2 ∪ tier-3.
         let transit: Vec<Asn> = tier2.iter().chain(tier3.iter()).copied().collect();
         for &asn in &stubs {
-            self.attach_providers(&mut graph, &mut rng, asn, &transit, self.stub_provider_range);
+            self.attach_providers(
+                &mut graph,
+                &mut rng,
+                asn,
+                &transit,
+                self.stub_provider_range,
+            );
         }
 
         // 5. Content ASes: one or two transit providers plus rich peering
@@ -265,8 +271,7 @@ impl InternetConfig {
         //    enterprise" of the paper's Figure 11.
         for &asn in &content {
             self.attach_providers(&mut graph, &mut rng, asn, &tier2, (1, 2));
-            let mut candidates: Vec<Asn> =
-                tier1.iter().chain(transit.iter()).copied().collect();
+            let mut candidates: Vec<Asn> = tier1.iter().chain(transit.iter()).copied().collect();
             let peer_count = ((candidates.len() as f64) * self.content_peer_fraction) as usize;
             candidates.shuffle(&mut rng);
             for &peer in candidates.iter().take(peer_count) {

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use aspp_types::{Asn, Relationship};
 
@@ -33,6 +34,50 @@ use aspp_types::{Asn, Relationship};
 pub struct AsGraph {
     index: HashMap<Asn, usize>,
     nodes: Vec<Node>,
+    /// Lazily-built CSR adjacency snapshot; reset by every mutation.
+    csr: OnceLock<CsrIndex>,
+    /// Bumped by every mutation; lets long-lived caches (e.g. the routing
+    /// engine's clean-pass cache) detect that a graph changed under them.
+    version: u64,
+}
+
+/// A compressed-sparse-row snapshot of the adjacency lists: one contiguous
+/// entry array plus per-node offsets. Route computation iterates millions of
+/// neighbor lists per experiment; the CSR keeps them in one cache-friendly
+/// allocation (and halves entry size by storing `u32` indices).
+///
+/// Obtained from [`AsGraph::csr`]; rebuilt lazily after any mutation.
+#[derive(Clone, Debug, Default)]
+pub struct CsrIndex {
+    /// `offsets[i]..offsets[i + 1]` brackets node `i`'s entries.
+    offsets: Vec<u32>,
+    /// `(neighbor index, relationship of that neighbor as seen from here)`.
+    entries: Vec<(u32, Relationship)>,
+}
+
+impl CsrIndex {
+    /// Neighbor entries of the node at dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, idx: usize) -> &[(u32, Relationship)] {
+        &self.entries[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
+    }
+
+    /// Number of nodes covered by this snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Returns `true` if the snapshot covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -77,7 +122,45 @@ impl AsGraph {
         AsGraph {
             index: HashMap::with_capacity(n),
             nodes: Vec::with_capacity(n),
+            csr: OnceLock::new(),
+            version: 0,
         }
+    }
+
+    /// Drops derived state after a mutation.
+    fn invalidate_caches(&mut self) {
+        self.csr = OnceLock::new();
+        self.version = self.version.wrapping_add(1);
+    }
+
+    /// Monotonic mutation counter: two observations of the same graph value
+    /// with equal versions (and equal [`len`](Self::len)) saw identical
+    /// topology. Used by caches layered on top of the graph.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The CSR adjacency snapshot, built on first use after any mutation.
+    ///
+    /// This is the routing hot path's view of the topology; the per-node
+    /// [`neighbors_at`](Self::neighbors_at) slices remain available for
+    /// incremental use.
+    #[must_use]
+    pub fn csr(&self) -> &CsrIndex {
+        self.csr.get_or_init(|| {
+            let total: usize = self.nodes.iter().map(|n| n.neighbors.len()).sum();
+            let mut offsets = Vec::with_capacity(self.nodes.len() + 1);
+            let mut entries = Vec::with_capacity(total);
+            offsets.push(0u32);
+            for node in &self.nodes {
+                for &(idx, rel) in &node.neighbors {
+                    entries.push((u32::try_from(idx).expect("node count fits u32"), rel));
+                }
+                offsets.push(u32::try_from(entries.len()).expect("entry count fits u32"));
+            }
+            CsrIndex { offsets, entries }
+        })
     }
 
     /// Number of ASes in the graph.
@@ -109,6 +192,7 @@ impl AsGraph {
             neighbors: Vec::new(),
         });
         self.index.insert(asn, idx);
+        self.invalidate_caches();
         idx
     }
 
@@ -160,6 +244,7 @@ impl AsGraph {
         }
         self.nodes[ia].neighbors.push((ib, rel_of_b));
         self.nodes[ib].neighbors.push((ia, rel_of_b.reverse()));
+        self.invalidate_caches();
         Ok(())
     }
 
@@ -201,7 +286,10 @@ impl AsGraph {
     pub fn remove_link(&mut self, a: Asn, b: Asn) -> Option<Relationship> {
         let ia = self.index_of(a)?;
         let ib = self.index_of(b)?;
-        let pos_a = self.nodes[ia].neighbors.iter().position(|&(n, _)| n == ib)?;
+        let pos_a = self.nodes[ia]
+            .neighbors
+            .iter()
+            .position(|&(n, _)| n == ib)?;
         let (_, rel) = self.nodes[ia].neighbors.remove(pos_a);
         let pos_b = self.nodes[ib]
             .neighbors
@@ -209,6 +297,7 @@ impl AsGraph {
             .position(|&(n, _)| n == ia)
             .expect("links are stored symmetrically");
         self.nodes[ib].neighbors.remove(pos_b);
+        self.invalidate_caches();
         Some(rel)
     }
 
@@ -259,11 +348,7 @@ impl AsGraph {
     }
 
     /// Iterates over the ASNs of `asn`'s neighbors with relationship `rel`.
-    pub fn neighbors_with(
-        &self,
-        asn: Asn,
-        rel: Relationship,
-    ) -> impl Iterator<Item = Asn> + '_ {
+    pub fn neighbors_with(&self, asn: Asn, rel: Relationship) -> impl Iterator<Item = Asn> + '_ {
         self.neighbors(asn)
             .filter(move |&(_, r)| r == rel)
             .map(|(n, _)| n)
@@ -304,6 +389,7 @@ impl AsGraph {
         for node in &mut self.nodes {
             node.neighbors.sort_by_key(|&(idx, _)| asn_of[idx]);
         }
+        self.invalidate_caches();
     }
 
     /// Returns the ASes sorted by descending degree (ties by ascending ASN) —
@@ -311,11 +397,7 @@ impl AsGraph {
     #[must_use]
     pub fn asns_by_degree(&self) -> Vec<Asn> {
         let mut v: Vec<Asn> = self.asns().collect();
-        v.sort_by(|&a, &b| {
-            self.degree(b)
-                .cmp(&self.degree(a))
-                .then_with(|| a.cmp(&b))
-        });
+        v.sort_by(|&a, &b| self.degree(b).cmp(&self.degree(a)).then_with(|| a.cmp(&b)));
         v
     }
 }
@@ -413,6 +495,53 @@ mod tests {
     }
 
     #[test]
+    fn csr_matches_adjacency_lists() {
+        let g = triangle();
+        let csr = g.csr();
+        assert_eq!(csr.len(), g.len());
+        assert!(!csr.is_empty());
+        for idx in 0..g.len() {
+            let expected: Vec<(u32, Relationship)> = g
+                .neighbors_at(idx)
+                .iter()
+                .map(|&(n, rel)| (n as u32, rel))
+                .collect();
+            assert_eq!(csr.neighbors(idx), expected.as_slice());
+        }
+        assert!(AsGraph::new().csr().is_empty());
+    }
+
+    #[test]
+    fn csr_invalidated_by_mutations() {
+        let mut g = triangle();
+        let v0 = g.version();
+        assert_eq!(g.csr().neighbors(0).len(), 2);
+
+        g.add_link(Asn(2), Asn(4), Relationship::Customer).unwrap();
+        assert!(g.version() != v0, "add_link must bump the version");
+        assert_eq!(g.csr().len(), 4);
+        let deg2 = g.csr().neighbors(g.index_of(Asn(2)).unwrap()).len();
+        assert_eq!(deg2, 3);
+
+        g.remove_link(Asn(2), Asn(4));
+        assert_eq!(g.csr().neighbors(g.index_of(Asn(2)).unwrap()).len(), 2);
+
+        let before = g.version();
+        g.sort_neighbors();
+        assert!(
+            g.version() != before,
+            "sort_neighbors must bump the version"
+        );
+
+        let before = g.version();
+        g.add_as(Asn(2)); // already present: no mutation
+        assert_eq!(g.version(), before);
+        g.add_as(Asn(77));
+        assert!(g.version() != before);
+        assert_eq!(g.csr().len(), 5);
+    }
+
+    #[test]
     fn links_iterate_once_each() {
         let g = triangle();
         let links: Vec<_> = g.links().collect();
@@ -431,8 +560,14 @@ mod tests {
     fn sibling_links() {
         let mut g = AsGraph::new();
         g.add_sibling(Asn(10), Asn(11)).unwrap();
-        assert_eq!(g.relationship(Asn(10), Asn(11)), Some(Relationship::Sibling));
-        assert_eq!(g.relationship(Asn(11), Asn(10)), Some(Relationship::Sibling));
+        assert_eq!(
+            g.relationship(Asn(10), Asn(11)),
+            Some(Relationship::Sibling)
+        );
+        assert_eq!(
+            g.relationship(Asn(11), Asn(10)),
+            Some(Relationship::Sibling)
+        );
     }
 
     #[test]
@@ -441,7 +576,7 @@ mod tests {
         g.add_provider_customer(Asn(1), Asn(4)).unwrap();
         let ranked = g.asns_by_degree();
         assert_eq!(ranked[0], Asn(1)); // degree 3
-        // Ties (2 and 3, both degree 2) break by ascending ASN.
+                                       // Ties (2 and 3, both degree 2) break by ascending ASN.
         assert_eq!(&ranked[1..3], &[Asn(2), Asn(3)]);
         assert_eq!(ranked[3], Asn(4));
     }

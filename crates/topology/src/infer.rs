@@ -211,16 +211,15 @@ pub fn degree_infer(paths: &[AsPath], params: InferParams) -> AsGraph {
         let da = degrees.get(&a).copied().unwrap_or(1).max(1) as f64;
         let db = degrees.get(&b).copied().unwrap_or(1).max(1) as f64;
         let ratio = if da > db { da / db } else { db / da };
-        let rel_of_b = if (clique.contains(&a) && clique.contains(&b))
-            || ratio <= params.peer_degree_ratio
-        {
-            Relationship::Peer
-        } else if da > db {
-            // a is the bigger AS: b is a's customer.
-            Relationship::Customer
-        } else {
-            Relationship::Provider
-        };
+        let rel_of_b =
+            if (clique.contains(&a) && clique.contains(&b)) || ratio <= params.peer_degree_ratio {
+                Relationship::Peer
+            } else if da > db {
+                // a is the bigger AS: b is a's customer.
+                Relationship::Customer
+            } else {
+                Relationship::Provider
+            };
         let _ = out.add_link(a, b, rel_of_b);
     }
     out
@@ -357,11 +356,20 @@ mod tests {
     fn gao_respects_seed_peers() {
         // Two cores 1,2 with stubs; seeding forces 1-2 to peer.
         let corpus = paths(&[
-            "10 1 2 20", "20 2 1 10", "11 1 2 20", "20 2 1 11", "10 1 11", "11 1 10",
-            "20 2 21", "21 2 20",
+            "10 1 2 20",
+            "20 2 1 10",
+            "11 1 2 20",
+            "20 2 1 11",
+            "10 1 11",
+            "11 1 10",
+            "20 2 21",
+            "21 2 20",
         ]);
         let inferred = gao_infer(&corpus, &[(Asn(1), Asn(2))], InferParams::default());
-        assert_eq!(inferred.relationship(Asn(1), Asn(2)), Some(Relationship::Peer));
+        assert_eq!(
+            inferred.relationship(Asn(1), Asn(2)),
+            Some(Relationship::Peer)
+        );
     }
 
     #[test]
@@ -375,7 +383,12 @@ mod tests {
     fn gao_collapses_prepending_before_voting() {
         // Prepends must not distort edges or degrees.
         let corpus = paths(&[
-            "10 1 20 20 20", "20 1 10 10", "11 1 20", "20 1 11", "10 1 11", "11 1 10",
+            "10 1 20 20 20",
+            "20 1 10 10",
+            "11 1 20",
+            "20 1 11",
+            "10 1 11",
+            "11 1 10",
         ]);
         let inferred = gao_infer(&corpus, &[], InferParams::default());
         assert_eq!(
@@ -389,8 +402,8 @@ mod tests {
         // Edge 5-6 is traversed both uphill and downhill repeatedly
         // relative to top provider 1.
         let corpus = paths(&[
-            "5 6 1 10", "5 6 1 11", "6 5 1 10", "6 5 1 11",
-            "10 1 6 5", "11 1 6 5", "10 1 5 6", "11 1 5 6",
+            "5 6 1 10", "5 6 1 11", "6 5 1 10", "6 5 1 11", "10 1 6 5", "11 1 6 5", "10 1 5 6",
+            "11 1 5 6",
         ]);
         let params = InferParams {
             sibling_vote_threshold: 2,
@@ -406,12 +419,24 @@ mod tests {
     #[test]
     fn degree_infer_builds_top_clique() {
         let corpus = paths(&[
-            "10 1 2 20", "20 2 1 10", "11 1 2 21", "21 2 1 11",
-            "10 1 11", "11 1 10", "20 2 21", "21 2 20",
-            "10 1 2 21", "11 1 2 20", "21 2 1 10", "20 2 1 11",
+            "10 1 2 20",
+            "20 2 1 10",
+            "11 1 2 21",
+            "21 2 1 11",
+            "10 1 11",
+            "11 1 10",
+            "20 2 21",
+            "21 2 20",
+            "10 1 2 21",
+            "11 1 2 20",
+            "21 2 1 10",
+            "20 2 1 11",
         ]);
         let inferred = degree_infer(&corpus, InferParams::default());
-        assert_eq!(inferred.relationship(Asn(1), Asn(2)), Some(Relationship::Peer));
+        assert_eq!(
+            inferred.relationship(Asn(1), Asn(2)),
+            Some(Relationship::Peer)
+        );
         // Stubs hang off the cores as customers.
         assert_eq!(
             inferred.relationship(Asn(1), Asn(10)),
@@ -440,7 +465,7 @@ mod tests {
         inferred.add_provider_customer(Asn(1), Asn(2)).unwrap(); // agree
         inferred.add_provider_customer(Asn(2), Asn(3)).unwrap(); // conflict
         inferred.add_peering(Asn(9), Asn(8)).unwrap(); // spurious
-        // 1-4 missing
+                                                       // 1-4 missing
 
         let acc = InferenceAccuracy::compare(&truth, &inferred);
         assert_eq!(acc.agreeing, 1);

@@ -93,8 +93,7 @@ fn inference_accuracy_on_rich_path_corpus() {
             if s == d {
                 continue;
             }
-            if let (Some(up), Some(down)) = (provider_chain(&graph, s), provider_chain(&graph, d))
-            {
+            if let (Some(up), Some(down)) = (provider_chain(&graph, s), provider_chain(&graph, d)) {
                 // up: s..tier1a ; down: d..tier1b — join over the clique.
                 let mut hops: Vec<Asn> = Vec::new();
                 hops.extend(up.iter().rev()); // tier1a .. s reversed => s..? fix below

@@ -26,7 +26,6 @@ use crate::{AsPath, Asn, Ipv4Prefix};
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Announcement {
     prefix: Ipv4Prefix,
     path: AsPath,

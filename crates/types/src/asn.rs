@@ -21,7 +21,6 @@ use crate::error::ParseAsnError;
 /// assert_eq!(att.to_string(), "7018");
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Asn(pub u32);
 
 impl Asn {
@@ -46,8 +45,7 @@ impl Asn {
     /// ```
     #[must_use]
     pub const fn is_private(self) -> bool {
-        (self.0 >= 64512 && self.0 <= 65534)
-            || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
+        (self.0 >= 64512 && self.0 <= 65534) || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
     }
 }
 

@@ -28,7 +28,6 @@ use crate::Asn;
 /// assert_eq!(path.origin_padding(), 3);
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AsPath {
     /// Hops ordered most-recent-first; the origin AS is last.
     hops: Vec<Asn>,
@@ -61,7 +60,10 @@ impl AsPath {
     /// ```
     #[must_use]
     pub fn origin_with_padding(origin: Asn, padding: usize) -> Self {
-        assert!(padding > 0, "an announced path carries the origin at least once");
+        assert!(
+            padding > 0,
+            "an announced path carries the origin at least once"
+        );
         AsPath {
             hops: vec![origin; padding],
         }
@@ -455,8 +457,14 @@ mod tests {
         let anomalous = p("7018 4134 9318 32934 32934 32934");
         assert_eq!(anomalous.len(), 6);
         assert_eq!(anomalous.origin_padding(), 3);
-        assert!(anomalous.len() < normal.len(), "the bogus route wins on length");
-        assert!(anomalous.unique_len() > normal.unique_len(), "but is physically longer");
+        assert!(
+            anomalous.len() < normal.len(),
+            "the bogus route wins on length"
+        );
+        assert!(
+            anomalous.unique_len() > normal.unique_len(),
+            "but is physically longer"
+        );
     }
 
     #[test]

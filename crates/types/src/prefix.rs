@@ -24,7 +24,6 @@ use crate::error::ParsePrefixError;
 /// # }
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ipv4Prefix {
     addr: u32,
     len: u8,

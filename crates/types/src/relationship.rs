@@ -11,7 +11,6 @@ use core::str::FromStr;
 /// via a `Provider` costs money. `Sibling` links connect ASes under common
 /// administration and exchange full routes in both directions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Relationship {
     /// The neighbor is our customer (we are its provider).
     Customer,
@@ -109,7 +108,6 @@ impl std::error::Error for ParseRelationshipError {}
 /// assert!(RouteClass::FromPeer < RouteClass::FromProvider);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RouteClass {
     /// The AS originates the prefix itself.
     Origin,
@@ -192,10 +190,19 @@ mod tests {
 
     #[test]
     fn parse_accepts_canonical_and_caida_spellings() {
-        assert_eq!("customer".parse::<Relationship>().unwrap(), Relationship::Customer);
+        assert_eq!(
+            "customer".parse::<Relationship>().unwrap(),
+            Relationship::Customer
+        );
         assert_eq!("p2p".parse::<Relationship>().unwrap(), Relationship::Peer);
-        assert_eq!("c2p".parse::<Relationship>().unwrap(), Relationship::Provider);
-        assert_eq!("s2s".parse::<Relationship>().unwrap(), Relationship::Sibling);
+        assert_eq!(
+            "c2p".parse::<Relationship>().unwrap(),
+            Relationship::Provider
+        );
+        assert_eq!(
+            "s2s".parse::<Relationship>().unwrap(),
+            Relationship::Sibling
+        );
         assert!("friend".parse::<Relationship>().is_err());
     }
 

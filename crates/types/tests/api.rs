@@ -80,8 +80,14 @@ fn route_class_ordering_is_a_total_preference() {
 
 #[test]
 fn relationship_round_trips_through_caida_spellings() {
-    assert_eq!("p2c".parse::<Relationship>().unwrap(), Relationship::Customer);
-    assert_eq!("c2p".parse::<Relationship>().unwrap(), Relationship::Provider);
+    assert_eq!(
+        "p2c".parse::<Relationship>().unwrap(),
+        Relationship::Customer
+    );
+    assert_eq!(
+        "c2p".parse::<Relationship>().unwrap(),
+        Relationship::Provider
+    );
     // Display always uses the canonical word.
     assert_eq!(Relationship::Customer.to_string(), "customer");
 }

@@ -186,7 +186,10 @@ fn cmd_selection(args: &[String]) -> Result<(), String> {
     let scale = flags.scale();
     let seed = flags.seed()?;
     let graph = scale.internet(seed);
-    out!("{}", detection::vantage_selection(&graph, scale, seed).render());
+    out!(
+        "{}",
+        detection::vantage_selection(&graph, scale, seed).render()
+    );
     Ok(())
 }
 
@@ -226,7 +229,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         return Err(format!("victim AS{victim} not in the generated topology"));
     }
     if !graph.contains(attacker) {
-        return Err(format!("attacker AS{attacker} not in the generated topology"));
+        return Err(format!(
+            "attacker AS{attacker} not in the generated topology"
+        ));
     }
 
     let strategy = match flags.value("--strategy").unwrap_or("strip") {
@@ -317,6 +322,9 @@ fn cmd_measure(args: &[String]) -> Result<(), String> {
         pct(summary.depth3_share),
         pct(summary.deep_share),
     );
-    out!("update prepending fraction: mean {}%", pct(summary.mean_update_fraction));
+    out!(
+        "update prepending fraction: mean {}%",
+        pct(summary.mean_update_fraction)
+    );
     Ok(())
 }

@@ -53,7 +53,13 @@ fn case_study_prints_the_anomalous_route() {
 #[test]
 fn simulate_reports_impact_and_data_plane() {
     let out = aspp(&[
-        "simulate", "--victim", "20000", "--attacker", "100", "--padding", "5",
+        "simulate",
+        "--victim",
+        "20000",
+        "--attacker",
+        "100",
+        "--padding",
+        "5",
     ]);
     assert!(out.status.success());
     let text = stdout(&out);
@@ -69,7 +75,13 @@ fn simulate_validates_inputs() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--victim"));
 
     let out = aspp(&[
-        "simulate", "--victim", "20000", "--attacker", "100", "--strategy", "bogus",
+        "simulate",
+        "--victim",
+        "20000",
+        "--attacker",
+        "100",
+        "--strategy",
+        "bogus",
     ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
@@ -83,7 +95,11 @@ fn corpus_then_measure_round_trips() {
     let path = file.to_str().unwrap();
 
     let out = aspp(&["corpus", "--out", path, "--prefixes", "20", "--seed", "3"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("table entries"));
 
     let out = aspp(&["measure", path]);

@@ -66,9 +66,9 @@ fn updates_reference_known_prefixes() {
     // Every update's prefix appears in at least one monitor table (same
     // announcement universe).
     for update in corpus.updates() {
-        let known = corpus
-            .tables()
-            .any(|(_, t)| t.get(&update.prefix).is_some() || t.lookup_prefix(&update.prefix).is_some());
+        let known = corpus.tables().any(|(_, t)| {
+            t.get(&update.prefix).is_some() || t.lookup_prefix(&update.prefix).is_some()
+        });
         assert!(known, "update for unknown prefix {}", update.prefix);
     }
 }

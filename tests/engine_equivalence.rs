@@ -32,7 +32,8 @@ fn assert_equivalent(graph: &AsGraph, spec: &DestinationSpec) {
                     (b.class, b.effective_len, b.next_hop, b.via_attacker),
                     "divergence at AS{asn} (victim {}, attacker {:?})",
                     spec.victim(),
-                    spec.attacker_model().map(aspp_repro::routing::AttackerModel::asn),
+                    spec.attacker_model()
+                        .map(aspp_repro::routing::AttackerModel::asn),
                 );
                 // Paths agree too, not just metrics.
                 assert_eq!(sim.observed_path(asn), eng.observed_path(asn));
@@ -100,6 +101,50 @@ proptest! {
     }
 }
 
+// Shrunk failure cases formerly persisted in
+// `engine_equivalence.proptest-regressions`, promoted to explicit tests so
+// they run on every `cargo test` regardless of the property runner's case
+// stream. The topology builder seeds them through the same StdRng stream
+// they were recorded against.
+
+#[test]
+fn regression_attacked_equivalence_seed0_pad2() {
+    // shrinks to seed = 0, pad = 2, picks = (49, 23), violate = false
+    let graph = InternetConfig::small()
+        .tier2_count(10)
+        .tier3_count(15)
+        .stub_count(25)
+        .seed(0)
+        .build();
+    let asns: Vec<Asn> = graph.asns().collect();
+    let victim = asns[49 % asns.len()];
+    let attacker = asns[23 % asns.len()];
+    assert_ne!(victim, attacker);
+    let spec = DestinationSpec::new(victim)
+        .origin_padding(2)
+        .attacker(AttackerModel::new(attacker).mode(ExportMode::Compliant));
+    assert_equivalent(&graph, &spec);
+}
+
+#[test]
+fn regression_origin_hijack_equivalence_seed14243435913310978049() {
+    // shrinks to seed = 14243435913310978049, picks = (0, 7), which = 2
+    let graph = InternetConfig::small()
+        .tier2_count(8)
+        .tier3_count(10)
+        .stub_count(18)
+        .seed(14_243_435_913_310_978_049)
+        .build();
+    let asns: Vec<Asn> = graph.asns().collect();
+    let victim = asns[0 % asns.len()];
+    let attacker = asns[7 % asns.len()];
+    assert_ne!(victim, attacker);
+    let spec = DestinationSpec::new(victim)
+        .origin_padding(4)
+        .attacker(AttackerModel::new(attacker).strategy(AttackStrategy::OriginHijack));
+    assert_equivalent(&graph, &spec);
+}
+
 #[test]
 fn sibling_chain_equivalence() {
     // The Figure 11 augmented topology exercises sibling-class inheritance
@@ -108,9 +153,7 @@ fn sibling_chain_equivalence() {
     let victim = Asn(100);
     let attacker = Asn(90_000);
     graph.add_sibling(victim, Asn(99_999)).unwrap();
-    graph
-        .add_provider_customer(attacker, Asn(99_999))
-        .unwrap();
+    graph.add_provider_customer(attacker, Asn(99_999)).unwrap();
     graph.sort_neighbors();
     for pad in [1, 4, 8] {
         let spec = DestinationSpec::new(victim)
@@ -128,7 +171,14 @@ fn per_neighbor_policies_equivalence() {
     let mut config = PrependConfig::new();
     config.set(
         victim,
-        PrependingPolicy::per_neighbor(4, providers.first().map(|&p| (p, 0)).into_iter().collect::<Vec<_>>()),
+        PrependingPolicy::per_neighbor(
+            4,
+            providers
+                .first()
+                .map(|&p| (p, 0))
+                .into_iter()
+                .collect::<Vec<_>>(),
+        ),
     );
     config.set(Asn(1_003), PrependingPolicy::Uniform(2));
     config.set(Asn(1_007), PrependingPolicy::Uniform(1));

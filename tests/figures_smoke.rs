@@ -63,7 +63,13 @@ fn fig9_to_fig12_sweep_shapes() {
     // Fig 12: compliant small attacker confined; violating one grows large.
     let f12 = impact::fig12(&graph);
     let c = f12.compliant.last().unwrap().after_fraction;
-    let v = f12.violating.as_ref().unwrap().last().unwrap().after_fraction;
+    let v = f12
+        .violating
+        .as_ref()
+        .unwrap()
+        .last()
+        .unwrap()
+        .after_fraction;
     assert!(v > c, "violating ({v}) beats compliant ({c})");
     assert!(v > 0.3);
 }

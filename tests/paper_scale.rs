@@ -32,7 +32,11 @@ fn fig8_random_pairs_mostly_weak() {
     let graph = Scale::Paper.internet(SEED);
     let f8 = impact::fig8(&graph, Scale::Paper, SEED);
     assert_eq!(f8.impacts.len(), 27);
-    assert!(f8.mean_after() < 0.1, "random pairs stay weak: {}", f8.mean_after());
+    assert!(
+        f8.mean_after() < 0.1,
+        "random pairs stay weak: {}",
+        f8.mean_after()
+    );
 }
 
 #[test]

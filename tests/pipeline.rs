@@ -38,7 +38,10 @@ fn full_attack_and_detection_pipeline() {
     let outcome = engine.compute(&exp.to_spec());
     for asn in outcome.polluted_asns() {
         let path = outcome.observed_path(asn).expect("polluted AS has a path");
-        assert!(path.contains(attacker), "AS{asn} path {path} misses attacker");
+        assert!(
+            path.contains(attacker),
+            "AS{asn} path {path} misses attacker"
+        );
         assert!(!path.has_loop(), "AS{asn} path {path} loops");
         assert_eq!(path.origin(), Some(victim));
     }
@@ -47,7 +50,10 @@ fn full_attack_and_detection_pipeline() {
     let monitors = top_degree(&graph, 40);
     let result = aspp_repro::detect::eval::detect_attack(&graph, &exp, &monitors);
     assert!(result.effective);
-    assert!(result.any_alarm, "attack with real spread must raise an alarm");
+    assert!(
+        result.any_alarm,
+        "attack with real spread must raise an alarm"
+    );
 }
 
 #[test]
@@ -60,20 +66,12 @@ fn single_homed_victim_customers_stay_loyal() {
     let tiers = TierMap::classify(&graph);
     let victim = graph
         .asns()
-        .find(|&a| {
-            tiers.tier_of(a) == Some(2)
-                && graph
-                    .customers(a)
-                    .any(|c| graph.degree(c) == 1)
-        })
+        .find(|&a| tiers.tier_of(a) == Some(2) && graph.customers(a).any(|c| graph.degree(c) == 1))
         .expect("tier-2 victim with a single-homed customer");
     let attacker = tiers.tier1().min().unwrap();
 
-    let outcome = RoutingEngine::new(&graph).compute(
-        &HijackExperiment::new(victim, attacker)
-            .padding(6)
-            .to_spec(),
-    );
+    let outcome = RoutingEngine::new(&graph)
+        .compute(&HijackExperiment::new(victim, attacker).padding(6).to_spec());
     // Conversely, every polluted AS is outside the victim's cone or
     // multi-connected (the paper's necessary condition).
     let cone = customer_cone(&graph, victim);
@@ -100,7 +98,9 @@ fn keep_count_controls_attack_strength() {
     let attacker = Asn(100);
     let mut last = f64::INFINITY;
     for keep in 1..=6 {
-        let exp = HijackExperiment::new(victim, attacker).padding(6).keep(keep);
+        let exp = HijackExperiment::new(victim, attacker)
+            .padding(6)
+            .keep(keep);
         let impact = run_experiment(&graph, &exp);
         assert!(
             impact.after_fraction <= last + 0.02,

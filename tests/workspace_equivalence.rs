@@ -1,0 +1,60 @@
+//! Serial-equivalence guarantee for the reusable route workspace: for any
+//! random topology and experiment batch, `run_experiment` (fresh state per
+//! call), `run_experiment_with` (one shared workspace, clean-pass cache
+//! active) and `run_experiments_parallel` (chunked workers, one workspace
+//! each) must produce **bit-identical** `HijackImpact` values, field by
+//! field — f64 fractions compared exactly, not approximately.
+
+use aspp_repro::prelude::*;
+use proptest::prelude::*;
+
+fn assert_bit_identical(a: &HijackImpact, b: &HijackImpact) {
+    assert_eq!(a.experiment, b.experiment);
+    assert_eq!(a.before_fraction.to_bits(), b.before_fraction.to_bits());
+    assert_eq!(a.after_fraction.to_bits(), b.after_fraction.to_bits());
+    assert_eq!(a.polluted_count, b.polluted_count);
+    assert_eq!(a.population, b.population);
+    assert_eq!(a.attack_feasible, b.attack_feasible);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn workspace_and_parallel_match_serial(
+        seed in any::<u64>(),
+        picks in (0usize..100, 0usize..100),
+        extra_pick in 0usize..100,
+    ) {
+        let graph = InternetConfig::small()
+            .tier2_count(10).tier3_count(15).stub_count(25).seed(seed).build();
+        let asns: Vec<Asn> = graph.asns().collect();
+        let victim = asns[picks.0 % asns.len()];
+        let attacker = asns[picks.1 % asns.len()];
+        let attacker2 = asns[extra_pick % asns.len()];
+        if victim == attacker || victim == attacker2 { return Ok(()); }
+
+        // A λ sweep over one victim, two attackers interleaved: maximal
+        // clean-pass cache reuse, so any cache bug shows up as a mismatch.
+        let mut exps = Vec::new();
+        for pad in 1..=5 {
+            exps.push(HijackExperiment::new(victim, attacker).padding(pad));
+            exps.push(HijackExperiment::new(victim, attacker2).padding(pad));
+        }
+
+        let serial: Vec<HijackImpact> =
+            exps.iter().map(|e| run_experiment(&graph, e)).collect();
+
+        let mut ws = RouteWorkspace::new();
+        let reused: Vec<HijackImpact> =
+            exps.iter().map(|e| run_experiment_with(&graph, e, &mut ws)).collect();
+        prop_assert!(ws.cache_hits() > 0, "interleaved sweep must hit the cache");
+
+        let parallel = run_experiments_parallel(&graph, &exps);
+
+        for ((s, r), p) in serial.iter().zip(&reused).zip(&parallel) {
+            assert_bit_identical(s, r);
+            assert_bit_identical(s, p);
+        }
+    }
+}

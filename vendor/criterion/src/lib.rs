@@ -1,0 +1,260 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! crates.io is unreachable in the build environment, so this crate provides
+//! the benchmark surface the workspace uses (`Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!`) backed by a real wall-clock
+//! harness: each benchmark is warmed up, iteration count is calibrated, and
+//! median/mean per-iteration times are printed. There is no statistical
+//! regression analysis, HTML report or saved baseline.
+//!
+//! Filtering works like criterion's: `cargo bench -- <substring>` runs only
+//! benchmark IDs containing the substring.
+
+use std::time::{Duration, Instant};
+
+/// Total wall-clock budget for the measured phase of one benchmark.
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(1000);
+/// Wall-clock budget for the warm-up phase of one benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>`: take the first non-flag argument.
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group; benchmark IDs are `group/name[/param]`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, 100, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(id, &bencher.samples);
+    }
+}
+
+/// A group of related benchmarks (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        self.criterion.run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I, F, T>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &T),
+        T: ?Sized,
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        self.criterion
+            .run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (subset of `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An ID shown as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (accepts `&str` like criterion does).
+pub trait IntoBenchmarkId {
+    /// Converts into a benchmark ID.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_owned(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up, iteration-count calibration, then
+    /// `sample_size` samples of batched iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and estimate one iteration's cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_BUDGET || warmup_iters == 0 {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        let per_sample = MEASUREMENT_BUDGET.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / est_iter.max(1e-9)).round() as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+    println!(
+        "{id:<50} time: [{} {} {}] (median {}, {} samples)",
+        fmt_time(lo),
+        fmt_time(mean),
+        fmt_time(hi),
+        fmt_time(median),
+        sorted.len()
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.2} ns", seconds * 1e9)
+    }
+}
+
+/// Collects benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("clean", "small").id, "clean/small");
+        assert_eq!("plain".into_benchmark_id().id, "plain");
+    }
+
+    #[test]
+    fn fmt_time_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

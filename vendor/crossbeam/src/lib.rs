@@ -1,0 +1,70 @@
+//! Offline vendored shim for the one crossbeam API this workspace uses:
+//! `crossbeam::thread::scope`, implemented over `std::thread::scope`
+//! (stabilized in Rust 1.63, so the external crate is no longer needed).
+
+/// Scoped threads (subset of `crossbeam::thread`).
+pub mod thread {
+    /// A handle for spawning scoped threads, mirroring crossbeam's `Scope`.
+    ///
+    /// Spawn closures receive `&Scope` (crossbeam's signature allows nested
+    /// spawns); call sites that don't nest simply ignore it with `|_|`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope again to
+        /// allow nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// returning. Always `Ok` — a panicking child propagates its panic when
+    /// the scope joins, exactly the case call sites `.expect(..)` on.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                scope.spawn(|_| {
+                    sum.fetch_add(
+                        chunk.iter().sum::<u64>(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::Relaxed));
+            });
+        })
+        .expect("no panics");
+        assert!(flag.load(std::sync::atomic::Ordering::Relaxed));
+    }
+}

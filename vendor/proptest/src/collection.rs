@@ -1,0 +1,52 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.is_empty() {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy producing `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn lengths_and_elements_in_bounds() {
+        let strategy = vec(5u32..9, 0..16);
+        let mut rng = rng_for("collection::bounds");
+        let mut saw_empty = false;
+        for _ in 0..300 {
+            let v = strategy.generate(&mut rng);
+            assert!(v.len() < 16);
+            assert!(v.iter().all(|&x| (5..9).contains(&x)));
+            saw_empty |= v.is_empty();
+        }
+        assert!(saw_empty, "length 0 should be reachable");
+        let _unused = any::<u32>();
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io; this crate implements
+//! the slice of proptest the workspace uses: the `proptest!` macro,
+//! `any::<T>()`, range / tuple / `collection::vec` strategies, `prop_map`,
+//! `ProptestConfig::with_cases`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - Cases are generated from a deterministic per-test RNG (FNV hash of the
+//!   fully-qualified test name seeding the workspace's `StdRng`), so runs are
+//!   reproducible without a persistence file.
+//! - There is **no shrinking**: a failing case reports the generated inputs
+//!   via the assertion message only. Regressions worth keeping are promoted
+//!   to explicit `#[test]` functions with the shrunk values inlined (see
+//!   `tests/engine_equivalence.rs`).
+//! - `.proptest-regressions` files are not consumed.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// Accepts an optional `#![proptest_config(...)]` header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items. Each generated
+/// test runs `config.cases` random cases; `prop_assert*` failures abort the
+/// test with the case index and message.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($($config:tt)*)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!(($($config)*); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    (
+        $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::rng_for(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $crate::__proptest_bind!(__rng; $($params)*);
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__err) = __result {
+                    panic!(
+                        "proptest case {}/{} failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        __err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test, failing the case when unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(__left == __right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(__left == __right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)*),
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+}

@@ -1,0 +1,5 @@
+//! The usual imports (subset of `proptest::prelude`).
+
+pub use crate::strategy::{any, Arbitrary, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, proptest};

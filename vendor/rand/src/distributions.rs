@@ -1,0 +1,326 @@
+//! Standard and uniform sampling, matching rand 0.8.5's algorithms.
+
+use crate::RngCore;
+
+/// Types samplable from 'the standard distribution' (`Rng::gen`).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        const { assert!(usize::BITS == 64, "vendored rand assumes 64-bit targets") };
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8: one random bit from the top of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit multiply-based [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Range types `Rng::gen_range` accepts (subset of `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    /// Whether the range contains no values.
+    fn is_empty(&self) -> bool;
+}
+
+/// Widening multiply returning `(high, low)` halves of the product.
+trait WideningMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let product = u64::from(self) * u64::from(other);
+        ((product >> 32) as u32, product as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let product = u128::from(self) * u128::from(other);
+        ((product >> 64) as u64, product as u64)
+    }
+}
+
+impl WideningMul for usize {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let (hi, lo) = (self as u64).wmul(other as u64);
+        (hi as usize, lo as usize)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty) => {
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                sample_single_exclusive_inner::<$ty, $unsigned, $u_large, R>(
+                    self.start, self.end, rng,
+                )
+            }
+            fn is_empty(&self) -> bool {
+                !(self.start < self.end)
+            }
+        }
+
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                let range = (high.wrapping_sub(low) as $unsigned as $u_large).wrapping_add(1);
+                if range == 0 {
+                    // The full integer domain.
+                    return <$u_large as Standard>::sample(rng) as $ty;
+                }
+                let zone = compute_zone::<$unsigned, $u_large>(range);
+                loop {
+                    let v = <$u_large as Standard>::sample(rng);
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+            fn is_empty(&self) -> bool {
+                !(self.start() <= self.end())
+            }
+        }
+    };
+}
+
+#[inline]
+fn compute_zone<Unsigned, ULarge>(range: ULarge) -> ULarge
+where
+    Unsigned: TypeWidth,
+    ULarge: TypeWidth
+        + Copy
+        + core::ops::Shl<u32, Output = ULarge>
+        + core::ops::Sub<Output = ULarge>
+        + core::ops::Add<Output = ULarge>
+        + core::ops::Rem<Output = ULarge>
+        + LeadingZeros
+        + WrappingSub
+        + OneMax,
+{
+    if Unsigned::BITS <= 16 {
+        // Small types: reject exactly (MAX - range + 1) % range values.
+        let ints_to_reject = (ULarge::MAX_VALUE - range + ULarge::ONE) % range;
+        ULarge::MAX_VALUE - ints_to_reject
+    } else {
+        (range << range.leading_zeros()).wrapping_sub_one()
+    }
+}
+
+trait TypeWidth {
+    const BITS: u32;
+}
+macro_rules! type_width {
+    ($($ty:ty),*) => { $(impl TypeWidth for $ty { const BITS: u32 = <$ty>::BITS; })* };
+}
+type_width!(u8, u16, u32, u64, usize);
+
+trait LeadingZeros {
+    fn leading_zeros(self) -> u32;
+}
+trait WrappingSub {
+    fn wrapping_sub_one(self) -> Self;
+}
+trait OneMax {
+    const ONE: Self;
+    const MAX_VALUE: Self;
+}
+macro_rules! zone_helpers {
+    ($($ty:ty),*) => {
+        $(
+            impl LeadingZeros for $ty {
+                fn leading_zeros(self) -> u32 { <$ty>::leading_zeros(self) }
+            }
+            impl WrappingSub for $ty {
+                fn wrapping_sub_one(self) -> Self { self.wrapping_sub(1) }
+            }
+            impl OneMax for $ty {
+                const ONE: Self = 1;
+                const MAX_VALUE: Self = <$ty>::MAX;
+            }
+        )*
+    };
+}
+zone_helpers!(u32, u64, usize);
+
+#[inline]
+fn sample_single_exclusive_inner<Ty, Unsigned, ULarge, R>(low: Ty, high: Ty, rng: &mut R) -> Ty
+where
+    R: RngCore + ?Sized,
+    Ty: Copy + WrappingAddLarge<ULarge>,
+    Unsigned: TypeWidth,
+    ULarge: TypeWidth
+        + Standard
+        + Copy
+        + WideningMul
+        + PartialOrd
+        + core::ops::Shl<u32, Output = ULarge>
+        + core::ops::Sub<Output = ULarge>
+        + core::ops::Add<Output = ULarge>
+        + core::ops::Rem<Output = ULarge>
+        + LeadingZeros
+        + WrappingSub
+        + OneMax,
+{
+    let range: ULarge = low.wrapping_range_to(high);
+    let zone = compute_zone::<Unsigned, ULarge>(range);
+    loop {
+        let v = ULarge::sample(rng);
+        let (hi, lo) = v.wmul(range);
+        if lo <= zone {
+            return low.wrapping_add_large(hi);
+        }
+    }
+}
+
+/// Glue trait so one generic exclusive-range sampler covers every width.
+trait WrappingAddLarge<L>: Sized {
+    fn wrapping_range_to(self, high: Self) -> L;
+    fn wrapping_add_large(self, offset: L) -> Self;
+}
+
+macro_rules! cast_glue {
+    ($ty:ty, $unsigned:ty, $u_large:ty) => {
+        impl WrappingAddLarge<$u_large> for $ty {
+            fn wrapping_range_to(self, high: Self) -> $u_large {
+                high.wrapping_sub(self) as $unsigned as $u_large
+            }
+            fn wrapping_add_large(self, offset: $u_large) -> Self {
+                self.wrapping_add(offset as $ty)
+            }
+        }
+    };
+}
+
+cast_glue!(u8, u8, u32);
+cast_glue!(u16, u16, u32);
+cast_glue!(u32, u32, u32);
+cast_glue!(u64, u64, u64);
+cast_glue!(usize, usize, usize);
+cast_glue!(i32, u32, u32);
+cast_glue!(i64, u64, u64);
+
+uniform_int_impl!(u8, u8, u32);
+uniform_int_impl!(u16, u16, u32);
+uniform_int_impl!(u32, u32, u32);
+uniform_int_impl!(u64, u64, u64);
+uniform_int_impl!(usize, usize, usize);
+uniform_int_impl!(i32, u32, u32);
+uniform_int_impl!(i64, u64, u64);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (low, high) = (self.start, self.end);
+        let scale = high - low;
+        loop {
+            // A value in [1, 2): 52 random mantissa bits under exponent 0.
+            let bits = (rng.next_u64() >> 12) | (1023u64 << 52);
+            let value1_2 = f64::from_bits(bits);
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+    fn is_empty(&self) -> bool {
+        // NaN bounds count as empty (same as `!(start < end)` upstream).
+        self.start.partial_cmp(&self.end) != Some(core::cmp::Ordering::Less)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn inclusive_full_domain_does_not_loop() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let _: u8 = rng.gen_range(0u8..=u8::MAX);
+        let _: u64 = rng.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn small_type_zone_is_exact() {
+        // For u8 ranges the rejection zone must make sampling unbiased over
+        // u32 draws; spot-check the bounds hold over many samples.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 21];
+        for _ in 0..2000 {
+            let v = rng.gen_range(8u8..=28);
+            seen[(v - 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in 8..=28 reachable");
+    }
+}

@@ -1,0 +1,92 @@
+//! RNG implementations: [`StdRng`], the ChaCha12 generator of rand 0.8.
+
+use crate::chacha::chacha_block;
+use crate::{RngCore, SeedableRng};
+
+/// The standard RNG of rand 0.8: ChaCha12, consumed through the same
+/// four-block buffer discipline as `rand_core::block::BlockRng`, so the
+/// `next_u32`/`next_u64` streams match rand 0.8.5 bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    key: [u32; 8],
+    /// Block counter of the *next* four-block refill.
+    counter: u64,
+    buf: [u32; 64],
+    /// Next word to consume; `64` means the buffer is exhausted.
+    index: usize,
+}
+
+impl StdRng {
+    fn refill(&mut self) {
+        for block in 0..4u64 {
+            let words = chacha_block::<6>(self.key, self.counter + block, 0);
+            self.buf[block as usize * 16..(block as usize + 1) * 16].copy_from_slice(&words);
+        }
+        self.counter += 4;
+        self.index = 0;
+    }
+
+    #[inline]
+    fn read_u64_at(&self, index: usize) -> u64 {
+        (u64::from(self.buf[index + 1]) << 32) | u64::from(self.buf[index])
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        StdRng {
+            key,
+            counter: 0,
+            buf: [0; 64],
+            index: 64,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 64 {
+            self.refill();
+        }
+        let value = self.buf[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Mirrors BlockRng::next_u64's three cases exactly.
+        let index = self.index;
+        if index < 63 {
+            self.index += 2;
+            self.read_u64_at(index)
+        } else if index >= 64 {
+            self.refill();
+            self.index = 2;
+            self.read_u64_at(0)
+        } else {
+            let lo = u64::from(self.buf[63]);
+            self.refill();
+            self.index = 1;
+            (u64::from(self.buf[0]) << 32) | lo
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // Word-at-a-time fill (matches fill_via_u32_chunks for whole words).
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
