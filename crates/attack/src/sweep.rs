@@ -299,6 +299,30 @@ mod tests {
     }
 
     #[test]
+    fn tier1_pairs_are_distinct() {
+        // The tier-1 pool is small, so with-replacement sampling would
+        // collide almost surely; demand strict distinctness at every
+        // request size, including one exceeding the pool (which must clamp,
+        // not loop or repeat).
+        let g = graph();
+        for n in [4usize, 12, 1000] {
+            for seed in 0..4 {
+                let exps = tier1_pair_experiments(&g, n, 3, seed);
+                let mut pairs: Vec<_> = exps.iter().map(|e| (e.victim(), e.attacker())).collect();
+                let total = pairs.len();
+                pairs.sort();
+                pairs.dedup();
+                assert_eq!(
+                    pairs.len(),
+                    total,
+                    "duplicate tier-1 pair (n={n}, seed={seed})"
+                );
+                assert!(exps.iter().all(|e| e.victim() != e.attacker()));
+            }
+        }
+    }
+
+    #[test]
     fn workspace_sweep_matches_parallel_sweep() {
         let g = graph();
         let mut ws = RouteWorkspace::new();

@@ -47,6 +47,30 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| black_box(engine.compute_with(black_box(&spec), &mut ws)));
             },
         );
+        // The delta ablation pair: the attacked pass as a full whole-graph
+        // propagation (the validation oracle) vs delta re-convergence from
+        // the cached clean equilibrium — both over one warm workspace, so
+        // the difference is purely the second pass's algorithm.
+        group.bench_with_input(
+            BenchmarkId::new("attacked_full_workspace", name),
+            &graph,
+            |b, _| {
+                let spec = DestinationSpec::new(victim)
+                    .origin_padding(3)
+                    .attacker(AttackerModel::new(attacker));
+                let mut ws = RouteWorkspace::new();
+                b.iter(|| black_box(engine.compute_full_with(black_box(&spec), &mut ws)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("attacked_delta", name), &graph, |b, _| {
+            let spec = DestinationSpec::new(victim)
+                .origin_padding(3)
+                .attacker(AttackerModel::new(attacker));
+            let mut ws = RouteWorkspace::new();
+            // Warm the clean-pass cache so every timed iteration is a delta.
+            let _ = engine.compute_with(&spec, &mut ws);
+            b.iter(|| black_box(engine.compute_with(black_box(&spec), &mut ws)));
+        });
         if name == "small" {
             group.bench_function("generate_small", |b| {
                 b.iter(|| black_box(InternetConfig::small().seed(7).build()));

@@ -1,0 +1,138 @@
+//! `cargo run -p aspp-bench --release` — machine-readable engine
+//! performance snapshot.
+//!
+//! Times the four workloads the routing engine's perf story is built on
+//! (clean pass, attacked full pass, attacked delta pass, fig9-style λ
+//! sweep full vs delta) and writes them as `BENCH_engine.json` so the
+//! trajectory is tracked across PRs. Defaults to the smoke scale; set
+//! `ASPP_BENCH_SCALE=paper` for the EXPERIMENTS.md numbers and
+//! `ASPP_BENCH_JSON=path` to redirect the output file.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use aspp_bench::{bench_scale, BENCH_SEED};
+use aspp_core::experiments::Scale;
+use aspp_core::prelude::*;
+
+/// Median wall-clock nanoseconds of `iters` runs of `f`, after `warmup`
+/// discarded runs.
+fn time_ns<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> u128 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let scale = bench_scale();
+    let scale_name = match scale {
+        Scale::Smoke => "smoke",
+        Scale::Paper => "paper",
+    };
+    let graph = scale.internet(BENCH_SEED);
+    let engine = RoutingEngine::new(&graph);
+
+    let tiers = TierMap::classify(&graph);
+    let mut t1: Vec<Asn> = tiers.tier1().collect();
+    t1.sort();
+    let (attacker, victim) = (t1[0], t1[1]);
+    let clean_spec = DestinationSpec::new(victim).origin_padding(3);
+    let attacked_spec = DestinationSpec::new(victim)
+        .origin_padding(3)
+        .attacker(AttackerModel::new(attacker));
+    let (warmup, iters) = (3, 15);
+
+    // Clean pass, cache disabled: the raw bucket-queue Dijkstra.
+    let mut cold = RouteWorkspace::with_cache_capacity(0);
+    let clean_ns = time_ns(warmup, iters, || {
+        black_box(engine.compute_with(black_box(&clean_spec), &mut cold));
+    });
+
+    // Attacked pass on a warm workspace (clean pass cached): full-graph
+    // second pass vs delta re-convergence.
+    let mut ws = RouteWorkspace::new();
+    let attacked_full_ns = time_ns(warmup, iters, || {
+        black_box(engine.compute_full_with(black_box(&attacked_spec), &mut ws));
+    });
+    let attacked_delta_ns = time_ns(warmup, iters, || {
+        black_box(engine.compute_with(black_box(&attacked_spec), &mut ws));
+    });
+
+    // Fig9-style λ sweep (tier-1 vs tier-1, λ = 1..=8), warm workspace.
+    let mut sweep_ws = RouteWorkspace::new();
+    let fig9_full_ns = time_ns(warmup, iters, || {
+        for pad in 1..=8usize {
+            let spec = DestinationSpec::new(victim)
+                .origin_padding(pad)
+                .attacker(AttackerModel::new(attacker));
+            black_box(engine.compute_full_with(&spec, &mut sweep_ws));
+        }
+    });
+    let fig9_delta_ns = time_ns(warmup, iters, || {
+        for pad in 1..=8usize {
+            let spec = DestinationSpec::new(victim)
+                .origin_padding(pad)
+                .attacker(AttackerModel::new(attacker));
+            black_box(engine.compute_with(&spec, &mut sweep_ws));
+        }
+    });
+    // Cross-check: the public sweep API rides the same delta path.
+    let sweep_points = sweep::prepend_sweep_with(
+        &graph,
+        victim,
+        attacker,
+        1..=8,
+        ExportMode::Compliant,
+        &mut sweep_ws,
+    );
+    assert_eq!(sweep_points.len(), 8);
+
+    let speedup = |full: u128, fast: u128| full as f64 / fast.max(1) as f64;
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
+    let _ = writeln!(json, "  \"nodes\": {},", graph.len());
+    let _ = writeln!(json, "  \"seed\": {BENCH_SEED},");
+    let _ = writeln!(json, "  \"median_ns\": {{");
+    let _ = writeln!(json, "    \"clean_pass\": {clean_ns},");
+    let _ = writeln!(json, "    \"attacked_full\": {attacked_full_ns},");
+    let _ = writeln!(json, "    \"attacked_delta\": {attacked_delta_ns},");
+    let _ = writeln!(json, "    \"fig9_sweep_full\": {fig9_full_ns},");
+    let _ = writeln!(json, "    \"fig9_sweep_delta\": {fig9_delta_ns}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"speedup\": {{");
+    let _ = writeln!(
+        json,
+        "    \"attacked_delta_vs_full\": {:.2},",
+        speedup(attacked_full_ns, attacked_delta_ns)
+    );
+    let _ = writeln!(
+        json,
+        "    \"fig9_sweep_delta_vs_full\": {:.2}",
+        speedup(fig9_full_ns, fig9_delta_ns)
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"delta_passes\": {},", sweep_ws.delta_passes());
+    let _ = writeln!(
+        json,
+        "  \"delta_fallbacks\": {}",
+        sweep_ws.delta_fallbacks()
+    );
+    let _ = writeln!(json, "}}");
+
+    let path = std::env::var("ASPP_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".to_string());
+    std::fs::write(&path, &json).expect("write bench json");
+    print!("{json}");
+    eprintln!("wrote {path}");
+}

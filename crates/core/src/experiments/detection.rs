@@ -156,8 +156,13 @@ pub fn vantage_selection(graph: &AsGraph, scale: Scale, seed: u64) -> SelectionS
         Scale::Smoke => (12, vec![4, 10]),
         Scale::Paper => (40, vec![10, 30, 70]),
     };
-    let training = random_pair_experiments(graph, train_n, 3, seed);
-    let held_out = random_pair_experiments(graph, train_n, 3, seed.wrapping_add(1));
+    // One without-replacement draw split in half: training and held-out
+    // batches share no (victim, attacker) pair, so the greedy monitor set is
+    // never evaluated on an attack it was fitted to. (Two independent draws
+    // — the old scheme — overlap with high probability on small graphs.)
+    let mut pool = random_pair_experiments(graph, 2 * train_n, 3, seed);
+    let held_out = pool.split_off(pool.len() / 2);
+    let training = pool;
     SelectionStudy {
         comparisons: budgets
             .into_iter()

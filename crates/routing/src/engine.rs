@@ -15,16 +15,84 @@
 //! * on finalization a node re-exports subject to the valley-free rule
 //!   ([`RouteClass::may_export_to`]).
 //!
+//! Because `(class, length)` strictly increases along every export step,
+//! labels are scheduled by a Dial-style **bucket queue** ([`BucketQueue`]):
+//! one `Vec` bucket per `(class, effective length)`, drained class-major.
+//! A bucket can only receive pushes before the scan reaches it, so it is
+//! sorted exactly once and then drained in label order — the pop sequence is
+//! identical to a binary heap's (all labels are distinct), without the
+//! `log V` comparison chain or per-push sift.
+//!
+//! # The attacked pass
+//!
 //! With an attacker `M`, the engine first runs a clean pass to learn `M`'s
-//! received route `r1 = [ASn … AS1 V^λ]`, then runs a second pass in which
-//! `M`'s best route is pinned to `r1` (it must keep a working route to
-//! forward intercepted traffic) while `M` exports the *stripped* route
+//! received route `r1 = [ASn … AS1 V^λ]`, then computes a second equilibrium
+//! in which `M`'s best route is pinned to `r1` (it must keep a working route
+//! to forward intercepted traffic) while `M` exports the *stripped* route
 //! `r2 = [M ASn … AS1 V]`. ASes on `M`'s clean chain reject attacker-derived
 //! labels — their own ASN is on the claimed path, so real BGP loop
 //! prevention would discard the announcement.
+//!
+//! # Delta re-convergence
+//!
+//! The attacked equilibrium is computed **incrementally** from the clean one
+//! ([`RoutingEngine::compute_with`]); the full second Dijkstra survives only
+//! as a fallback and as the reference oracle
+//! ([`RoutingEngine::compute_full_with`]). The delta pass starts from a copy
+//! of the clean pass, seeds the frontier with `M`'s stripped exports, and
+//! relaxes outward; a popped label either
+//!
+//! * loses to the node's clean label — the frontier stops, the node (and
+//!   everything behind it) keeps its clean route verbatim; or
+//! * wins (or ties) — the node is re-converged onto the attacker label and
+//!   re-exports it.
+//!
+//! **Monotonicity argument.** The attacked pass differs from the clean pass
+//! only in `M`'s exports, and those can only *improve* receiver labels: the
+//! stripped length satisfies `base_len ≤ len(r1)` while class and export
+//! targets stay the same or widen (an origin hijack claims `Origin`, a
+//! compliant ASPP attacker additionally reaches peers). Inductively, every
+//! node a better label reaches re-exports a label no worse than its clean
+//! export, so re-convergence only propagates improvements; any node the
+//! frontier never reaches has exactly its clean route in the attacked
+//! equilibrium, and the popped-in-preference-order schedule makes each
+//! adopted label the same one the full pass would have selected.
+//!
+//! A tie between an attacker label and the stored clean label means the
+//! clean parent itself was re-converged (under the lowest-ASN tie-break, a
+//! tie implies the same parent), i.e. the clean option no longer exists, so
+//! ties adopt the attacker label.
+//!
+//! **The rare non-monotone corner.** Policy beats length, so a node can be
+//! re-converged onto a *longer* route of better class (e.g. a stripped route
+//! arriving customer-learned where the clean route was peer-learned). Its
+//! re-export to non-sibling neighbors then *worsens* in key, which can strip
+//! downstream nodes of their clean floor — the one case where the attacked
+//! equilibrium is not pointwise ≤ the clean one. The delta pass detects this
+//! at adoption time (`len` grew while class improved; under
+//! [`TieBreak::PreferClean`] any non-shrinking adoption, because the flipped
+//! tie flag alone worsens replaced exports) and falls back to the full
+//! second pass, so results are **bit-identical** to the two-full-pass engine
+//! in every case — property-tested across all [`AttackStrategy`] variants
+//! and both [`ExportMode`]s in `tests/delta_equivalence.rs`.
+//!
+//! # Scratch layout and caching
+//!
+//! All mutable per-node pass state — the lazy decrease-key rank and the
+//! epoch stamps for adoption, chain membership and queued offers — lives in
+//! one 32-byte [`NodeScratch`] entry, so the per-edge push filter costs a
+//! single random memory access and the whole table stays L1-resident at
+//! paper scale. Epoch stamping makes starting a pass O(1): nothing is
+//! re-zeroed. A [`RouteWorkspace`] additionally memoizes, per cached clean
+//! pass, the `Arc`-shared route table (hits never clone it), the packed
+//! clean-key ranking table the delta pass prunes against, and the set of
+//! attack specs whose delta attempt is known to hit the non-monotone corner
+//! (fallback is a pure function of `(graph, spec)`, so one observed
+//! fallback predicts all repeats).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use aspp_topology::{AsGraph, CsrIndex};
 use aspp_types::{AsPath, Asn, Relationship, RouteClass};
@@ -308,32 +376,266 @@ impl GraphStamp {
 
 /// One memoized clean (no-attack) pass, keyed by everything that influences
 /// it: the victim, the prepending configuration and the tie-break rule.
+///
+/// The pass itself is behind an [`Arc`] so a cache hit hands out a shared
+/// reference instead of cloning the whole route table, and `keys` memoizes
+/// the delta pass's packed clean-route ranking table (built lazily on the
+/// first delta attempt against this equilibrium, then reused by every later
+/// one).
 #[derive(Clone, Debug)]
 struct CleanEntry {
     victim: Asn,
     tie: TieBreak,
     prepend: PrependConfig,
-    pass: Pass,
+    pass: Arc<Pass>,
+    keys: Option<Arc<[u128]>>,
+}
+
+/// Upper bound on the delta-hostile memo in [`RouteWorkspace`]; like the
+/// clean-pass cache, big enough for a full λ sweep, small enough that the
+/// linear scan is free.
+const DELTA_HOSTILE_CAPACITY: usize = 32;
+
+/// Labels with effective length at or beyond this spill from the per-length
+/// `Vec` buckets into a per-class binary heap. Only extreme prepending
+/// configurations produce such labels; everything paper-shaped stays in the
+/// O(1) buckets.
+const BUCKET_SPILL_LEN: usize = 256;
+
+/// Dial-style bucket priority queue over route [`Label`]s.
+///
+/// Route preference is `(class, effective length, tie-break)` with only
+/// three receiver classes and small lengths, and every export step strictly
+/// increases `(class, length)` lexicographically. So instead of a binary
+/// heap the scheduler keeps one bucket per `(class, length)` and scans them
+/// class-major, length-minor. Strict progress means a bucket can no longer
+/// receive pushes once the scan reaches it, so it is sorted exactly once
+/// (full `Label` order, all labels distinct) and drained back-to-front —
+/// the pop sequence is identical to `BinaryHeap<Reverse<Label>>`, without
+/// the per-operation `log n` sift.
+///
+/// A stored label's `(class, len)` are the bucket coordinates themselves,
+/// and the rest of its `Ord` key — tie-break, node, parent, via flag — packs
+/// into one [`pack_bucket_rank`] integer, so buckets hold bare `u128`s:
+/// the sort compares native integers with no key recomputation, and
+/// [`pop`](Self::pop) reconstructs the [`Label`]. Buckets are reused across
+/// computations ([`clear`](Self::clear) retains every allocation).
+#[derive(Debug, Default)]
+struct BucketQueue {
+    /// `buckets[class][len]` for `len < BUCKET_SPILL_LEN`, holding
+    /// [`pack_bucket_rank`]-packed labels.
+    buckets: [Vec<Vec<u128>>; 3],
+    /// Per-class overflow for `len >= BUCKET_SPILL_LEN`; `(len, rank)`
+    /// tuple order equals `Label` order within one class.
+    spill: [BinaryHeap<Reverse<(u32, u128)>>; 3],
+    cur_class: usize,
+    cur_len: usize,
+    cur_sorted: bool,
+    in_spill: bool,
+    len: usize,
+}
+
+impl BucketQueue {
+    /// Class scan rank. `Origin` labels never enter the queue (the victim is
+    /// finalized before propagation starts), so the rank is invertible — see
+    /// [`class_of_rank`](Self::class_of_rank).
+    fn class_rank(class: RouteClass) -> usize {
+        match class {
+            RouteClass::Origin | RouteClass::FromCustomer => 0,
+            RouteClass::FromPeer => 1,
+            RouteClass::FromProvider => 2,
+        }
+    }
+
+    /// Inverse of [`class_rank`](Self::class_rank) over queued labels.
+    fn class_of_rank(rank: usize) -> RouteClass {
+        match rank {
+            0 => RouteClass::FromCustomer,
+            1 => RouteClass::FromPeer,
+            _ => RouteClass::FromProvider,
+        }
+    }
+
+    /// Empties the queue, retaining every bucket/heap allocation.
+    fn clear(&mut self) {
+        for class in &mut self.buckets {
+            for bucket in class.iter_mut() {
+                bucket.clear();
+            }
+        }
+        for heap in &mut self.spill {
+            heap.clear();
+        }
+        self.cur_class = 0;
+        self.cur_len = 0;
+        self.cur_sorted = false;
+        self.in_spill = false;
+        self.len = 0;
+    }
+
+    /// Enqueues the label with class `class`, effective length `len` and
+    /// [`pack_bucket_rank`] key `bucket_rank`.
+    fn push(&mut self, class: RouteClass, len: u32, bucket_rank: u128) {
+        debug_assert_ne!(class, RouteClass::Origin, "Origin is never exported");
+        let rank = Self::class_rank(class);
+        let idx = len as usize;
+        if idx >= BUCKET_SPILL_LEN {
+            self.spill[rank].push(Reverse((len, bucket_rank)));
+        } else {
+            // Strict (class, len) progress: a push can never land behind the
+            // scan cursor, so sorted-then-drained buckets stay exact.
+            debug_assert!(
+                rank > self.cur_class
+                    || (rank == self.cur_class && (self.in_spill || idx >= self.cur_len)),
+                "bucket push behind scan cursor breaks pop order"
+            );
+            let class_buckets = &mut self.buckets[rank];
+            if class_buckets.len() <= idx {
+                class_buckets.resize_with(idx + 1, Vec::new);
+            }
+            class_buckets[idx].push(bucket_rank);
+        }
+        self.len += 1;
+    }
+
+    /// Rebuilds the [`Label`] whose [`pack_bucket_rank`] key is
+    /// `rank` in the bucket at (`class_rank`, `len`).
+    fn unpack(class_rank: usize, len: u32, rank: u128) -> Label {
+        let tie_asn = (rank >> 65) as u32;
+        Label {
+            class: Self::class_of_rank(class_rank),
+            len,
+            tie_key: ((rank >> 97) as u8, tie_asn),
+            parent_asn_order: tie_asn,
+            node: (rank >> 33) as u32,
+            parent: (rank >> 1) as u32,
+            via_attacker: (rank & 1) != 0,
+        }
+    }
+
+    fn pop(&mut self) -> Option<Label> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if self.cur_class == 3 {
+                debug_assert_eq!(self.len, 0, "labels stranded behind the cursor");
+                return None;
+            }
+            if self.in_spill {
+                if let Some(Reverse((len, rank))) = self.spill[self.cur_class].pop() {
+                    self.len -= 1;
+                    return Some(Self::unpack(self.cur_class, len, rank));
+                }
+                self.cur_class += 1;
+                self.cur_len = 0;
+                self.cur_sorted = false;
+                self.in_spill = false;
+                continue;
+            }
+            if self.cur_len >= self.buckets[self.cur_class].len() {
+                self.in_spill = true;
+                continue;
+            }
+            let bucket = &mut self.buckets[self.cur_class][self.cur_len];
+            if bucket.is_empty() {
+                self.cur_len += 1;
+                self.cur_sorted = false;
+                continue;
+            }
+            if !self.cur_sorted {
+                // Descending sort + back-to-front drain = ascending pops.
+                bucket.sort_unstable_by(|a, b| b.cmp(a));
+                self.cur_sorted = true;
+            }
+            self.len -= 1;
+            let rank = bucket.pop().expect("bucket checked non-empty");
+            return Some(Self::unpack(self.cur_class, self.cur_len as u32, rank));
+        }
+    }
+}
+
+/// All per-node scratch state of one propagation pass, packed into 32
+/// aligned bytes so the per-edge push filter costs one random memory access
+/// instead of four and the whole table stays L1-resident on paper-scale
+/// topologies.
+///
+/// The epochs implement O(1) whole-array invalidation: a field is live only
+/// while its epoch equals the workspace's current pass epoch, so starting a
+/// new pass is one counter bump and nothing is re-zeroed. (A `u32` epoch
+/// wraps after 2³² passes; [`RouteWorkspace::begin_pass`] re-zeroes the
+/// table at the wrap so stale stamps can never collide.)
+///
+/// * `offer_rank` (with `offer_epoch`) is a lazy decrease-key: the best
+///   [`offer`]-rank queued for this node so far. An offer that does not
+///   beat it is provably redundant — the recorded offer pops first (same
+///   node, and the rank order is `Ord` order) and settles the node the same
+///   way — so it is dropped at push. Strict `(class, len)` scan progress
+///   guarantees nothing better can arrive after adoption.
+/// * `chain_epoch` marks membership in the attacker's claimed AS chain
+///   (loop prevention); `adopted_epoch` marks a settled node — finalized in
+///   the full pass, adopted-malicious in the delta pass.
+///
+/// The delta pass's clean-route ranking table deliberately lives *outside*
+/// this struct (see [`CleanEntry::keys`]): the clean and full passes never
+/// read it, and keeping it out halves their scratch footprint.
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(align(32))]
+struct NodeScratch {
+    offer_rank: u128,
+    offer_epoch: u32,
+    chain_epoch: u32,
+    adopted_epoch: u32,
+}
+
+/// A label's preference key `(class, effective length, tie-break)` packed
+/// into one integer, ordered exactly like the tuple compare.
+fn pack_pref(class: RouteClass, len: u32, tie_key: (u8, u32)) -> u128 {
+    ((class as u128) << 72)
+        | ((len as u128) << 40)
+        | ((tie_key.0 as u128) << 32)
+        | (tie_key.1 as u128)
+}
+
+/// Packed clean key of a node with no clean route: orders after every real
+/// preference key, so the delta pass never rejects an offer against it, and
+/// its embedded length field is `u32::MAX`, so no adoption over it can
+/// register as worsened.
+const PACKED_NO_CLEAN: u128 = u128::MAX;
+
+/// The effective length embedded in a [`pack_pref`]-packed key.
+fn packed_len(key: u128) -> u32 {
+    (key >> 40) as u32
 }
 
 /// Reusable per-thread scratch state for route computation.
 ///
-/// [`RoutingEngine::compute`] allocates a fresh priority heap and, when an
+/// [`RoutingEngine::compute`] starts from cold scratch state and, when an
 /// attacker is present, recomputes the clean (no-attack) equilibrium for
 /// every call. Sweeps — λ sweeps, attacker-placement sweeps, detection
 /// evaluations — issue thousands of such calls against the same victim, so a
-/// `RouteWorkspace` keeps two things alive across calls:
+/// `RouteWorkspace` keeps three things alive across calls:
 ///
-/// * the label heap, so its allocation is reused instead of regrown; and
+/// * the bucket-queue label scheduler, so its buckets are reused instead of
+///   regrown;
+/// * the per-node [`NodeScratch`] table (offer ranks, adoption/chain epoch
+///   stamps — epoch-stamped, never re-zeroed); and
 /// * a small LRU cache of clean passes keyed by `(victim, prepending
-///   config, tie-break)`, so repeated computations over the same victim
-///   skip the redundant clean pass entirely and only run the attacked pass.
+///   config, tie-break)` — each entry `Arc`-shares its route table (hits
+///   never clone it) and lazily memoizes the packed clean-key ranking table,
+///   so repeated computations over the same victim skip the redundant clean
+///   pass entirely and give the **delta attacked pass** its starting
+///   equilibrium and pruning keys for free. A companion memo remembers
+///   attack specs whose delta pass is known to fall back, so repeats go
+///   straight to the full pass.
 ///
 /// Results are **bit-identical** to [`RoutingEngine::compute`]: the clean
 /// pass is deterministic, so replaying a cached copy and recomputing it
-/// produce the same routes. The cache watches the graph's
-/// [`version`](AsGraph::version) and is dropped automatically if the
-/// workspace is reused against a mutated (or different) graph.
+/// produce the same routes, and the delta pass falls back to the full
+/// second pass whenever incremental re-convergence could diverge. The cache
+/// watches the graph's [`version`](AsGraph::version) and is dropped
+/// automatically if the workspace is reused against a mutated (or
+/// different) graph.
 ///
 /// A workspace is cheap to construct and intended to live one-per-thread;
 /// it is `Send` but not shared (`&mut` access only).
@@ -357,12 +659,21 @@ struct CleanEntry {
 /// ```
 #[derive(Debug)]
 pub struct RouteWorkspace {
-    heap: BinaryHeap<Reverse<Label>>,
+    queue: BucketQueue,
+    /// One [`NodeScratch`] per node; all epoch fields key off `epoch`.
+    scratch: Vec<NodeScratch>,
+    epoch: u32,
     clean_cache: Vec<CleanEntry>,
+    /// Attack specs whose delta pass is known to hit the non-monotone
+    /// corner; repeats go straight to the full pass instead of re-paying a
+    /// doomed delta attempt. Valid for the stamped graph only.
+    delta_hostile: Vec<(Asn, AttackerModel, TieBreak, PrependConfig)>,
     cache_capacity: usize,
     stamp: Option<GraphStamp>,
     hits: u64,
     misses: u64,
+    delta_passes: u64,
+    delta_fallbacks: u64,
 }
 
 impl Default for RouteWorkspace {
@@ -384,25 +695,32 @@ impl RouteWorkspace {
     }
 
     /// A workspace whose clean-pass cache holds at most `capacity` passes
-    /// (`0` disables caching; the heap is still reused).
+    /// (`0` disables caching; the scheduler buckets are still reused).
     #[must_use]
     pub fn with_cache_capacity(capacity: usize) -> Self {
         RouteWorkspace {
-            heap: BinaryHeap::new(),
+            queue: BucketQueue::default(),
+            scratch: Vec::new(),
+            epoch: 0,
             clean_cache: Vec::new(),
+            delta_hostile: Vec::new(),
             cache_capacity: capacity,
             stamp: None,
             hits: 0,
             misses: 0,
+            delta_passes: 0,
+            delta_fallbacks: 0,
         }
     }
 
-    /// Drops all cached passes and scratch allocations, keeping the
-    /// configured capacity and the hit/miss counters.
+    /// Drops all cached passes, keeping the configured capacity, the
+    /// counters, and — deliberately — every scratch allocation (scheduler
+    /// buckets, chain mask, cache slots), so a cleared workspace computes
+    /// again without growing the heap.
     pub fn clear(&mut self) {
-        self.heap = BinaryHeap::new();
+        self.queue.clear();
         self.clean_cache.clear();
-        self.clean_cache.shrink_to_fit();
+        self.delta_hostile.clear();
         self.stamp = None;
     }
 
@@ -423,6 +741,39 @@ impl RouteWorkspace {
     #[must_use]
     pub fn cached_passes(&self) -> usize {
         self.clean_cache.len()
+    }
+
+    /// Number of attacked passes served by delta re-convergence.
+    #[must_use]
+    pub fn delta_passes(&self) -> u64 {
+        self.delta_passes
+    }
+
+    /// Number of attacked passes where the delta pass detected the
+    /// non-monotone corner (see the module docs) and fell back to a full
+    /// propagation.
+    #[must_use]
+    pub fn delta_fallbacks(&self) -> u64 {
+        self.delta_fallbacks
+    }
+
+    /// Starts a fresh propagation pass over a graph of `n` nodes: bumps the
+    /// pass epoch (retiring every offer, adoption and chain mark in O(1),
+    /// without re-zeroing the scratch array) and marks `chain` as the
+    /// attacker's claimed AS chain.
+    fn begin_pass(&mut self, n: usize, chain: &[usize]) {
+        if self.scratch.len() < n {
+            self.scratch.resize(n, NodeScratch::default());
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 wrap: re-zero once so stale stamps can't alias epoch 1.
+            self.scratch.fill(NodeScratch::default());
+            self.epoch = 1;
+        }
+        for &i in chain {
+            self.scratch[i].chain_epoch = self.epoch;
+        }
     }
 }
 
@@ -478,6 +829,36 @@ impl<'g> RoutingEngine<'g> {
         spec: &DestinationSpec,
         ws: &mut RouteWorkspace,
     ) -> RoutingOutcome<'g> {
+        self.compute_inner(spec, ws, true)
+    }
+
+    /// Like [`compute_with`](Self::compute_with) but forces the attacked
+    /// pass to run as a full whole-graph propagation, never the delta path.
+    ///
+    /// The result is bit-identical to [`compute_with`](Self::compute_with);
+    /// this exists as the validation oracle for the delta pass (see
+    /// `tests/delta_equivalence.rs`) and as the before/after baseline in the
+    /// benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim (or configured attacker) is not in the graph, or
+    /// if attacker == victim.
+    #[must_use]
+    pub fn compute_full_with(
+        &self,
+        spec: &DestinationSpec,
+        ws: &mut RouteWorkspace,
+    ) -> RoutingOutcome<'g> {
+        self.compute_inner(spec, ws, false)
+    }
+
+    fn compute_inner(
+        &self,
+        spec: &DestinationSpec,
+        ws: &mut RouteWorkspace,
+        use_delta: bool,
+    ) -> RoutingOutcome<'g> {
         let v_idx = self
             .graph
             .index_of(spec.victim)
@@ -518,23 +899,44 @@ impl<'g> RoutingEngine<'g> {
                 // and does not care about a forwarding route.
                 AttackStrategy::OriginHijack => (0, vec![m_idx]),
             };
-            Some(self.propagate(
-                spec,
-                v_idx,
-                ws,
-                Some(AttackSeed {
-                    m_idx,
-                    base_len,
-                    clean_class: match att.strategy {
-                        // An origin hijacker poses as the prefix owner.
-                        AttackStrategy::OriginHijack => RouteClass::Origin,
-                        _ => m_route.class,
-                    },
-                    mode: att.mode,
-                    pinned: m_route,
-                    chain,
-                }),
-            ))
+            let seed = AttackSeed {
+                m_idx,
+                base_len,
+                clean_class: match att.strategy {
+                    // An origin hijacker poses as the prefix owner.
+                    AttackStrategy::OriginHijack => RouteClass::Origin,
+                    _ => m_route.class,
+                },
+                mode: att.mode,
+                pinned: m_route,
+                chain,
+            };
+            if use_delta {
+                // Whether the delta pass survives is a pure function of
+                // (graph, spec), so a spec that fell back once will fall
+                // back every time: remember it and skip the doomed attempt.
+                let known_hostile = ws.cache_capacity > 0
+                    && ws.delta_hostile.iter().any(|h| {
+                        h.0 == spec.victim && h.1 == *att && h.2 == spec.tie && h.3 == spec.prepend
+                    });
+                if !known_hostile {
+                    let keys = self.clean_keys(spec, ws, &clean);
+                    if let Some(pass) = self.propagate_delta(spec, v_idx, ws, &seed, &clean, &keys)
+                    {
+                        ws.delta_passes += 1;
+                        return Some(pass);
+                    }
+                    if ws.cache_capacity > 0 {
+                        if ws.delta_hostile.len() >= DELTA_HOSTILE_CAPACITY {
+                            ws.delta_hostile.remove(0);
+                        }
+                        ws.delta_hostile
+                            .push((spec.victim, *att, spec.tie, spec.prepend.clone()));
+                    }
+                }
+                ws.delta_fallbacks += 1;
+            }
+            Some(self.propagate(spec, v_idx, ws, Some(&seed)))
         });
 
         RoutingOutcome {
@@ -551,14 +953,22 @@ impl<'g> RoutingEngine<'g> {
     }
 
     /// Looks up (or computes and caches) the clean equilibrium for `spec`.
-    fn clean_pass(&self, spec: &DestinationSpec, v_idx: usize, ws: &mut RouteWorkspace) -> Pass {
+    /// Hits cost one `Arc` bump — the route table itself is shared, never
+    /// cloned.
+    fn clean_pass(
+        &self,
+        spec: &DestinationSpec,
+        v_idx: usize,
+        ws: &mut RouteWorkspace,
+    ) -> Arc<Pass> {
         if ws.cache_capacity == 0 {
             ws.misses += 1;
-            return self.propagate(spec, v_idx, ws, None);
+            return Arc::new(self.propagate(spec, v_idx, ws, None));
         }
         let stamp = GraphStamp::of(self.graph);
         if ws.stamp != Some(stamp) {
             ws.clean_cache.clear();
+            ws.delta_hostile.clear();
             ws.stamp = Some(stamp);
         }
         if let Some(pos) = ws
@@ -569,10 +979,10 @@ impl<'g> RoutingEngine<'g> {
             ws.hits += 1;
             // Move-to-front LRU; the cache is small, so the rotate is cheap.
             ws.clean_cache[..=pos].rotate_right(1);
-            return ws.clean_cache[0].pass.clone();
+            return Arc::clone(&ws.clean_cache[0].pass);
         }
         ws.misses += 1;
-        let pass = self.propagate(spec, v_idx, ws, None);
+        let pass = Arc::new(self.propagate(spec, v_idx, ws, None));
         if ws.clean_cache.len() >= ws.cache_capacity {
             ws.clean_cache.pop();
         }
@@ -582,25 +992,86 @@ impl<'g> RoutingEngine<'g> {
                 victim: spec.victim,
                 tie: spec.tie,
                 prepend: spec.prepend.clone(),
-                pass: pass.clone(),
+                pass: Arc::clone(&pass),
+                keys: None,
             },
         );
         pass
     }
 
-    /// The label-correcting Dijkstra described in the module docs.
+    /// The delta pass's clean-route ranking table for `clean`: every node's
+    /// [`pack_pref`]-packed clean preference key (`PACKED_NO_CLEAN` where it
+    /// has no clean route). Memoized on the pass's [`CleanEntry`] so a λ
+    /// sweep's repeated delta passes over one cached equilibrium build it
+    /// exactly once; with caching disabled it is rebuilt per call.
+    fn clean_keys(
+        &self,
+        spec: &DestinationSpec,
+        ws: &mut RouteWorkspace,
+        clean: &Pass,
+    ) -> Arc<[u128]> {
+        let build = || {
+            clean
+                .iter()
+                .map(|r| match r {
+                    Some(c) => {
+                        let p_asn = c.parent.map_or(Asn(0), |p| self.graph.asn_at(p));
+                        pack_pref(c.class, c.len, tie_key_for(spec.tie, false, p_asn))
+                    }
+                    None => PACKED_NO_CLEAN,
+                })
+                .collect()
+        };
+        // `clean_pass` just ran, so on a cache-enabled workspace the front
+        // entry is exactly this equilibrium.
+        match ws.clean_cache.first_mut() {
+            Some(e)
+                if e.victim == spec.victim && e.tie == spec.tie && e.prepend == spec.prepend =>
+            {
+                Arc::clone(e.keys.get_or_insert_with(build))
+            }
+            _ => build(),
+        }
+    }
+
+    /// Dense per-node prepending policies for `spec`: one hash lookup per
+    /// *configured* AS per pass instead of one per exporting node. Empty
+    /// when nobody pads — callers index with `pad.get(i).copied().flatten()`.
+    fn pad_table<'s>(&self, spec: &'s DestinationSpec) -> Vec<Option<&'s PrependingPolicy>> {
+        if spec.prepend.is_empty() {
+            return Vec::new();
+        }
+        let mut pad = vec![None; self.graph.len()];
+        for (asn, policy) in spec.prepend.iter() {
+            if let Some(idx) = self.graph.index_of(asn) {
+                pad[idx] = Some(policy);
+            }
+        }
+        pad
+    }
+
+    /// The label-correcting Dijkstra described in the module docs, over the
+    /// whole graph.
     fn propagate(
         &self,
         spec: &DestinationSpec,
         v_idx: usize,
         ws: &mut RouteWorkspace,
-        attack: Option<AttackSeed>,
+        attack: Option<&AttackSeed>,
     ) -> Pass {
         let n = self.graph.len();
         let csr = self.graph.csr();
+        let pad = self.pad_table(spec);
         let mut best: Pass = vec![None; n];
-        let heap = &mut ws.heap;
-        heap.clear();
+        ws.begin_pass(n, attack.map_or(&[][..], |a| a.chain.as_slice()));
+        let RouteWorkspace {
+            queue,
+            scratch,
+            epoch,
+            ..
+        } = ws;
+        let (scratch, epoch) = (&mut scratch[..], *epoch);
+        queue.clear();
 
         best[v_idx] = Some(NodeRoute {
             class: RouteClass::Origin,
@@ -608,110 +1079,339 @@ impl<'g> RoutingEngine<'g> {
             parent: None,
             via_attacker: false,
         });
+        scratch[v_idx].adopted_epoch = epoch;
 
         // Victim's exports.
-        self.export_from(spec, csr, v_idx, RouteClass::Origin, 0, false, heap, None);
+        self.export_from::<false>(
+            spec,
+            csr,
+            &pad,
+            v_idx,
+            RouteClass::Origin,
+            0,
+            false,
+            queue,
+            scratch,
+            &[],
+            epoch,
+        );
 
         // Attacker: pin its clean route and seed its modified exports.
-        if let Some(att) = &attack {
+        if let Some(att) = attack {
             best[att.m_idx] = Some(att.pinned);
-            let m_asn = self.graph.asn_at(att.m_idx);
-            for &(x_idx, rel_of_x) in csr.neighbors(att.m_idx) {
-                let x_idx = x_idx as usize;
-                if x_idx == v_idx {
-                    continue;
-                }
-                let allowed = match att.mode {
-                    ExportMode::ViolateValleyFree => true,
-                    ExportMode::Compliant => match rel_of_x {
-                        Relationship::Customer | Relationship::Sibling | Relationship::Peer => true,
-                        Relationship::Provider => att.clean_class.may_export_to(rel_of_x),
-                    },
-                };
-                if !allowed {
-                    continue;
-                }
-                let class = class_at_receiver(att.clean_class, rel_of_x);
-                let x_asn = self.graph.asn_at(x_idx);
-                let len = att.base_len + 1 + spec.prepend.extra_for(m_asn, x_asn) as u32;
-                heap.push(Reverse(Label::new(
-                    spec.tie, class, len, true, att.m_idx, m_asn, x_idx,
-                )));
-            }
+            scratch[att.m_idx].adopted_epoch = epoch;
+            self.seed_attacker_exports::<false>(
+                spec,
+                csr,
+                &pad,
+                att,
+                v_idx,
+                queue,
+                scratch,
+                &[],
+                epoch,
+            );
         }
 
-        while let Some(Reverse(label)) = heap.pop() {
-            let node = label.node;
-            if best[node].is_some() {
+        while let Some(label) = queue.pop() {
+            let node = label.node as usize;
+            if scratch[node].adopted_epoch == epoch {
                 continue;
             }
-            if label.via_attacker {
-                if let Some(att) = &attack {
-                    if att.chain.contains(&node) {
-                        // Loop prevention: this AS is on the attacker's
-                        // claimed path and would reject the announcement.
-                        continue;
-                    }
-                }
-            }
+            // Chain-masked targets were filtered at push (loop prevention).
+            debug_assert!(!label.via_attacker || scratch[node].chain_epoch != epoch);
+            scratch[node].adopted_epoch = epoch;
             best[node] = Some(NodeRoute {
                 class: label.class,
                 len: label.len,
-                parent: Some(label.parent),
+                parent: Some(label.parent as usize),
                 via_attacker: label.via_attacker,
             });
-            // The attacker never re-exports its (pinned) best route in the
-            // attacked pass; its exports were pre-seeded.
-            self.export_from(
+            // The attacker itself never reaches this point: its entry is
+            // pre-set (full pass) or chain-masked (delta), so its pinned
+            // route is never re-exported — only the pre-seeded exports are.
+            debug_assert!(attack.is_none_or(|a| a.m_idx != node));
+            self.export_from::<false>(
                 spec,
                 csr,
+                &pad,
                 node,
                 label.class,
                 label.len,
                 label.via_attacker,
-                heap,
-                attack.as_ref().map(|a| a.m_idx),
+                queue,
+                scratch,
+                &[],
+                epoch,
             );
         }
 
         best
     }
 
+    /// The delta attacked pass described in the module docs: starts from the
+    /// clean equilibrium, seeds only the attacker's modified exports, and
+    /// relaxes the malicious frontier outward — the frontier dies wherever
+    /// the clean label wins, and untouched nodes keep their clean route
+    /// verbatim.
+    ///
+    /// Returns `None` when the non-monotone corner is detected (an adoption
+    /// that lengthens a route, or — under [`TieBreak::PreferClean`] — fails
+    /// to shorten it); the caller must then run the full pass. Otherwise the
+    /// returned pass is bit-identical to [`propagate`](Self::propagate) with
+    /// the same seed.
+    fn propagate_delta(
+        &self,
+        spec: &DestinationSpec,
+        v_idx: usize,
+        ws: &mut RouteWorkspace,
+        att: &AttackSeed,
+        clean: &Pass,
+        keys: &[u128],
+    ) -> Option<Pass> {
+        // A replaced export worsens iff the adopted route is longer than the
+        // clean one it displaces; under PreferClean the flipped via-attacker
+        // tie bit alone worsens it, so only strictly shorter adoptions are
+        // safe there.
+        let worsened = |new_len: u32, clean_len: u32| match spec.tie {
+            TieBreak::PreferClean => new_len >= clean_len,
+            TieBreak::LowestNeighborAsn | TieBreak::PreferAttacker => new_len > clean_len,
+        };
+        // The attacker's own seed replaces its clean exports too.
+        if worsened(att.base_len, att.pinned.len) {
+            return None;
+        }
+        let n = self.graph.len();
+        let csr = self.graph.csr();
+        let pad = self.pad_table(spec);
+        ws.begin_pass(n, &att.chain);
+
+        let RouteWorkspace {
+            queue,
+            scratch,
+            epoch,
+            ..
+        } = ws;
+        let (scratch, epoch) = (&mut scratch[..], *epoch);
+        queue.clear();
+
+        let mut attacked: Pass = clean.clone();
+        attacked[att.m_idx] = Some(att.pinned);
+        scratch[att.m_idx].adopted_epoch = epoch;
+
+        self.seed_attacker_exports::<true>(
+            spec, csr, &pad, att, v_idx, queue, scratch, keys, epoch,
+        );
+
+        while let Some(label) = queue.pop() {
+            debug_assert!(label.via_attacker, "the delta frontier is all-malicious");
+            let node = label.node as usize;
+            let s = &mut scratch[node];
+            if s.adopted_epoch == epoch {
+                // Already adopted a more preferred malicious label.
+                continue;
+            }
+            debug_assert!(s.chain_epoch != epoch, "filtered at push");
+            // The push-time filter dropped strictly-losing offers, but
+            // re-ranking here is what makes adoption (and the fallback
+            // check) robust: on a tie the malicious offer wins — equal keys
+            // share the parent, whose clean export this label replaced —
+            // and every adoption must pass the `worsened` probe or the
+            // whole delta attempt is void. (`PACKED_NO_CLEAN` keys pass
+            // both checks: they rank last and their length is `u32::MAX`.)
+            let clean_key = keys[node];
+            if clean_key < pack_pref(label.class, label.len, label.tie_key) {
+                continue;
+            }
+            if clean_key != PACKED_NO_CLEAN && worsened(label.len, packed_len(clean_key)) {
+                return None;
+            }
+            s.adopted_epoch = epoch;
+            attacked[node] = Some(NodeRoute {
+                class: label.class,
+                len: label.len,
+                parent: Some(label.parent as usize),
+                via_attacker: true,
+            });
+            self.export_from::<true>(
+                spec,
+                csr,
+                &pad,
+                node,
+                label.class,
+                label.len,
+                true,
+                queue,
+                scratch,
+                keys,
+                epoch,
+            );
+        }
+
+        Some(attacked)
+    }
+
+    /// Seeds the attacker's modified exports into `queue` — shared verbatim
+    /// by the full and delta attacked passes (modulo their `skip` filters,
+    /// which only ever drop labels the pop loop would discard).
     #[allow(clippy::too_many_arguments)]
-    fn export_from(
+    fn seed_attacker_exports<const DELTA: bool>(
         &self,
         spec: &DestinationSpec,
         csr: &CsrIndex,
+        pad: &[Option<&PrependingPolicy>],
+        att: &AttackSeed,
+        v_idx: usize,
+        queue: &mut BucketQueue,
+        scratch: &mut [NodeScratch],
+        keys: &[u128],
+        epoch: u32,
+    ) {
+        let m_asn = self.graph.asn_at(att.m_idx);
+        let policy = pad.get(att.m_idx).copied().flatten();
+        let tie_key = tie_key_for(spec.tie, true, m_asn);
+        for &(x_idx, rel_of_x) in csr.neighbors(att.m_idx) {
+            let x_idx = x_idx as usize;
+            if x_idx == v_idx {
+                continue;
+            }
+            let allowed = match att.mode {
+                ExportMode::ViolateValleyFree => true,
+                ExportMode::Compliant => match rel_of_x {
+                    Relationship::Customer | Relationship::Sibling | Relationship::Peer => true,
+                    Relationship::Provider => att.clean_class.may_export_to(rel_of_x),
+                },
+            };
+            if !allowed {
+                continue;
+            }
+            let class = class_at_receiver(att.clean_class, rel_of_x);
+            let len = att.base_len
+                + 1
+                + policy.map_or(0, |p| p.extra_for(self.graph.asn_at(x_idx))) as u32;
+            offer::<DELTA, true>(
+                queue,
+                &mut scratch[x_idx],
+                keys,
+                epoch,
+                class,
+                len,
+                tie_key,
+                att.m_idx as u32,
+                x_idx as u32,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn export_from<const DELTA: bool>(
+        &self,
+        spec: &DestinationSpec,
+        csr: &CsrIndex,
+        pad: &[Option<&PrependingPolicy>],
         node: usize,
         class: RouteClass,
         len: u32,
         via_attacker: bool,
-        heap: &mut BinaryHeap<Reverse<Label>>,
-        pinned_attacker: Option<usize>,
+        queue: &mut BucketQueue,
+        scratch: &mut [NodeScratch],
+        keys: &[u128],
+        epoch: u32,
     ) {
-        if Some(node) == pinned_attacker {
-            return;
-        }
         let node_asn = self.graph.asn_at(node);
+        let policy = pad.get(node).copied().flatten();
+        let tie_key = tie_key_for(spec.tie, via_attacker, node_asn);
+        let row = export_row(class);
         for &(x_idx, rel_of_x) in csr.neighbors(node) {
             let x_idx = x_idx as usize;
-            if !class.may_export_to(rel_of_x) {
+            let Some(receiver_class) = row[rel_of_x as usize] else {
                 continue;
+            };
+            let weight = 1 + policy.map_or(0, |p| p.extra_for(self.graph.asn_at(x_idx))) as u32;
+            if via_attacker {
+                offer::<DELTA, true>(
+                    queue,
+                    &mut scratch[x_idx],
+                    keys,
+                    epoch,
+                    receiver_class,
+                    len + weight,
+                    tie_key,
+                    node as u32,
+                    x_idx as u32,
+                );
+            } else {
+                offer::<DELTA, false>(
+                    queue,
+                    &mut scratch[x_idx],
+                    keys,
+                    epoch,
+                    receiver_class,
+                    len + weight,
+                    tie_key,
+                    node as u32,
+                    x_idx as u32,
+                );
             }
-            let receiver_class = class_at_receiver(class, rel_of_x);
-            let x_asn = self.graph.asn_at(x_idx);
-            let weight = 1 + spec.prepend.extra_for(node_asn, x_asn) as u32;
-            heap.push(Reverse(Label::new(
-                spec.tie,
-                receiver_class,
-                len + weight,
-                via_attacker,
-                node,
-                node_asn,
-                x_idx,
-            )));
         }
     }
+}
+
+/// One valley-free export table row: the class a route of class `class`
+/// acquires at a receiver related by `rel` (indexed by `rel as usize`), or
+/// `None` where export is forbidden. Hoists the per-edge permission and
+/// class matches out of the edge loop.
+fn export_row(class: RouteClass) -> [Option<RouteClass>; 4] {
+    let mut row = [None; 4];
+    for rel in [
+        Relationship::Customer,
+        Relationship::Provider,
+        Relationship::Peer,
+        Relationship::Sibling,
+    ] {
+        if class.may_export_to(rel) {
+            row[rel as usize] = Some(class_at_receiver(class, rel));
+        }
+    }
+    row
+}
+
+/// The shared push-time filter of both propagation passes: drops offers to
+/// settled, on-chain (when `VIA`) or — in the delta pass — clean-dominated
+/// targets (ranked against `keys`, the packed clean-key table; unused and
+/// empty when `DELTA` is false), then applies the lazy decrease-key (an
+/// offer that does not beat the best one already queued for its node is
+/// redundant: the better offer pops first and settles the node the same
+/// way). The mutable state it reads lives in the target's single
+/// [`NodeScratch`] entry.
+#[allow(clippy::too_many_arguments)]
+fn offer<const DELTA: bool, const VIA: bool>(
+    queue: &mut BucketQueue,
+    s: &mut NodeScratch,
+    keys: &[u128],
+    epoch: u32,
+    class: RouteClass,
+    len: u32,
+    tie_key: (u8, u32),
+    parent: u32,
+    node: u32,
+) {
+    if s.adopted_epoch == epoch || (VIA && s.chain_epoch == epoch) {
+        return;
+    }
+    let pref = pack_pref(class, len, tie_key);
+    if DELTA && keys[node as usize] < pref {
+        return;
+    }
+    // `offer_rank` is the packed preference key extended by the remaining
+    // `Ord` fields, so it can be derived instead of re-packed.
+    let rank = (pref << 33) | ((parent as u128) << 1) | u128::from(VIA);
+    if s.offer_epoch == epoch && s.offer_rank <= rank {
+        return;
+    }
+    s.offer_epoch = epoch;
+    s.offer_rank = rank;
+    queue.push(class, len, pack_bucket_rank(tie_key, node, parent, VIA));
 }
 
 /// The class a route acquires at the receiver when exported over a link
@@ -745,37 +1445,36 @@ struct Label {
     len: u32,
     tie_key: (u8, u32),
     // Fields below do not participate in preference but keep Ord total.
+    // Node indices are u32 (the CSR index is u32-wide) to keep the label at
+    // 24 bytes — bucket sorting moves these around a lot.
     parent_asn_order: u32,
-    node: usize,
-    parent: usize,
+    node: u32,
+    parent: u32,
     via_attacker: bool,
 }
 
-impl Label {
-    fn new(
-        tie: TieBreak,
-        class: RouteClass,
-        len: u32,
-        via_attacker: bool,
-        parent: usize,
-        parent_asn: Asn,
-        node: usize,
-    ) -> Self {
-        let tie_key = match tie {
-            TieBreak::LowestNeighborAsn => (0, parent_asn.value()),
-            TieBreak::PreferClean => (u8::from(via_attacker), parent_asn.value()),
-            TieBreak::PreferAttacker => (u8::from(!via_attacker), parent_asn.value()),
-        };
-        Label {
-            class,
-            len,
-            tie_key,
-            parent_asn_order: parent_asn.value(),
-            node,
-            parent,
-            via_attacker,
-        }
+/// The tie-break component of a label's preference key. Factored out so the
+/// delta pass ranks a clean [`NodeRoute`] with exactly the key the export
+/// path ([`offer`]) would have built for it.
+fn tie_key_for(tie: TieBreak, via_attacker: bool, parent_asn: Asn) -> (u8, u32) {
+    match tie {
+        TieBreak::LowestNeighborAsn => (0, parent_asn.value()),
+        TieBreak::PreferClean => (u8::from(via_attacker), parent_asn.value()),
+        TieBreak::PreferAttacker => (u8::from(!via_attacker), parent_asn.value()),
     }
+}
+
+/// The full `Ord` key of a label packed into one integer, minus `class` and
+/// `len` — the two bucket coordinates, constant within a bucket.
+/// (`parent_asn_order` always equals `tie_key.1`, so it packs once.)
+/// Sorting by this integer reproduces the derived [`Label`] order exactly;
+/// [`BucketQueue::unpack`] is its inverse given the bucket coordinates.
+fn pack_bucket_rank(tie_key: (u8, u32), node: u32, parent: u32, via_attacker: bool) -> u128 {
+    ((tie_key.0 as u128) << 97)
+        | ((tie_key.1 as u128) << 65)
+        | ((node as u128) << 33)
+        | ((parent as u128) << 1)
+        | u128::from(via_attacker)
 }
 
 /// Walks the parent chain of `idx` (inclusive) back to the source.
@@ -856,7 +1555,9 @@ pub struct RoutingOutcome<'g> {
     spec: DestinationSpec,
     v_idx: usize,
     m_idx: Option<usize>,
-    clean: Pass,
+    /// Shared with the workspace's clean-pass cache: a cache hit bumps the
+    /// refcount instead of cloning the route table.
+    clean: Arc<Pass>,
     attacked: Option<Pass>,
     graph: &'g AsGraph,
 }
@@ -888,7 +1589,7 @@ impl RoutingOutcome<'_> {
     }
 
     fn pass(&self) -> &Pass {
-        self.attacked.as_ref().unwrap_or(&self.clean)
+        self.attacked.as_ref().map_or(&self.clean, |p| p)
     }
 
     fn info_from(&self, pass: &Pass, asn: Asn) -> Option<RouteInfo> {
@@ -1052,7 +1753,7 @@ impl RoutingOutcome<'_> {
             let base = self.m_idx.zip(self.attacker_base_path());
             (pass, base)
         } else {
-            (&self.clean, None)
+            (&*self.clean, None)
         };
         let received = reconstruct_received(
             self.graph,

@@ -1,0 +1,158 @@
+//! Bit-identity guarantee for the delta attacked pass: for any random
+//! topology, any `AttackStrategy`, either `ExportMode`, and every tie-break
+//! rule, `RoutingEngine::compute_with` (delta re-convergence, falling back
+//! to a full pass only in the documented non-monotone corner) must produce
+//! exactly what `RoutingEngine::compute_full_with` (whole-graph second
+//! pass) produces — per-node routes, observed paths, and `HijackImpact`
+//! fractions compared bit-for-bit, not approximately.
+
+use aspp_repro::prelude::*;
+use proptest::prelude::*;
+
+fn all_experiments(victim: Asn, attacker: Asn, tie: TieBreak) -> Vec<HijackExperiment> {
+    let strategies = [
+        AttackStrategy::StripPadding { keep: 1 },
+        AttackStrategy::StripPadding { keep: 2 },
+        AttackStrategy::StripAllPadding,
+        AttackStrategy::ForgeDirect,
+        AttackStrategy::OriginHijack,
+    ];
+    let modes = [ExportMode::Compliant, ExportMode::ViolateValleyFree];
+    let mut exps = Vec::new();
+    for pad in [1usize, 3, 5] {
+        for strategy in strategies {
+            for mode in modes {
+                exps.push(
+                    HijackExperiment::new(victim, attacker)
+                        .padding(pad)
+                        .strategy(strategy)
+                        .export_mode(mode)
+                        .tie_break(tie),
+                );
+            }
+        }
+    }
+    exps
+}
+
+/// Every per-node observable must agree between the two outcomes.
+fn assert_outcomes_identical(graph: &AsGraph, full: &RoutingOutcome, delta: &RoutingOutcome) {
+    assert_eq!(full.has_attack(), delta.has_attack());
+    assert_eq!(full.polluted_count(), delta.polluted_count());
+    assert_eq!(full.changed_count(), delta.changed_count());
+    assert_eq!(
+        full.polluted_fraction().to_bits(),
+        delta.polluted_fraction().to_bits()
+    );
+    assert_eq!(
+        full.baseline_fraction().to_bits(),
+        delta.baseline_fraction().to_bits()
+    );
+    for asn in graph.asns() {
+        assert_eq!(full.route(asn), delta.route(asn), "route of AS{asn}");
+        assert_eq!(
+            full.observed_path(asn),
+            delta.observed_path(asn),
+            "observed path of AS{asn}"
+        );
+        assert_eq!(full.is_polluted(asn), delta.is_polluted(asn));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn delta_pass_bit_identical_to_full_pass(
+        seed in any::<u64>(),
+        picks in (0usize..100, 0usize..100),
+        tie_pick in 0u8..3,
+    ) {
+        let graph = InternetConfig::small()
+            .tier2_count(10).tier3_count(15).stub_count(25).seed(seed).build();
+        let asns: Vec<Asn> = graph.asns().collect();
+        let victim = asns[picks.0 % asns.len()];
+        let attacker = asns[picks.1 % asns.len()];
+        if victim == attacker { return Ok(()); }
+        let tie = [TieBreak::LowestNeighborAsn, TieBreak::PreferClean, TieBreak::PreferAttacker]
+            [tie_pick as usize];
+
+        let engine = RoutingEngine::new(&graph);
+        let mut ws_full = RouteWorkspace::new();
+        let mut ws_delta = RouteWorkspace::new();
+        for exp in all_experiments(victim, attacker, tie) {
+            let spec = exp.to_spec();
+            let full = engine.compute_full_with(&spec, &mut ws_full);
+            let delta = engine.compute_with(&spec, &mut ws_delta);
+            assert_outcomes_identical(&graph, &full, &delta);
+
+            // The workspace-level impact numbers must agree bit-for-bit too.
+            let impact_full = run_experiment(&graph, &exp);
+            let impact_delta = run_experiment_with(&graph, &exp, &mut ws_delta);
+            prop_assert_eq!(impact_full.experiment, impact_delta.experiment);
+            prop_assert_eq!(
+                impact_full.after_fraction.to_bits(),
+                impact_delta.after_fraction.to_bits()
+            );
+            prop_assert_eq!(
+                impact_full.before_fraction.to_bits(),
+                impact_delta.before_fraction.to_bits()
+            );
+            prop_assert_eq!(impact_full.polluted_count, impact_delta.polluted_count);
+        }
+        prop_assert_eq!(ws_full.delta_passes(), 0);
+        prop_assert!(
+            ws_delta.delta_passes() + ws_delta.delta_fallbacks() > 0,
+            "attacked passes must route through the delta entry point"
+        );
+    }
+}
+
+/// The delta pass must actually fire (not fall back) on the bread-and-butter
+/// configuration — the paper's λ-sweep with the default tie-break.
+#[test]
+fn delta_pass_serves_default_sweeps() {
+    let graph = InternetConfig::small().seed(2024).build();
+    let engine = RoutingEngine::new(&graph);
+    let asns: Vec<Asn> = graph.asns().collect();
+    let mut ws = RouteWorkspace::new();
+    for pad in 2..=6 {
+        let exp = HijackExperiment::new(asns[0], asns[10]).padding(pad);
+        let _ = engine.compute_with(&exp.to_spec(), &mut ws);
+    }
+    assert!(
+        ws.delta_passes() >= 4,
+        "expected mostly delta passes, got {} delta / {} fallback",
+        ws.delta_passes(),
+        ws.delta_fallbacks()
+    );
+}
+
+/// Mutating the graph must invalidate the workspace's cached clean pass, so
+/// delta re-convergence never seeds from a stale equilibrium.
+#[test]
+fn delta_results_track_graph_mutation() {
+    let mut graph = InternetConfig::small().seed(77).build();
+    let asns: Vec<Asn> = graph.asns().collect();
+    let (victim, attacker) = (asns[3], asns[20]);
+    let exp = HijackExperiment::new(victim, attacker).padding(3);
+
+    let mut ws = RouteWorkspace::new();
+    {
+        let engine = RoutingEngine::new(&graph);
+        let warm = engine.compute_with(&exp.to_spec(), &mut ws);
+        let fresh = engine.compute(&exp.to_spec());
+        assert_eq!(warm.polluted_count(), fresh.polluted_count());
+    }
+
+    // Splice a brand-new provider above the victim: routes to the victim
+    // change materially, and the stamp must notice.
+    graph
+        .add_provider_customer(Asn(999_999), victim)
+        .expect("new edge");
+    let engine = RoutingEngine::new(&graph);
+    let after = engine.compute_with(&exp.to_spec(), &mut ws);
+    let oracle = engine.compute(&exp.to_spec());
+    assert_outcomes_identical(&graph, &oracle, &after);
+    assert_eq!(ws.cache_hits(), 0, "mutation must not be served from cache");
+}

@@ -34,12 +34,35 @@ proptest! {
         let attacker2 = asns[extra_pick % asns.len()];
         if victim == attacker || victim == attacker2 { return Ok(()); }
 
-        // A λ sweep over one victim, two attackers interleaved: maximal
-        // clean-pass cache reuse, so any cache bug shows up as a mismatch.
+        // A λ sweep over one victim, two attackers interleaved, crossed with
+        // every attack strategy and both export modes: maximal clean-pass
+        // cache reuse (any cache bug shows up as a mismatch) and full
+        // coverage of the delta attacked pass's seeding variants.
+        let strategies = [
+            AttackStrategy::StripPadding { keep: 1 },
+            AttackStrategy::StripAllPadding,
+            AttackStrategy::ForgeDirect,
+            AttackStrategy::OriginHijack,
+        ];
+        let modes = [ExportMode::Compliant, ExportMode::ViolateValleyFree];
         let mut exps = Vec::new();
         for pad in 1..=5 {
-            exps.push(HijackExperiment::new(victim, attacker).padding(pad));
-            exps.push(HijackExperiment::new(victim, attacker2).padding(pad));
+            for strategy in strategies {
+                for mode in modes {
+                    exps.push(
+                        HijackExperiment::new(victim, attacker)
+                            .padding(pad)
+                            .strategy(strategy)
+                            .export_mode(mode),
+                    );
+                    exps.push(
+                        HijackExperiment::new(victim, attacker2)
+                            .padding(pad)
+                            .strategy(strategy)
+                            .export_mode(mode),
+                    );
+                }
+            }
         }
 
         let serial: Vec<HijackImpact> =
