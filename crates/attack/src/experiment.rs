@@ -197,6 +197,9 @@ pub fn run_experiment_with(
 ) -> HijackImpact {
     let engine = RoutingEngine::new(graph);
     let outcome = engine.compute_with(&exp.to_spec(), ws);
+    // No-op unless `debug-audit` / ASPP_AUDIT=1: every equilibrium the
+    // sweep machinery consumes is invariant-checked before use.
+    aspp_routing::audit::check_outcome(&outcome);
     HijackImpact {
         experiment: *exp,
         before_fraction: outcome.baseline_fraction(),

@@ -52,8 +52,9 @@ pub mod prelude {
         RouteView,
     };
     pub use aspp_routing::{
-        bgp, AttackStrategy, AttackerModel, DestinationSpec, ExportMode as RoutingExportMode,
-        PrependConfig, PrependingPolicy, RouteTable, RoutingEngine, RoutingOutcome, TieBreak,
+        bgp, AttackStrategy, AttackerModel, AuditReport, AuditViolation, DestinationSpec,
+        ExportMode as RoutingExportMode, OutcomeAudit, PrependConfig, PrependingPolicy, RouteTable,
+        RoutingEngine, RoutingOutcome, TieBreak,
     };
     pub use aspp_topology::{gen::InternetConfig, infer, metrics, tier::TierMap, AsGraph};
     pub use aspp_types::{well_known, Announcement, AsPath, Asn, Ipv4Prefix, Relationship};

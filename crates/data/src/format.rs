@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use aspp_routing::RouteTable;
-use aspp_types::{AsPath, Asn, Ipv4Prefix};
+use aspp_types::{AsPath, Asn, AsppError, IngestReport, Ipv4Prefix};
 
 /// An update stream record.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -92,6 +92,27 @@ impl fmt::Display for CorpusParseError {
 }
 
 impl std::error::Error for CorpusParseError {}
+
+impl From<CorpusParseError> for AsppError {
+    fn from(e: CorpusParseError) -> Self {
+        AsppError::at_line("corpus", e.line_no, e.message)
+    }
+}
+
+/// How [`Corpus::parse_with`] treats records that parse but are suspect:
+/// conflicting duplicate `TABLE` rows and non-increasing `UPDATE` sequence
+/// numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ParseMode {
+    /// Historical behavior: duplicate `TABLE` rows silently overwrite
+    /// (last wins) and sequence numbers are not validated.
+    Legacy,
+    /// Reject suspect records with a line-numbered error.
+    Strict,
+    /// Keep going: skip malformed lines, resolve conflicting duplicates
+    /// first-wins, and account for everything in an [`IngestReport`].
+    Lenient,
+}
 
 impl Corpus {
     /// Creates an empty corpus.
@@ -169,12 +190,70 @@ impl Corpus {
 
     /// Parses the text format produced by [`to_text`](Self::to_text).
     ///
+    /// Malformed lines are rejected with a line number; duplicate `TABLE`
+    /// rows for the same `(monitor, prefix)` silently overwrite (last wins)
+    /// and sequence numbers are not validated — use
+    /// [`parse_strict`](Self::parse_strict) to reject both, or
+    /// [`parse_lenient`](Self::parse_lenient) to account for them.
+    ///
     /// # Errors
     ///
     /// Returns a [`CorpusParseError`] carrying the offending line number for
     /// any malformed record.
     pub fn parse(text: &str) -> Result<Self, CorpusParseError> {
+        Self::parse_with(text, ParseMode::Legacy).map(|(corpus, _)| corpus)
+    }
+
+    /// Strict-mode [`parse`](Self::parse) with the workspace-uniform error
+    /// type: additionally rejects conflicting duplicate `TABLE` rows (same
+    /// monitor and prefix, different path) and non-increasing `UPDATE`
+    /// sequence numbers, instead of silently absorbing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-numbered [`AsppError`] for the first invalid record.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use aspp_data::Corpus;
+    ///
+    /// let text = "TABLE|7018|10.0.0.0/8|7018 1\nTABLE|7018|10.0.0.0/8|7018 2\n";
+    /// let err = Corpus::parse_strict(text).unwrap_err();
+    /// assert_eq!(err.line(), Some(2));
+    /// assert!(err.to_string().contains("conflicting"));
+    /// ```
+    pub fn parse_strict(text: &str) -> Result<Self, AsppError> {
+        Self::parse_with(text, ParseMode::Strict)
+            .map(|(corpus, _)| corpus)
+            .map_err(AsppError::from)
+    }
+
+    /// Lenient-mode [`parse`](Self::parse): never fails, instead
+    /// *accounting* for every record in the returned [`IngestReport`] —
+    /// malformed lines are skipped with a line-numbered note, conflicting
+    /// duplicate `TABLE` rows are resolved with deterministic first-wins
+    /// precedence, and out-of-order updates are kept but counted as
+    /// conflicts. `report.total()` always equals the number of non-comment
+    /// record lines: nothing is silently dropped.
+    #[must_use]
+    pub fn parse_lenient(text: &str) -> (Self, IngestReport) {
+        Self::parse_with(text, ParseMode::Lenient).expect("lenient parse never fails")
+    }
+
+    fn parse_with(text: &str, mode: ParseMode) -> Result<(Self, IngestReport), CorpusParseError> {
         let mut corpus = Corpus::new();
+        let mut report = IngestReport::default();
+        let mut last_seq: Option<u64> = None;
+        macro_rules! reject {
+            ($line_no:expr, $msg:expr) => {{
+                if mode == ParseMode::Lenient {
+                    report.skip($line_no, $msg);
+                    continue;
+                }
+                return Err(CorpusParseError::new($line_no, $msg));
+            }};
+        }
         for (i, line) in text.lines().enumerate() {
             let line_no = i + 1;
             let line = line.trim();
@@ -185,79 +264,114 @@ impl Corpus {
             match fields.first().copied() {
                 Some("TABLE") => {
                     if fields.len() != 4 {
-                        return Err(CorpusParseError::new(line_no, "TABLE needs 4 fields"));
+                        reject!(line_no, "TABLE needs 4 fields");
                     }
-                    let monitor: Asn = fields[1]
-                        .parse()
-                        .map_err(|e| CorpusParseError::new(line_no, format!("{e}")))?;
-                    let prefix: Ipv4Prefix = fields[2]
-                        .parse()
-                        .map_err(|e| CorpusParseError::new(line_no, format!("{e}")))?;
-                    let path: AsPath = fields[3]
-                        .parse()
-                        .map_err(|e| CorpusParseError::new(line_no, format!("{e}")))?;
-                    corpus.add_table_entry(monitor, prefix, path);
+                    let monitor: Asn = match fields[1].parse() {
+                        Ok(v) => v,
+                        Err(e) => reject!(line_no, format!("{e}")),
+                    };
+                    let prefix: Ipv4Prefix = match fields[2].parse() {
+                        Ok(v) => v,
+                        Err(e) => reject!(line_no, format!("{e}")),
+                    };
+                    let path: AsPath = match fields[3].parse() {
+                        Ok(v) => v,
+                        Err(e) => reject!(line_no, format!("{e}")),
+                    };
+                    match corpus.tables.get(&monitor).and_then(|t| t.get(&prefix)) {
+                        Some(existing) if *existing != path => match mode {
+                            ParseMode::Strict => {
+                                return Err(CorpusParseError::new(
+                                    line_no,
+                                    format!("conflicting duplicate TABLE row {monitor}|{prefix}"),
+                                ));
+                            }
+                            ParseMode::Lenient => report.conflict(
+                                line_no,
+                                format!(
+                                    "conflicting duplicate TABLE row {monitor}|{prefix}: kept first path"
+                                ),
+                            ),
+                            ParseMode::Legacy => {
+                                // Historical last-write-wins.
+                                corpus.add_table_entry(monitor, prefix, path);
+                            }
+                        },
+                        _ => {
+                            corpus.add_table_entry(monitor, prefix, path);
+                            report.accept();
+                        }
+                    }
                 }
                 Some("UPDATE") => {
                     if fields.len() < 5 {
-                        return Err(CorpusParseError::new(line_no, "UPDATE needs 5+ fields"));
+                        reject!(line_no, "UPDATE needs 5+ fields");
                     }
-                    let seq: u64 = fields[1]
-                        .parse()
-                        .map_err(|_| CorpusParseError::new(line_no, "bad sequence number"))?;
-                    let monitor: Asn = fields[2]
-                        .parse()
-                        .map_err(|e| CorpusParseError::new(line_no, format!("{e}")))?;
+                    let seq: u64 = match fields[1].parse() {
+                        Ok(v) => v,
+                        Err(_) => reject!(line_no, "bad sequence number"),
+                    };
+                    let monitor: Asn = match fields[2].parse() {
+                        Ok(v) => v,
+                        Err(e) => reject!(line_no, format!("{e}")),
+                    };
                     let action = match fields[3] {
                         "A" => {
                             if fields.len() != 6 {
-                                return Err(CorpusParseError::new(
-                                    line_no,
-                                    "announce needs 6 fields",
-                                ));
+                                reject!(line_no, "announce needs 6 fields");
                             }
-                            UpdateAction::Announce(fields[5].parse().map_err(
-                                |e: aspp_types::ParseAsPathError| {
-                                    CorpusParseError::new(line_no, format!("{e}"))
-                                },
-                            )?)
+                            match fields[5].parse::<AsPath>() {
+                                Ok(path) => UpdateAction::Announce(path),
+                                Err(e) => reject!(line_no, format!("{e}")),
+                            }
                         }
                         "W" => {
                             if fields.len() != 5 {
-                                return Err(CorpusParseError::new(
-                                    line_no,
-                                    "withdraw needs 5 fields",
-                                ));
+                                reject!(line_no, "withdraw needs 5 fields");
                             }
                             UpdateAction::Withdraw
                         }
                         other => {
-                            return Err(CorpusParseError::new(
-                                line_no,
-                                format!("unknown action {other:?}"),
-                            ))
+                            reject!(line_no, format!("unknown action {other:?}"));
                         }
                     };
-                    let prefix: Ipv4Prefix = fields[4]
-                        .parse()
-                        .map_err(|e| CorpusParseError::new(line_no, format!("{e}")))?;
+                    let prefix: Ipv4Prefix = match fields[4].parse() {
+                        Ok(v) => v,
+                        Err(e) => reject!(line_no, format!("{e}")),
+                    };
+                    let out_of_order = last_seq.is_some_and(|last| seq <= last);
+                    if out_of_order && mode == ParseMode::Strict {
+                        return Err(CorpusParseError::new(
+                            line_no,
+                            format!(
+                                "non-increasing sequence number {seq} (previous {})",
+                                last_seq.expect("out_of_order implies previous")
+                            ),
+                        ));
+                    }
+                    last_seq = Some(last_seq.map_or(seq, |last| last.max(seq)));
                     corpus.add_update(UpdateRecord {
                         seq,
                         monitor,
                         prefix,
                         action,
                     });
+                    if out_of_order && mode == ParseMode::Lenient {
+                        report.conflict(
+                            line_no,
+                            format!("non-increasing sequence number {seq}: kept in stream order"),
+                        );
+                    } else {
+                        report.accept();
+                    }
                 }
                 Some(other) => {
-                    return Err(CorpusParseError::new(
-                        line_no,
-                        format!("unknown record type {other:?}"),
-                    ))
+                    reject!(line_no, format!("unknown record type {other:?}"));
                 }
                 None => {}
             }
         }
-        Ok(corpus)
+        Ok((corpus, report))
     }
 }
 
@@ -335,6 +449,74 @@ mod tests {
             let err = Corpus::parse(text).unwrap_err();
             assert_eq!(err.line(), line, "for {text:?}: {err}");
         }
+    }
+
+    #[test]
+    fn legacy_parse_keeps_last_duplicate_table_row() {
+        let text = "TABLE|7018|10.0.0.0/8|7018 1\nTABLE|7018|10.0.0.0/8|7018 2\n";
+        let c = Corpus::parse(text).unwrap();
+        let path = c
+            .table_of(Asn(7018))
+            .and_then(|t| t.get(&"10.0.0.0/8".parse().unwrap()))
+            .unwrap();
+        assert_eq!(path.to_string(), "7018 2");
+    }
+
+    #[test]
+    fn strict_rejects_conflicting_table_rows_and_seq_regressions() {
+        let dup = "TABLE|7018|10.0.0.0/8|7018 1\nTABLE|7018|10.0.0.0/8|7018 2\n";
+        let err = Corpus::parse_strict(dup).unwrap_err();
+        assert_eq!(err.component(), "corpus");
+        assert_eq!(err.line(), Some(2));
+
+        let seqs = "UPDATE|5|1|W|10.0.0.0/8\nUPDATE|5|1|W|10.0.0.0/8\n";
+        let err = Corpus::parse_strict(seqs).unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert!(err.to_string().contains("non-increasing"));
+
+        // Identical duplicates and increasing sequences stay accepted.
+        let ok = "TABLE|7018|10.0.0.0/8|7018 1\nTABLE|7018|10.0.0.0/8|7018 1\n\
+                  UPDATE|1|1|W|10.0.0.0/8\nUPDATE|2|1|W|10.0.0.0/8\n";
+        assert!(Corpus::parse_strict(ok).is_ok());
+    }
+
+    #[test]
+    fn strict_round_trips_generated_output() {
+        let text = sample().to_text();
+        let parsed = Corpus::parse_strict(&text).unwrap();
+        assert_eq!(parsed, sample());
+    }
+
+    #[test]
+    fn lenient_resolves_conflicts_first_wins_and_accounts_for_all_records() {
+        let text = "TABLE|7018|10.0.0.0/8|7018 1\n\
+                    TABLE|7018|10.0.0.0/8|7018 2\n\
+                    garbage line\n\
+                    UPDATE|9|1|A|10.0.0.0/8|1 2\n\
+                    UPDATE|3|1|W|10.0.0.0/8\n";
+        let (c, report) = Corpus::parse_lenient(text);
+        // First path wins the TABLE conflict.
+        let path = c
+            .table_of(Asn(7018))
+            .and_then(|t| t.get(&"10.0.0.0/8".parse().unwrap()))
+            .unwrap();
+        assert_eq!(path.to_string(), "7018 1");
+        // The out-of-order withdraw is kept, but flagged.
+        assert_eq!(c.updates().len(), 2);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.conflicts, 2);
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.total(), 5);
+        assert!(report.notes.iter().any(|n| n.contains("TABLE row")));
+        assert!(report.notes.iter().any(|n| n.contains("non-increasing")));
+    }
+
+    #[test]
+    fn lenient_is_clean_on_generated_output() {
+        let (parsed, report) = Corpus::parse_lenient(&sample().to_text());
+        assert_eq!(parsed, sample());
+        assert!(report.is_clean());
+        assert_eq!(report.accepted, 4);
     }
 
     proptest! {

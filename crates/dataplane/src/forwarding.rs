@@ -251,6 +251,34 @@ mod tests {
     }
 
     #[test]
+    fn forwarding_cycle_is_reported_as_looped_not_spun_forever() {
+        // A correct control plane never produces a cycle, so build one by
+        // hand: 66 and 10 point at each other. The walk must terminate with
+        // Delivery::Looped (and the audit subsystem flags the same outcome
+        // as inconsistent) instead of walking forever.
+        let g = line_graph();
+        let mut outcome = RoutingEngine::new(&g).compute(&DestinationSpec::new(Asn(1)));
+        let mut r66 = outcome.route(Asn(66)).unwrap();
+        r66.next_hop = Some(Asn(77));
+        outcome.override_route_unchecked(Asn(66), Some(r66));
+        let mut r77 = outcome.route(Asn(77)).unwrap();
+        r77.next_hop = Some(Asn(66));
+        outcome.override_route_unchecked(Asn(77), Some(r77));
+
+        let fate = walk(&outcome, Asn(77));
+        assert_eq!(
+            fate,
+            Delivery::Looped {
+                path: vec![Asn(77), Asn(66), Asn(77)],
+            }
+        );
+        let stats = delivery_stats(&outcome);
+        assert!(stats.looped > 0.0, "{stats:?}");
+        // The same corruption is what `aspp audit` exists to catch.
+        assert!(!aspp_routing::audit::audit_outcome(&outcome).is_clean());
+    }
+
+    #[test]
     fn interception_preserves_global_delivery() {
         // The paper's headline property at scale: under an ASPP attack,
         // every AS's traffic still reaches the victim.

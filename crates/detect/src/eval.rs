@@ -32,6 +32,9 @@ pub struct DetectionResult {
 pub fn detect_attack(graph: &AsGraph, exp: &HijackExperiment, monitors: &[Asn]) -> DetectionResult {
     let engine = RoutingEngine::new(graph);
     let outcome = engine.compute(&exp.to_spec());
+    // No-op unless `debug-audit` / ASPP_AUDIT=1: the detection evaluation
+    // only ever judges invariant-clean equilibria.
+    aspp_routing::audit::check_outcome(&outcome);
     let feasible = outcome.has_attack();
     let effective = outcome.polluted_count() > 0 && outcome.changed_count() > 0;
     if !feasible || !effective {

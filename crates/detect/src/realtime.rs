@@ -118,12 +118,22 @@ impl<'g> StreamingDetector<'g> {
         let routes = self.current.entry(update.prefix).or_default();
         match &update.action {
             UpdateAction::Withdraw => {
-                // A withdrawal cannot shorten padding; just record it.
+                // A withdrawal cannot shorten padding; it tears down the
+                // monitor's observation state for this prefix instead. Both
+                // path baselines go (so a re-announce with a legitimately
+                // different padding level is judged fresh, not against
+                // pre-withdrawal history), and the monitor's raised-alarm
+                // keys are re-armed (so an attack repeated after the
+                // withdrawal is reported again instead of being masked by
+                // idempotence state from the earlier episode).
                 routes.remove(&update.monitor);
                 self.previous
                     .entry(update.prefix)
                     .or_default()
                     .remove(&update.monitor);
+                self.raised.retain(|&(prefix, _, observed_at)| {
+                    !(prefix == update.prefix && observed_at == update.monitor)
+                });
                 return Vec::new();
             }
             UpdateAction::Announce(path) => {
@@ -263,6 +273,69 @@ mod tests {
         // Re-announcing after a withdrawal does not see stale history.
         let alarms = stream.process(&update(2, Asn(7), prefix, "7 1"));
         assert!(alarms.is_empty());
+    }
+
+    fn withdraw(seq: u64, monitor: Asn, prefix: Ipv4Prefix) -> UpdateRecord {
+        UpdateRecord {
+            seq,
+            monitor,
+            prefix,
+            action: UpdateAction::Withdraw,
+        }
+    }
+
+    /// Masking direction: an attack seen, withdrawn and repeated must alarm
+    /// again — the withdrawal invalidated the first episode's state.
+    #[test]
+    fn withdrawal_rearms_alarms_for_repeat_attacks() {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(66)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(55)).unwrap();
+        g.add_provider_customer(Asn(66), Asn(77)).unwrap();
+        let prefix: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let mut stream = StreamingDetector::new(&g);
+        stream.seed(Asn(77), prefix, "77 66 10 1 1 1".parse().unwrap());
+        stream.seed(Asn(55), prefix, "55 10 1 1 1".parse().unwrap());
+
+        // First attack episode: alarm raised.
+        let first = stream.process(&update(1, Asn(77), prefix, "77 66 10 1"));
+        assert!(first.iter().any(|a| a.alarm.suspect == Asn(66)));
+
+        // The attacker backs off: withdrawal, then the clean route returns.
+        assert!(stream.process(&withdraw(2, Asn(77), prefix)).is_empty());
+        assert!(stream
+            .process(&update(3, Asn(77), prefix, "77 66 10 1 1 1"))
+            .is_empty());
+
+        // Second, identical attack episode: must alarm again, not be
+        // masked by the first episode's idempotence state.
+        let second = stream.process(&update(4, Asn(77), prefix, "77 66 10 1"));
+        assert!(
+            second.iter().any(|a| a.alarm.suspect == Asn(66)),
+            "repeat attack after withdrawal was masked: {second:?}"
+        );
+    }
+
+    /// False-alarm direction: a withdraw-then-reannounce with a genuinely
+    /// lower padding level is a fresh traffic-engineering decision, not a
+    /// strip — pre-withdrawal history must not be compared against it.
+    #[test]
+    fn padding_change_across_withdrawal_is_silent() {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(77)).unwrap();
+        let prefix: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let mut stream = StreamingDetector::new(&g);
+        // The origin pads with lambda = 4 ...
+        stream.seed(Asn(77), prefix, "77 10 1 1 1 1".parse().unwrap());
+        // ... withdraws, and re-announces with lambda = 2.
+        assert!(stream.process(&withdraw(1, Asn(77), prefix)).is_empty());
+        let alarms = stream.process(&update(2, Asn(77), prefix, "77 10 1 1"));
+        assert!(
+            alarms.is_empty(),
+            "legitimate post-withdrawal padding change false-alarmed: {alarms:?}"
+        );
     }
 
     #[test]

@@ -344,14 +344,14 @@ pub struct RouteInfo {
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct NodeRoute {
-    class: RouteClass,
-    len: u32,
-    parent: Option<usize>,
-    via_attacker: bool,
+pub(crate) struct NodeRoute {
+    pub(crate) class: RouteClass,
+    pub(crate) len: u32,
+    pub(crate) parent: Option<usize>,
+    pub(crate) via_attacker: bool,
 }
 
-type Pass = Vec<Option<NodeRoute>>;
+pub(crate) type Pass = Vec<Option<NodeRoute>>;
 
 /// Identity stamp for the graph a workspace's cached passes were computed
 /// against. Combines the graph's address, mutation counter and node count so
@@ -590,7 +590,7 @@ struct NodeScratch {
 
 /// A label's preference key `(class, effective length, tie-break)` packed
 /// into one integer, ordered exactly like the tuple compare.
-fn pack_pref(class: RouteClass, len: u32, tie_key: (u8, u32)) -> u128 {
+pub(crate) fn pack_pref(class: RouteClass, len: u32, tie_key: (u8, u32)) -> u128 {
     ((class as u128) << 72)
         | ((len as u128) << 40)
         | ((tie_key.0 as u128) << 32)
@@ -924,6 +924,12 @@ impl<'g> RoutingEngine<'g> {
                     if let Some(pass) = self.propagate_delta(spec, v_idx, ws, &seed, &clean, &keys)
                     {
                         ws.delta_passes += 1;
+                        if crate::audit::enabled() {
+                            // debug-audit oracle: the delta pass must be
+                            // bit-identical to a from-scratch propagation.
+                            let full = self.propagate(spec, v_idx, ws, Some(&seed));
+                            crate::audit::assert_delta_matches_full(self.graph, spec, &pass, &full);
+                        }
                         return Some(pass);
                     }
                     if ws.cache_capacity > 0 {
@@ -1361,7 +1367,7 @@ impl<'g> RoutingEngine<'g> {
 /// acquires at a receiver related by `rel` (indexed by `rel as usize`), or
 /// `None` where export is forbidden. Hoists the per-edge permission and
 /// class matches out of the edge loop.
-fn export_row(class: RouteClass) -> [Option<RouteClass>; 4] {
+pub(crate) fn export_row(class: RouteClass) -> [Option<RouteClass>; 4] {
     let mut row = [None; 4];
     for rel in [
         Relationship::Customer,
@@ -1418,7 +1424,10 @@ fn offer<const DELTA: bool, const VIA: bool>(
 /// where the receiver sees the exporter as `rel_of_receiver_from_exporter`
 /// reversed. Sibling links inherit the exporter's class (same
 /// administration), with `Origin` degrading to `FromCustomer`.
-fn class_at_receiver(exporter_class: RouteClass, rel_of_receiver: Relationship) -> RouteClass {
+pub(crate) fn class_at_receiver(
+    exporter_class: RouteClass,
+    rel_of_receiver: Relationship,
+) -> RouteClass {
     match rel_of_receiver {
         Relationship::Sibling => match exporter_class {
             RouteClass::Origin => RouteClass::FromCustomer,
@@ -1456,7 +1465,7 @@ struct Label {
 /// The tie-break component of a label's preference key. Factored out so the
 /// delta pass ranks a clean [`NodeRoute`] with exactly the key the export
 /// path ([`offer`]) would have built for it.
-fn tie_key_for(tie: TieBreak, via_attacker: bool, parent_asn: Asn) -> (u8, u32) {
+pub(crate) fn tie_key_for(tie: TieBreak, via_attacker: bool, parent_asn: Asn) -> (u8, u32) {
     match tie {
         TieBreak::LowestNeighborAsn => (0, parent_asn.value()),
         TieBreak::PreferClean => (u8::from(via_attacker), parent_asn.value()),
@@ -1478,7 +1487,7 @@ fn pack_bucket_rank(tie_key: (u8, u32), node: u32, parent: u32, via_attacker: bo
 }
 
 /// Walks the parent chain of `idx` (inclusive) back to the source.
-fn chain_of(pass: &Pass, idx: usize) -> Vec<usize> {
+pub(crate) fn chain_of(pass: &Pass, idx: usize) -> Vec<usize> {
     let mut chain = vec![idx];
     let mut current = idx;
     while let Some(route) = pass[current] {
@@ -1590,6 +1599,61 @@ impl RoutingOutcome<'_> {
 
     fn pass(&self) -> &Pass {
         self.attacked.as_ref().map_or(&self.clean, |p| p)
+    }
+
+    /// The topology this outcome was computed over.
+    #[must_use]
+    pub fn graph(&self) -> &AsGraph {
+        self.graph
+    }
+
+    pub(crate) fn clean_pass_ref(&self) -> &Pass {
+        &self.clean
+    }
+
+    pub(crate) fn attacked_pass_ref(&self) -> Option<&Pass> {
+        self.attacked.as_ref()
+    }
+
+    pub(crate) fn victim_index(&self) -> usize {
+        self.v_idx
+    }
+
+    pub(crate) fn attacker_index(&self) -> Option<usize> {
+        self.m_idx
+    }
+
+    /// Overwrites `asn`'s route in the *final* pass (attacked if an attack
+    /// ran, clean otherwise) without any consistency checking.
+    ///
+    /// This deliberately breaks the outcome: it exists so tests — the
+    /// auditor's own negative tests and the dataplane's loop-guard test —
+    /// can build corrupted equilibria that a correct engine never produces.
+    /// Hidden from docs; never call it outside a test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asn` (or the route's next hop) is not in the graph.
+    #[doc(hidden)]
+    pub fn override_route_unchecked(&mut self, asn: Asn, route: Option<RouteInfo>) {
+        let idx = self
+            .graph
+            .index_of(asn)
+            .unwrap_or_else(|| panic!("AS{asn} not in graph"));
+        let node = route.map(|r| NodeRoute {
+            class: r.class,
+            len: r.effective_len,
+            parent: r.next_hop.map(|hop| {
+                self.graph
+                    .index_of(hop)
+                    .unwrap_or_else(|| panic!("next hop AS{hop} not in graph"))
+            }),
+            via_attacker: r.via_attacker,
+        });
+        match &mut self.attacked {
+            Some(pass) => pass[idx] = node,
+            None => Arc::make_mut(&mut self.clean)[idx] = node,
+        }
     }
 
     fn info_from(&self, pass: &Pass, asn: Asn) -> Option<RouteInfo> {

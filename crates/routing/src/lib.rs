@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod bgp;
 pub mod decision;
 mod engine;
@@ -46,6 +47,7 @@ pub mod events;
 pub mod prepend;
 mod table;
 
+pub use audit::{AuditReport, AuditViolation, OutcomeAudit, PassKind};
 pub use decision::{RouteCandidate, TieBreak};
 pub use engine::{
     AttackStrategy, AttackerModel, DestinationSpec, ExportMode, RouteInfo, RouteWorkspace,

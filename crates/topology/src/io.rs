@@ -17,7 +17,7 @@
 
 use std::fmt;
 
-use aspp_types::{Asn, Relationship};
+use aspp_types::{Asn, AsppError, IngestReport, Relationship};
 
 use crate::{AsGraph, GraphError};
 
@@ -55,6 +55,12 @@ impl fmt::Display for ParseTopologyError {
 
 impl std::error::Error for ParseTopologyError {}
 
+impl From<ParseTopologyError> for AsppError {
+    fn from(e: ParseTopologyError) -> Self {
+        AsppError::at_line("topology", e.line_no, e.message)
+    }
+}
+
 /// Parses a CAIDA serial-2 style relationship file.
 ///
 /// Duplicate links are tolerated when they agree and rejected when they
@@ -78,7 +84,67 @@ impl std::error::Error for ParseTopologyError {}
 /// assert_eq!(graph.relationship(Asn(7018), Asn(3356)), Some(Relationship::Peer));
 /// ```
 pub fn from_caida(text: &str) -> Result<AsGraph, ParseTopologyError> {
+    parse_caida(text, true).map(|(graph, _)| graph)
+}
+
+/// Strict-mode [`from_caida`] with the workspace-uniform error type: rejects
+/// malformed records, unknown relationship codes, self-loops, and
+/// conflicting duplicate edges with a line-numbered [`AsppError`].
+///
+/// # Errors
+///
+/// Returns a line-numbered [`AsppError`] for the first invalid record.
+///
+/// # Example
+///
+/// ```
+/// use aspp_topology::io::from_caida_strict;
+///
+/// let err = from_caida_strict("1|2|-1\n1|2|0\n").unwrap_err();
+/// assert_eq!(err.line(), Some(2));
+/// assert!(err.to_string().contains("conflicting"));
+/// ```
+pub fn from_caida_strict(text: &str) -> Result<AsGraph, AsppError> {
+    from_caida(text).map_err(AsppError::from)
+}
+
+/// Lenient-mode [`from_caida`]: never fails, instead *accounting* for every
+/// record in the returned [`IngestReport`] — malformed lines are skipped
+/// with a line-numbered note, and conflicting duplicate edges are resolved
+/// with deterministic first-wins precedence (the relationship seen first
+/// stays) and counted as conflicts. `report.total()` always equals the
+/// number of non-comment record lines: nothing is silently dropped.
+///
+/// # Example
+///
+/// ```
+/// use aspp_topology::io::from_caida_lenient;
+/// use aspp_types::{Asn, Relationship};
+///
+/// let (graph, report) = from_caida_lenient("1|2|-1\n1|2|0\ngarbage\n");
+/// // First-wins: the provider-customer record seen first is kept.
+/// assert_eq!(graph.relationship(Asn(1), Asn(2)), Some(Relationship::Customer));
+/// assert_eq!((report.accepted, report.conflicts, report.skipped), (1, 1, 1));
+/// ```
+#[must_use]
+pub fn from_caida_lenient(text: &str) -> (AsGraph, IngestReport) {
+    parse_caida(text, false).expect("lenient parse never fails")
+}
+
+fn parse_caida(text: &str, strict: bool) -> Result<(AsGraph, IngestReport), ParseTopologyError> {
     let mut graph = AsGraph::new();
+    let mut report = IngestReport::default();
+    // In lenient mode a malformed record is skipped (with a note) where
+    // strict mode would return; both go through this macro.
+    macro_rules! reject {
+        ($line_no:expr, $msg:expr) => {{
+            if strict {
+                return Err(ParseTopologyError::new($line_no, $msg));
+            }
+            report.skip($line_no, $msg);
+            continue;
+        }};
+    }
     for (i, line) in text.lines().enumerate() {
         let line_no = i + 1;
         let line = line.trim();
@@ -87,46 +153,50 @@ pub fn from_caida(text: &str) -> Result<AsGraph, ParseTopologyError> {
         }
         let fields: Vec<&str> = line.split('|').collect();
         if fields.len() < 3 {
-            return Err(ParseTopologyError::new(line_no, "need as1|as2|rel"));
+            reject!(line_no, "need as1|as2|rel");
         }
-        let a: Asn = fields[0]
-            .parse()
-            .map_err(|e| ParseTopologyError::new(line_no, format!("{e}")))?;
-        let b: Asn = fields[1]
-            .parse()
-            .map_err(|e| ParseTopologyError::new(line_no, format!("{e}")))?;
+        let a: Asn = match fields[0].parse() {
+            Ok(asn) => asn,
+            Err(e) => reject!(line_no, format!("{e}")),
+        };
+        let b: Asn = match fields[1].parse() {
+            Ok(asn) => asn,
+            Err(e) => reject!(line_no, format!("{e}")),
+        };
         let rel = match fields[2] {
             "-1" => Relationship::Customer, // a is provider of b
             "0" => Relationship::Peer,
             "2" => Relationship::Sibling,
             other => {
-                return Err(ParseTopologyError::new(
-                    line_no,
-                    format!("unknown relationship code {other:?}"),
-                ))
+                reject!(line_no, format!("unknown relationship code {other:?}"));
             }
         };
         match graph.add_link(a, b, rel) {
-            Ok(()) => {}
+            Ok(()) => report.accept(),
             Err(GraphError::DuplicateLink(..)) => {
-                // Tolerate exact duplicates; reject conflicts.
-                if graph.relationship(a, b) != Some(rel) {
+                // Tolerate exact duplicates; conflicts are rejected in
+                // strict mode and resolved first-wins in lenient mode.
+                if graph.relationship(a, b) == Some(rel) {
+                    report.accept();
+                } else if strict {
                     return Err(ParseTopologyError::new(
                         line_no,
                         format!("conflicting duplicate link {a}|{b}"),
                     ));
+                } else {
+                    report.conflict(
+                        line_no,
+                        format!("conflicting duplicate link {a}|{b}: kept first relationship"),
+                    );
                 }
             }
             Err(GraphError::SelfLoop(asn)) => {
-                return Err(ParseTopologyError::new(
-                    line_no,
-                    format!("self-loop on AS{asn}"),
-                ))
+                reject!(line_no, format!("self-loop on AS{asn}"));
             }
         }
     }
     graph.sort_neighbors();
-    Ok(graph)
+    Ok((graph, report))
 }
 
 /// Serializes a graph to the CAIDA serial-2 format (provider first on `-1`
@@ -228,6 +298,60 @@ mod tests {
     fn empty_and_comment_only_files_parse() {
         assert!(from_caida("").unwrap().is_empty());
         assert!(from_caida("# nothing here\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn strict_variant_reports_uniform_line_numbered_errors() {
+        let err = from_caida_strict("1|2|-1\n1|2|2\n").unwrap_err();
+        assert_eq!(err.component(), "topology");
+        assert_eq!(err.line(), Some(2));
+        assert!(err.to_string().contains("conflicting duplicate link 1|2"));
+        assert!(from_caida_strict("1|2|-1\n").is_ok());
+    }
+
+    #[test]
+    fn lenient_resolves_conflicts_first_wins_and_counts_them() {
+        // Three records for the same link: the first wins, the two
+        // conflicting rewrites are counted, and nothing is dropped silently.
+        let (g, report) = from_caida_lenient("1|2|0\n1|2|-1\n1|2|2\n2|3|-1\n");
+        assert_eq!(g.relationship(Asn(1), Asn(2)), Some(Relationship::Peer));
+        assert_eq!(g.link_count(), 2);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.conflicts, 2);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.total(), 4);
+        assert!(report.notes.iter().any(|n| n.starts_with("line 2:")));
+    }
+
+    #[test]
+    fn lenient_skips_malformed_records_with_notes() {
+        let text = "# header\n1|2|-1\nnot-a-record\n3|3|0\n4|5|9\nx|6|0\n7|8|0\n";
+        let (g, report) = from_caida_lenient(text);
+        assert_eq!(g.link_count(), 2);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.skipped, 4);
+        assert!(!report.is_clean());
+        // Every non-comment record line is accounted for.
+        assert_eq!(report.total(), 6);
+        assert!(report.notes.iter().any(|n| n.contains("self-loop")));
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("unknown relationship code")));
+    }
+
+    #[test]
+    fn lenient_agrees_with_strict_on_clean_input() {
+        let graph = InternetConfig::small().seed(9).build();
+        let text = to_caida(&graph);
+        let strict = from_caida_strict(&text).unwrap();
+        let (lenient, report) = from_caida_lenient(&text);
+        assert!(report.is_clean());
+        assert_eq!(report.accepted, graph.link_count());
+        assert_eq!(strict.link_count(), lenient.link_count());
+        for (a, b, rel) in strict.links() {
+            assert_eq!(lenient.relationship(a, b), Some(rel));
+        }
     }
 
     proptest! {

@@ -98,6 +98,134 @@ impl fmt::Display for ParseAsPathError {
 
 impl Error for ParseAsPathError {}
 
+/// A uniform, line-attributed ingest error: every strict-mode parser in the
+/// workspace (CAIDA topology files, corpus dumps) converts its native error
+/// into one of these so callers — the CLI in particular — can report "which
+/// file-format layer rejected which line, and why" without matching on
+/// per-crate error types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsppError {
+    component: &'static str,
+    line: Option<usize>,
+    message: String,
+}
+
+impl AsppError {
+    /// An error attributed to `component` (e.g. `"topology"`, `"corpus"`)
+    /// at 1-based `line`.
+    #[must_use]
+    pub fn at_line(component: &'static str, line: usize, message: impl Into<String>) -> Self {
+        AsppError {
+            component,
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    /// An error with no line attribution (I/O failures, whole-file issues).
+    #[must_use]
+    pub fn new(component: &'static str, message: impl Into<String>) -> Self {
+        AsppError {
+            component,
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    /// The subsystem that rejected the input.
+    #[must_use]
+    pub fn component(&self) -> &'static str {
+        self.component
+    }
+
+    /// 1-based line number of the offending record, when attributable.
+    #[must_use]
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+
+    /// The human-readable diagnostic.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(
+                f,
+                "{} error at line {line}: {}",
+                self.component, self.message
+            ),
+            None => write!(f, "{} error: {}", self.component, self.message),
+        }
+    }
+}
+
+impl Error for AsppError {}
+
+/// What a lenient-mode ingest pass did with its input: how many records it
+/// accepted, how many conflicting duplicates it resolved (deterministically,
+/// first occurrence wins), and how many malformed lines it skipped — each
+/// skip and conflict carrying a line-numbered note. Strict-mode parsers
+/// reject instead; lenient mode *accounts*, so `accepted + conflicts +
+/// skipped` always equals the number of non-comment record lines and nothing
+/// is ever silently dropped.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Records accepted into the result (agreeing duplicates included).
+    pub accepted: usize,
+    /// Conflicting duplicate records resolved by first-wins precedence.
+    pub conflicts: usize,
+    /// Malformed records skipped outright.
+    pub skipped: usize,
+    /// One line-numbered diagnostic per conflict or skip.
+    pub notes: Vec<String>,
+}
+
+impl IngestReport {
+    /// Counts one accepted record.
+    pub fn accept(&mut self) {
+        self.accepted += 1;
+    }
+
+    /// Counts one conflicting duplicate, with a line-numbered note.
+    pub fn conflict(&mut self, line: usize, message: impl fmt::Display) {
+        self.conflicts += 1;
+        self.notes.push(format!("line {line}: {message}"));
+    }
+
+    /// Counts one skipped record, with a line-numbered note.
+    pub fn skip(&mut self, line: usize, message: impl fmt::Display) {
+        self.skipped += 1;
+        self.notes.push(format!("line {line}: {message}"));
+    }
+
+    /// Total records seen (accepted + conflicts + skipped).
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.accepted + self.conflicts + self.skipped
+    }
+
+    /// `true` when every record was accepted verbatim.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.conflicts == 0 && self.skipped == 0
+    }
+}
+
+impl fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} records accepted, {} conflicts resolved, {} skipped",
+            self.accepted, self.conflicts, self.skipped
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +255,32 @@ mod tests {
         assert_send_sync::<ParseAsnError>();
         assert_send_sync::<ParsePrefixError>();
         assert_send_sync::<ParseAsPathError>();
+        assert_send_sync::<AsppError>();
+    }
+
+    #[test]
+    fn aspp_error_carries_component_and_line() {
+        let e = AsppError::at_line("topology", 7, "bad record");
+        assert_eq!(e.component(), "topology");
+        assert_eq!(e.line(), Some(7));
+        assert_eq!(e.to_string(), "topology error at line 7: bad record");
+        let e = AsppError::new("corpus", "file unreadable");
+        assert_eq!(e.line(), None);
+        assert_eq!(e.to_string(), "corpus error: file unreadable");
+    }
+
+    #[test]
+    fn ingest_report_accounts_for_every_record() {
+        let mut r = IngestReport::default();
+        r.accept();
+        r.accept();
+        r.conflict(3, "conflicting duplicate 1|2");
+        r.skip(5, "garbage");
+        assert_eq!(r.total(), 4);
+        assert!(!r.is_clean());
+        assert_eq!(r.notes.len(), 2);
+        assert!(r.notes[0].starts_with("line 3:"));
+        assert!(r.to_string().contains("2 records accepted"));
+        assert!(IngestReport::default().is_clean());
     }
 }

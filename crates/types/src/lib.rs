@@ -49,7 +49,7 @@ mod relationship;
 
 pub use announce::Announcement;
 pub use asn::Asn;
-pub use error::{ParseAsPathError, ParseAsnError, ParsePrefixError};
+pub use error::{AsppError, IngestReport, ParseAsPathError, ParseAsnError, ParsePrefixError};
 pub use path::AsPath;
 pub use prefix::Ipv4Prefix;
 pub use relationship::{ParseRelationshipError, Relationship, RouteClass};

@@ -10,6 +10,8 @@
 //! aspp simulate   --victim A --attacker B [options]
 //! aspp corpus     --out FILE [--prefixes N] [--seed N]
 //! aspp measure    FILE                  measure an existing corpus file
+//! aspp audit      [--paper] [--seed N]  invariant-audit attacked equilibria
+//! aspp audit      --topology FILE | --corpus FILE [--lenient]
 //! ```
 
 use std::process::ExitCode;
@@ -47,6 +49,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "corpus" => cmd_corpus(rest),
         "measure" => cmd_measure(rest),
+        "audit" => cmd_audit(rest),
         "help" | "--help" | "-h" => {
             out!("{}", usage_text());
             Ok(())
@@ -77,7 +80,10 @@ USAGE:
                   [--violate] [--strategy strip|strip-all|forge|origin]
                   [--scale small|medium|large] [--seed N]
   aspp corpus     --out FILE [--prefixes N] [--monitors N] [--seed N]
-  aspp measure    FILE"
+  aspp measure    FILE
+  aspp audit      [--paper] [--seed N]
+  aspp audit      --topology FILE [--lenient]
+  aspp audit      --corpus FILE [--lenient]"
 }
 
 /// Minimal flag parser: `--key value` pairs, bare `--flag` booleans, and
@@ -297,6 +303,166 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
         corpus.monitors().count(),
     );
     Ok(())
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let lenient = flags.has("--lenient");
+    if let Some(path) = flags.value("--topology") {
+        return audit_topology_file(path, lenient);
+    }
+    if let Some(path) = flags.value("--corpus") {
+        return audit_corpus_file(path, lenient);
+    }
+    audit_equilibria(flags.scale(), flags.seed()?)
+}
+
+/// Recomputes the attack-strategy matrix and verifies every converged
+/// equilibrium against the paper's routing invariants (valley-freeness,
+/// export legality, loop-free next-hop chains, local optimality).
+fn audit_equilibria(scale: Scale, seed: u64) -> Result<(), String> {
+    use aspp_repro::routing::audit;
+    use std::time::Instant;
+
+    let graph = scale.internet(seed);
+    // Deterministic victim/attacker sample spanning the hierarchy: a
+    // well-connected core AS, a mid-degree transit AS, and an edge stub.
+    let by_degree = graph.asns_by_degree();
+    let n = by_degree.len();
+    let picks = [by_degree[0], by_degree[n / 2], by_degree[n - 1]];
+    let pairs: Vec<(Asn, Asn)> = picks
+        .iter()
+        .flat_map(|&v| picks.iter().map(move |&m| (v, m)))
+        .filter(|(v, m)| v != m)
+        .collect();
+
+    let strategies = [
+        AttackStrategy::StripPadding { keep: 1 },
+        AttackStrategy::StripAllPadding,
+        AttackStrategy::ForgeDirect,
+        AttackStrategy::OriginHijack,
+    ];
+    let modes = [ExportMode::Compliant, ExportMode::ViolateValleyFree];
+
+    let engine = RoutingEngine::new(&graph);
+    let mut equilibria = 0usize;
+    let mut routes_checked = 0usize;
+    let mut dirty = Vec::new();
+    let mut compute_time = std::time::Duration::ZERO;
+    let mut audit_time = std::time::Duration::ZERO;
+    let mut check = |spec: &DestinationSpec, label: String| {
+        let t0 = Instant::now();
+        let outcome = engine.compute(spec);
+        compute_time += t0.elapsed();
+        let t1 = Instant::now();
+        let report = audit::audit_outcome(&outcome);
+        audit_time += t1.elapsed();
+        equilibria += 1;
+        routes_checked += report.clean.routes_checked()
+            + report
+                .attacked
+                .as_ref()
+                .map_or(0, aspp_repro::routing::AuditReport::routes_checked);
+        if !report.is_clean() {
+            dirty.push((label, report));
+        }
+    };
+
+    for &(victim, attacker) in &pairs {
+        check(
+            &DestinationSpec::new(victim).origin_padding(3),
+            format!("clean victim=AS{victim}"),
+        );
+        for strategy in strategies {
+            for mode in modes {
+                let exp = HijackExperiment::new(victim, attacker)
+                    .padding(3)
+                    .export_mode(mode)
+                    .strategy(strategy);
+                check(
+                    &exp.to_spec(),
+                    format!("victim=AS{victim} attacker=AS{attacker} {strategy:?} {mode:?}"),
+                );
+            }
+        }
+    }
+
+    out!(
+        "audited {equilibria} equilibria on {} ASes (seed {seed}): {} route entries checked",
+        graph.len(),
+        routes_checked,
+    );
+    out!(
+        "compute {:.1} ms, audit {:.1} ms (audit/compute = {:.2}x)",
+        compute_time.as_secs_f64() * 1e3,
+        audit_time.as_secs_f64() * 1e3,
+        audit_time.as_secs_f64() / compute_time.as_secs_f64().max(1e-12),
+    );
+    if dirty.is_empty() {
+        out!("all equilibria satisfy the routing invariants");
+        Ok(())
+    } else {
+        for (label, report) in &dirty {
+            out!("VIOLATIONS in {label}:\n{report}");
+        }
+        Err(format!(
+            "{} of {equilibria} equilibria failed audit",
+            dirty.len()
+        ))
+    }
+}
+
+fn audit_topology_file(path: &str, lenient: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if lenient {
+        let (graph, report) = aspp_repro::topology::io::from_caida_lenient(&text);
+        out!("{path}: {report}");
+        for note in &report.notes {
+            out!("  {note}");
+        }
+        out!(
+            "topology: {} ASes, {} links",
+            graph.len(),
+            graph.link_count()
+        );
+        Ok(())
+    } else {
+        let graph = aspp_repro::topology::io::from_caida_strict(&text)
+            .map_err(|e| format!("{path}: {e}"))?;
+        out!(
+            "{path}: OK — {} ASes, {} links",
+            graph.len(),
+            graph.link_count()
+        );
+        Ok(())
+    }
+}
+
+fn audit_corpus_file(path: &str, lenient: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if lenient {
+        let (corpus, report) = Corpus::parse_lenient(&text);
+        out!("{path}: {report}");
+        for note in &report.notes {
+            out!("  {note}");
+        }
+        out!(
+            "corpus: {} table entries, {} updates, {} monitors",
+            corpus.table_entry_count(),
+            corpus.updates().len(),
+            corpus.monitors().count(),
+        );
+        Ok(())
+    } else {
+        let corpus = Corpus::parse_strict(&text).map_err(|e| format!("{path}: {e}"))?;
+        out!(
+            "{path}: OK — {} table entries, {} updates, {} monitors",
+            corpus.table_entry_count(),
+            corpus.updates().len(),
+            corpus.monitors().count(),
+        );
+        Ok(())
+    }
 }
 
 fn cmd_measure(args: &[String]) -> Result<(), String> {

@@ -108,6 +108,27 @@ proptest! {
     }
 }
 
+/// Every equilibrium in the same strategy matrix the bit-identity proptest
+/// exercises must also satisfy the paper's routing invariants — the
+/// [`aspp_repro::routing::audit`] checker run in always-on mode.
+#[test]
+fn strategy_matrix_equilibria_audit_clean() {
+    let graph = InternetConfig::small().seed(2024).build();
+    let engine = RoutingEngine::new(&graph);
+    let asns: Vec<Asn> = graph.asns().collect();
+    let (victim, attacker) = (asns[0], asns[asns.len() / 2]);
+    for tie in [
+        TieBreak::LowestNeighborAsn,
+        TieBreak::PreferClean,
+        TieBreak::PreferAttacker,
+    ] {
+        for exp in all_experiments(victim, attacker, tie) {
+            let outcome = engine.compute(&exp.to_spec());
+            aspp_repro::routing::audit::assert_outcome_clean(&outcome);
+        }
+    }
+}
+
 /// The delta pass must actually fire (not fall back) on the bread-and-butter
 /// configuration — the paper's λ-sweep with the default tie-break.
 #[test]
