@@ -195,6 +195,7 @@ pub fn run_experiment_with(
     exp: &HijackExperiment,
     ws: &mut RouteWorkspace,
 ) -> HijackImpact {
+    let _span = aspp_obs::trace::span("attack.experiment");
     let engine = RoutingEngine::new(graph);
     let outcome = engine.compute_with(&exp.to_spec(), ws);
     // No-op unless `debug-audit` / ASPP_AUDIT=1: every equilibrium the
@@ -221,6 +222,7 @@ pub fn run_experiment_with(
 /// mapping [`run_experiment`] serially.
 #[must_use]
 pub fn run_experiments_parallel(graph: &AsGraph, exps: &[HijackExperiment]) -> Vec<HijackImpact> {
+    let _span = aspp_obs::trace::span("attack.experiments_parallel");
     if exps.is_empty() {
         return Vec::new();
     }

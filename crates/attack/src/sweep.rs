@@ -175,6 +175,7 @@ pub fn prepend_sweep_with(
     mode: ExportMode,
     ws: &mut RouteWorkspace,
 ) -> Vec<HijackImpact> {
+    let _span = aspp_obs::trace::span("attack.prepend_sweep");
     paddings
         .into_iter()
         .map(|p| {

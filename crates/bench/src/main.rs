@@ -4,8 +4,10 @@
 //! Times the four workloads the routing engine's perf story is built on
 //! (clean pass, attacked full pass, attacked delta pass, fig9-style λ
 //! sweep full vs delta) and writes them as `BENCH_engine.json` so the
-//! trajectory is tracked across PRs. Defaults to the smoke scale; set
-//! `ASPP_BENCH_SCALE=paper` for the EXPERIMENTS.md numbers and
+//! trajectory is tracked across PRs. Since schema 2 the snapshot embeds a
+//! run-provenance [`RunManifest`] (git revision, topology fingerprint,
+//! engine-counter totals — see `EXPERIMENTS.md`). Defaults to the smoke
+//! scale; set `ASPP_BENCH_SCALE=paper` for the EXPERIMENTS.md numbers and
 //! `ASPP_BENCH_JSON=path` to redirect the output file.
 
 use std::fmt::Write as _;
@@ -39,6 +41,8 @@ fn main() {
         Scale::Smoke => "smoke",
         Scale::Paper => "paper",
     };
+    let bench_started = Instant::now();
+    let counters_before = MetricsSnapshot::capture();
     let graph = scale.internet(BENCH_SEED);
     let engine = RoutingEngine::new(&graph);
 
@@ -97,10 +101,22 @@ fn main() {
     );
     assert_eq!(sweep_points.len(), 8);
 
+    let mut manifest = RunManifest::new("aspp-bench");
+    manifest.seed = Some(BENCH_SEED);
+    manifest.scale = Some(scale_name.to_string());
+    manifest.topology = Some(TopologyInfo {
+        nodes: graph.len() as u64,
+        links: graph.link_count() as u64,
+        fingerprint: graph.fingerprint(),
+    });
+    manifest.push_strategy("StripPadding keep=1 Compliant, T1 victim vs T1 attacker, λ=1..8");
+    manifest.push_phase("bench", bench_started.elapsed().as_secs_f64() * 1e3);
+    manifest.metrics = MetricsSnapshot::capture().since(&counters_before);
+
     let speedup = |full: u128, fast: u128| full as f64 / fast.max(1) as f64;
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"schema\": 2,");
     let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
     let _ = writeln!(json, "  \"nodes\": {},", graph.len());
     let _ = writeln!(json, "  \"seed\": {BENCH_SEED},");
@@ -126,9 +142,10 @@ fn main() {
     let _ = writeln!(json, "  \"delta_passes\": {},", sweep_ws.delta_passes());
     let _ = writeln!(
         json,
-        "  \"delta_fallbacks\": {}",
+        "  \"delta_fallbacks\": {},",
         sweep_ws.delta_fallbacks()
     );
+    let _ = writeln!(json, "  \"manifest\": {}", manifest.to_json());
     let _ = writeln!(json, "}}");
 
     let path = std::env::var("ASPP_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".to_string());

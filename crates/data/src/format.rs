@@ -236,6 +236,18 @@ impl Corpus {
     /// precedence, and out-of-order updates are kept but counted as
     /// conflicts. `report.total()` always equals the number of non-comment
     /// record lines: nothing is silently dropped.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use aspp_data::Corpus;
+    ///
+    /// let text = "TABLE|7018|10.0.0.0/8|7018 1\nTABLE|7018|10.0.0.0/8|7018 2\nnot a record\n";
+    /// let (corpus, report) = Corpus::parse_lenient(text);
+    /// // First-wins: the first TABLE row for the (monitor, prefix) stays.
+    /// assert_eq!(corpus.table_entry_count(), 1);
+    /// assert_eq!((report.accepted, report.conflicts, report.skipped), (1, 1, 1));
+    /// ```
     #[must_use]
     pub fn parse_lenient(text: &str) -> (Self, IngestReport) {
         Self::parse_with(text, ParseMode::Lenient).expect("lenient parse never fails")

@@ -30,6 +30,7 @@ pub struct DetectionResult {
 /// reports whether the detector catches it.
 #[must_use]
 pub fn detect_attack(graph: &AsGraph, exp: &HijackExperiment, monitors: &[Asn]) -> DetectionResult {
+    let _span = aspp_obs::trace::span("detect.attack");
     let engine = RoutingEngine::new(graph);
     let outcome = engine.compute(&exp.to_spec());
     // No-op unless `debug-audit` / ASPP_AUDIT=1: the detection evaluation
@@ -108,6 +109,7 @@ pub fn accuracy_vs_monitors(
     exps: &[HijackExperiment],
     monitor_counts: &[usize],
 ) -> Vec<AccuracyPoint> {
+    let _span = aspp_obs::trace::span("detect.accuracy_vs_monitors");
     // The top-d monitor sets are prefixes of one ranked list; compute the
     // attack equilibrium once per experiment and reuse its observed paths
     // for every monitor count. Experiments run across worker threads.
@@ -252,6 +254,7 @@ pub fn polluted_fraction_before_detection(
     exp: &HijackExperiment,
     monitors: &[Asn],
 ) -> Option<f64> {
+    let _span = aspp_obs::trace::span("detect.polluted_before_detection");
     let engine = RoutingEngine::new(graph);
     let outcome = engine.compute(&exp.to_spec());
     if !outcome.has_attack() || outcome.polluted_count() == 0 || outcome.changed_count() == 0 {

@@ -1,0 +1,271 @@
+//! Feature-gated global atomic counters for the engine's performance
+//! mechanisms.
+//!
+//! With the `enabled` feature the counters are relaxed `AtomicU64`s; without
+//! it every mutation is an empty `#[inline(always)]` function, so the
+//! instrumentation in `aspp-routing`'s per-edge hot loops compiles to
+//! nothing (verified by the disabled-configuration bench comparison in
+//! `EXPERIMENTS.md`).
+//!
+//! Counters are process-global and monotone. Code that needs a per-phase
+//! reading captures a [`MetricsSnapshot`] before and after and diffs with
+//! [`MetricsSnapshot::since`].
+
+use crate::json::JsonWriter;
+use std::fmt;
+
+/// Every counter the workspace maintains. The discriminant doubles as the
+/// index into the counter array and into [`MetricsSnapshot::values`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Clean (no-attack) passes served from a [`RouteWorkspace`] cache.
+    ///
+    /// [`RouteWorkspace`]: https://docs.rs/aspp-routing
+    CleanCacheHit,
+    /// Clean passes that had to be computed from scratch.
+    CleanCacheMiss,
+    /// Labels pushed into the bucket-queue scheduler (spills included).
+    QueuePush,
+    /// Labels whose effective length overflowed the per-length buckets into
+    /// the per-class spill heap.
+    QueueSpill,
+    /// Offers dropped at push time by the lazy decrease-key filter (a
+    /// better offer for the same node was already queued).
+    FilterDrop,
+    /// Attacked passes served by delta re-convergence.
+    DeltaPass,
+    /// Nodes re-converged by delta frontiers, cumulatively — the total
+    /// frontier size across all delta passes.
+    DeltaFrontierNode,
+    /// Delta attempts that detected the non-monotone corner and fell back
+    /// to a full second propagation (delta→full aborts).
+    DeltaFallback,
+    /// Attacked passes that skipped a doomed delta attempt because the
+    /// hostile-spec memo had already recorded a fallback for that spec.
+    HostileMemoHit,
+    /// Equilibria checked by the invariant auditor.
+    AuditCheck,
+    /// Invariant violations found by the auditor.
+    AuditViolation,
+}
+
+impl Counter {
+    /// Number of distinct counters.
+    pub const COUNT: usize = 11;
+
+    /// All counters, in snapshot order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::CleanCacheHit,
+        Counter::CleanCacheMiss,
+        Counter::QueuePush,
+        Counter::QueueSpill,
+        Counter::FilterDrop,
+        Counter::DeltaPass,
+        Counter::DeltaFrontierNode,
+        Counter::DeltaFallback,
+        Counter::HostileMemoHit,
+        Counter::AuditCheck,
+        Counter::AuditViolation,
+    ];
+
+    /// The counter's stable snake_case name, used as the JSON key and the
+    /// table row label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::CleanCacheHit => "clean_cache_hits",
+            Counter::CleanCacheMiss => "clean_cache_misses",
+            Counter::QueuePush => "queue_pushes",
+            Counter::QueueSpill => "queue_spills",
+            Counter::FilterDrop => "filter_drops",
+            Counter::DeltaPass => "delta_passes",
+            Counter::DeltaFrontierNode => "delta_frontier_nodes",
+            Counter::DeltaFallback => "delta_fallbacks",
+            Counter::HostileMemoHit => "hostile_memo_hits",
+            Counter::AuditCheck => "audit_checks",
+            Counter::AuditViolation => "audit_violations",
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod backing {
+    use super::Counter;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    static COUNTERS: [AtomicU64; Counter::COUNT] = [ZERO; Counter::COUNT];
+
+    #[inline]
+    pub(super) fn add(counter: Counter, n: u64) {
+        COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(super) fn load(counter: Counter) -> u64 {
+        COUNTERS[counter as usize].load(Ordering::Relaxed)
+    }
+}
+
+/// Adds `n` to `counter`. A no-op (empty inline function) without the
+/// `enabled` feature.
+#[inline(always)]
+pub fn add(counter: Counter, n: u64) {
+    #[cfg(feature = "enabled")]
+    backing::add(counter, n);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (counter, n);
+}
+
+/// Increments `counter` by one. A no-op without the `enabled` feature.
+#[inline(always)]
+pub fn incr(counter: Counter) {
+    add(counter, 1);
+}
+
+/// A point-in-time reading of every [`Counter`].
+///
+/// Capturing is cheap (eleven relaxed loads); without the `enabled` feature
+/// the snapshot is always all-zero ([`is_empty`](Self::is_empty)).
+///
+/// # Example
+///
+/// ```
+/// use aspp_obs::MetricsSnapshot;
+///
+/// let snap = MetricsSnapshot::capture();
+/// let json = snap.to_json();
+/// assert!(json.contains("\"clean_cache_hits\""));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values, indexed by `Counter as usize`.
+    pub values: [u64; Counter::COUNT],
+}
+
+impl MetricsSnapshot {
+    /// Reads every counter. All-zero when the `enabled` feature is off.
+    #[must_use]
+    pub fn capture() -> Self {
+        #[allow(unused_mut)]
+        let mut values = [0u64; Counter::COUNT];
+        #[cfg(feature = "enabled")]
+        for c in Counter::ALL {
+            values[c as usize] = backing::load(c);
+        }
+        MetricsSnapshot { values }
+    }
+
+    /// `true` when this build carries real counters (the `enabled` feature
+    /// of `aspp-obs` is active).
+    #[must_use]
+    pub fn compiled_in() -> bool {
+        cfg!(feature = "enabled")
+    }
+
+    /// The value of one counter.
+    #[must_use]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.values[counter as usize]
+    }
+
+    /// Clean-pass cache hits.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.get(Counter::CleanCacheHit)
+    }
+
+    /// Delta→full aborts.
+    #[must_use]
+    pub fn delta_fallbacks(&self) -> u64 {
+        self.get(Counter::DeltaFallback)
+    }
+
+    /// The counter-wise difference `self - earlier` (saturating, so a
+    /// snapshot from another process epoch cannot underflow).
+    #[must_use]
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut values = [0u64; Counter::COUNT];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        MetricsSnapshot { values }
+    }
+
+    /// `true` when every counter is zero — the guaranteed state of a build
+    /// without the `enabled` feature.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.iter().all(|&v| v == 0)
+    }
+
+    /// Renders the snapshot as a JSON object, one key per counter plus a
+    /// `"counters_compiled_in"` flag distinguishing "all zero because
+    /// nothing ran" from "all zero because the feature is off".
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.field_bool("counters_compiled_in", Self::compiled_in());
+        for c in Counter::ALL {
+            w.field_u64(c.name(), self.get(c));
+        }
+        w.finish()
+    }
+}
+
+/// Two-column ASCII table, one row per counter (the CLI's `--metrics table`
+/// rendering).
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = Counter::ALL
+            .iter()
+            .map(|c| c.name().len())
+            .max()
+            .unwrap_or(0);
+        writeln!(
+            f,
+            "metrics ({})",
+            if Self::compiled_in() {
+                "counters compiled in"
+            } else {
+                "counters compiled out — all zero; rebuild with --features obs"
+            }
+        )?;
+        for c in Counter::ALL {
+            writeln!(f, "  {:width$}  {}", c.name(), self.get(c))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff_and_render() {
+        let before = MetricsSnapshot::capture();
+        add(Counter::QueuePush, 5);
+        incr(Counter::QueueSpill);
+        let delta = MetricsSnapshot::capture().since(&before);
+        if MetricsSnapshot::compiled_in() {
+            assert!(delta.get(Counter::QueuePush) >= 5);
+        } else {
+            assert!(delta.is_empty());
+        }
+        let table = delta.to_string();
+        assert!(table.contains("queue_pushes"));
+        let json = delta.to_json();
+        assert!(json.contains("\"queue_spills\""));
+        assert!(json.contains("counters_compiled_in"));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let mut high = MetricsSnapshot::default();
+        high.values[0] = 3;
+        let diff = MetricsSnapshot::default().since(&high);
+        assert!(diff.is_empty());
+    }
+}

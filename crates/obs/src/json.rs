@@ -1,0 +1,143 @@
+//! Minimal hand-rolled JSON emission (the workspace has no serde; the
+//! vendored dependency set is closed).
+
+use std::fmt::Write as _;
+
+/// Incremental writer for one JSON object or array. Purely append-only —
+/// callers emit fields in order and call [`finish`](Self::finish) once.
+pub(crate) struct JsonWriter {
+    buf: String,
+    close: char,
+    empty: bool,
+}
+
+impl JsonWriter {
+    pub(crate) fn object() -> Self {
+        JsonWriter {
+            buf: String::from("{"),
+            close: '}',
+            empty: true,
+        }
+    }
+
+    pub(crate) fn array() -> Self {
+        JsonWriter {
+            buf: String::from("["),
+            close: ']',
+            empty: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if !self.empty {
+            self.buf.push(',');
+        }
+        self.empty = false;
+    }
+
+    fn key(&mut self, name: &str) {
+        self.sep();
+        self.buf.push('"');
+        escape_into(&mut self.buf, name);
+        self.buf.push_str("\":");
+    }
+
+    pub(crate) fn field_str(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+    }
+
+    pub(crate) fn field_u64(&mut self, name: &str, value: u64) {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    pub(crate) fn field_f64(&mut self, name: &str, value: f64) {
+        self.key(name);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value:.3}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    pub(crate) fn field_bool(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Emits `name` with `raw` verbatim — `raw` must itself be valid JSON
+    /// (a nested object rendered by another writer).
+    pub(crate) fn field_raw(&mut self, name: &str, raw: &str) {
+        self.key(name);
+        self.buf.push_str(raw);
+    }
+
+    /// Appends one string element (array writers only).
+    pub(crate) fn element_str(&mut self, value: &str) {
+        self.sep();
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+    }
+
+    pub(crate) fn finish(mut self) -> String {
+        self.buf.push(self.close);
+        self.buf
+    }
+}
+
+/// Escapes `s` per RFC 8259 into `out` (quotes, backslashes, control
+/// characters).
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_rendering() {
+        let mut w = JsonWriter::object();
+        w.field_str("name", "a \"quoted\"\nvalue");
+        w.field_u64("n", 7);
+        w.field_f64("x", 1.5);
+        w.field_bool("flag", false);
+        w.field_raw("nested", "{\"k\":1}");
+        assert_eq!(
+            w.finish(),
+            "{\"name\":\"a \\\"quoted\\\"\\nvalue\",\"n\":7,\"x\":1.500,\"flag\":false,\"nested\":{\"k\":1}}"
+        );
+    }
+
+    #[test]
+    fn array_rendering() {
+        let mut w = JsonWriter::array();
+        w.element_str("a");
+        w.element_str("b");
+        assert_eq!(w.finish(), "[\"a\",\"b\"]");
+        assert_eq!(JsonWriter::array().finish(), "[]");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let mut w = JsonWriter::object();
+        w.field_f64("x", f64::NAN);
+        assert_eq!(w.finish(), "{\"x\":null}");
+    }
+}

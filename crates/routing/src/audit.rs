@@ -337,13 +337,20 @@ impl fmt::Display for OutcomeAudit {
 /// Audits both equilibria of `outcome` and returns the full report.
 #[must_use]
 pub fn audit_outcome(outcome: &RoutingOutcome<'_>) -> OutcomeAudit {
-    OutcomeAudit {
+    let _span = aspp_obs::trace::span("audit.outcome");
+    aspp_obs::counters::incr(aspp_obs::counters::Counter::AuditCheck);
+    let audit = OutcomeAudit {
         clean: audit_pass(outcome, PassKind::Clean),
         attacked: outcome
             .attacked_pass_ref()
             .is_some()
             .then(|| audit_pass(outcome, PassKind::Attacked)),
-    }
+    };
+    aspp_obs::counters::add(
+        aspp_obs::counters::Counter::AuditViolation,
+        audit.violation_count() as u64,
+    );
+    audit
 }
 
 /// Audits `outcome` when auditing is [`enabled`], panicking with the full

@@ -80,7 +80,7 @@
 //!
 //! All mutable per-node pass state — the lazy decrease-key rank and the
 //! epoch stamps for adoption, chain membership and queued offers — lives in
-//! one 32-byte [`NodeScratch`] entry, so the per-edge push filter costs a
+//! one 32-byte `NodeScratch` entry, so the per-edge push filter costs a
 //! single random memory access and the whole table stays L1-resident at
 //! paper scale. Epoch stamping makes starting a pass O(1): nothing is
 //! re-zeroed. A [`RouteWorkspace`] additionally memoizes, per cached clean
@@ -94,6 +94,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use aspp_obs::counters::{self, Counter};
 use aspp_topology::{AsGraph, CsrIndex};
 use aspp_types::{AsPath, Asn, Relationship, RouteClass};
 
@@ -477,9 +478,11 @@ impl BucketQueue {
     /// [`pack_bucket_rank`] key `bucket_rank`.
     fn push(&mut self, class: RouteClass, len: u32, bucket_rank: u128) {
         debug_assert_ne!(class, RouteClass::Origin, "Origin is never exported");
+        counters::incr(Counter::QueuePush);
         let rank = Self::class_rank(class);
         let idx = len as usize;
         if idx >= BUCKET_SPILL_LEN {
+            counters::incr(Counter::QueueSpill);
             self.spill[rank].push(Reverse((len, bucket_rank)));
         } else {
             // Strict (class, len) progress: a push can never land behind the
@@ -618,7 +621,7 @@ fn packed_len(key: u128) -> u32 {
 ///
 /// * the bucket-queue label scheduler, so its buckets are reused instead of
 ///   regrown;
-/// * the per-node [`NodeScratch`] table (offer ranks, adoption/chain epoch
+/// * the per-node `NodeScratch` table (offer ranks, adoption/chain epoch
 ///   stamps — epoch-stamped, never re-zeroed); and
 /// * a small LRU cache of clean passes keyed by `(victim, prepending
 ///   config, tie-break)` — each entry `Arc`-shares its route table (hits
@@ -819,6 +822,36 @@ impl<'g> RoutingEngine<'g> {
     /// Returns exactly what [`compute`](Self::compute) returns — see
     /// [`RouteWorkspace`] for the equivalence guarantee.
     ///
+    /// # Example
+    ///
+    /// Sweeping the victim's padding against a fixed attacker reuses the
+    /// cached clean pass and the delta attacked pass across iterations:
+    ///
+    /// ```
+    /// use aspp_routing::{AttackerModel, DestinationSpec, ExportMode, RouteWorkspace, RoutingEngine};
+    /// use aspp_topology::AsGraph;
+    /// use aspp_types::Asn;
+    ///
+    /// let mut graph = AsGraph::new();
+    /// graph.add_provider_customer(Asn(1), Asn(2)).unwrap(); // victim's provider
+    /// graph.add_provider_customer(Asn(1), Asn(3)).unwrap(); // attacker's 1st provider
+    /// graph.add_provider_customer(Asn(5), Asn(3)).unwrap(); // attacker's 2nd provider
+    /// graph.add_peering(Asn(1), Asn(5)).unwrap();
+    /// let engine = RoutingEngine::new(&graph);
+    /// let mut ws = RouteWorkspace::new();
+    ///
+    /// let spec = DestinationSpec::new(Asn(2))
+    ///     .origin_padding(4)
+    ///     .attacker(AttackerModel::new(Asn(3)).mode(ExportMode::ViolateValleyFree));
+    /// let outcome = engine.compute_with(&spec, &mut ws);
+    /// // AS1 sits on the attacker's clean chain, so it rejects the stripped
+    /// // announcement (loop prevention) — but off-chain AS5 prefers the
+    /// // shorter customer route and is intercepted.
+    /// assert!(!outcome.route(Asn(1)).unwrap().via_attacker);
+    /// assert!(outcome.route(Asn(5)).unwrap().via_attacker);
+    /// assert!(!outcome.clean_route(Asn(5)).unwrap().via_attacker);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if the victim (or configured attacker) is not in the graph, or
@@ -859,6 +892,11 @@ impl<'g> RoutingEngine<'g> {
         ws: &mut RouteWorkspace,
         use_delta: bool,
     ) -> RoutingOutcome<'g> {
+        let _span = aspp_obs::trace::span(if use_delta {
+            "engine.compute"
+        } else {
+            "engine.compute_full"
+        });
         let v_idx = self
             .graph
             .index_of(spec.victim)
@@ -919,11 +957,14 @@ impl<'g> RoutingEngine<'g> {
                     && ws.delta_hostile.iter().any(|h| {
                         h.0 == spec.victim && h.1 == *att && h.2 == spec.tie && h.3 == spec.prepend
                     });
-                if !known_hostile {
+                if known_hostile {
+                    counters::incr(Counter::HostileMemoHit);
+                } else {
                     let keys = self.clean_keys(spec, ws, &clean);
                     if let Some(pass) = self.propagate_delta(spec, v_idx, ws, &seed, &clean, &keys)
                     {
                         ws.delta_passes += 1;
+                        counters::incr(Counter::DeltaPass);
                         if crate::audit::enabled() {
                             // debug-audit oracle: the delta pass must be
                             // bit-identical to a from-scratch propagation.
@@ -941,6 +982,7 @@ impl<'g> RoutingEngine<'g> {
                     }
                 }
                 ws.delta_fallbacks += 1;
+                counters::incr(Counter::DeltaFallback);
             }
             Some(self.propagate(spec, v_idx, ws, Some(&seed)))
         });
@@ -969,6 +1011,7 @@ impl<'g> RoutingEngine<'g> {
     ) -> Arc<Pass> {
         if ws.cache_capacity == 0 {
             ws.misses += 1;
+            counters::incr(Counter::CleanCacheMiss);
             return Arc::new(self.propagate(spec, v_idx, ws, None));
         }
         let stamp = GraphStamp::of(self.graph);
@@ -983,11 +1026,13 @@ impl<'g> RoutingEngine<'g> {
             .position(|e| e.victim == spec.victim && e.tie == spec.tie && e.prepend == spec.prepend)
         {
             ws.hits += 1;
+            counters::incr(Counter::CleanCacheHit);
             // Move-to-front LRU; the cache is small, so the rotate is cheap.
             ws.clean_cache[..=pos].rotate_right(1);
             return Arc::clone(&ws.clean_cache[0].pass);
         }
         ws.misses += 1;
+        counters::incr(Counter::CleanCacheMiss);
         let pass = Arc::new(self.propagate(spec, v_idx, ws, None));
         if ws.clean_cache.len() >= ws.cache_capacity {
             ws.clean_cache.pop();
@@ -1204,6 +1249,7 @@ impl<'g> RoutingEngine<'g> {
         let mut attacked: Pass = clean.clone();
         attacked[att.m_idx] = Some(att.pinned);
         scratch[att.m_idx].adopted_epoch = epoch;
+        let mut frontier = 0u64;
 
         self.seed_attacker_exports::<true>(
             spec, csr, &pad, att, v_idx, queue, scratch, keys, epoch,
@@ -1233,6 +1279,7 @@ impl<'g> RoutingEngine<'g> {
                 return None;
             }
             s.adopted_epoch = epoch;
+            frontier += 1;
             attacked[node] = Some(NodeRoute {
                 class: label.class,
                 len: label.len,
@@ -1254,6 +1301,7 @@ impl<'g> RoutingEngine<'g> {
             );
         }
 
+        counters::add(Counter::DeltaFrontierNode, frontier);
         Some(attacked)
     }
 
@@ -1413,6 +1461,7 @@ fn offer<const DELTA: bool, const VIA: bool>(
     // `Ord` fields, so it can be derived instead of re-packed.
     let rank = (pref << 33) | ((parent as u128) << 1) | u128::from(VIA);
     if s.offer_epoch == epoch && s.offer_rank <= rank {
+        counters::incr(Counter::FilterDrop);
         return;
     }
     s.offer_epoch = epoch;

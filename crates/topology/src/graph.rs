@@ -181,6 +181,44 @@ impl AsGraph {
         self.nodes.iter().map(|n| n.neighbors.len()).sum::<usize>() / 2
     }
 
+    /// A content fingerprint of the topology: an FNV-1a hash over the sorted
+    /// `(asn, asn, relationship)` link list. Two graphs with the same ASes
+    /// and links hash identically regardless of insertion order; run
+    /// manifests record it so results can be matched to the exact topology
+    /// that produced them.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut links: Vec<(u32, u32, u8)> = self
+            .links()
+            .map(|(a, b, rel)| {
+                // Key each undirected link from its lower-ASN endpoint;
+                // flipping endpoints flips the relationship's direction.
+                if a.value() <= b.value() {
+                    (a.value(), b.value(), rel as u8)
+                } else {
+                    (b.value(), a.value(), rel.reverse() as u8)
+                }
+            })
+            .collect();
+        links.sort_unstable();
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.nodes.len() as u64);
+        for (a, b, rel) in links {
+            mix(u64::from(a));
+            mix(u64::from(b));
+            mix(u64::from(rel));
+        }
+        h
+    }
+
     /// Inserts `asn` as an isolated node if absent; returns its index.
     pub fn add_as(&mut self, asn: Asn) -> usize {
         if let Some(&idx) = self.index.get(&asn) {

@@ -13,8 +13,20 @@
 //! aspp audit      [--paper] [--seed N]  invariant-audit attacked equilibria
 //! aspp audit      --topology FILE | --corpus FILE [--lenient]
 //! ```
+//!
+//! Every subcommand additionally understands the observability flags
+//! (see the Observability section of `README.md`):
+//!
+//! ```text
+//! --trace-json PATH    write engine/experiment spans as JSON lines to PATH
+//! --metrics table|json print an engine-counter snapshot to stderr on exit
+//! --manifest PATH      write a run-provenance manifest (JSON) to PATH
+//! ASPP_LOG=trace       like --trace-json, but spans go to stderr
+//! ASPP_MANIFEST=PATH   like --manifest
+//! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 /// Prints a line to stdout, ignoring broken-pipe errors so that
 /// `aspp … | head` exits cleanly instead of panicking.
@@ -28,34 +40,125 @@ macro_rules! out {
 use aspp_repro::attack::mitigation;
 use aspp_repro::data::measure;
 use aspp_repro::experiments::{case_study, detection, extensions, impact, usage, Scale};
+use aspp_repro::obs::trace;
 use aspp_repro::prelude::*;
 use aspp_repro::report::pct;
 
+/// Observability options shared by every subcommand, extracted from the
+/// argument list before subcommand parsing (see [`ObsOpts::extract`]).
+struct ObsOpts {
+    trace_json: Option<String>,
+    metrics: Option<MetricsFormat>,
+    manifest_path: Option<String>,
+}
+
+#[derive(Clone, Copy)]
+enum MetricsFormat {
+    Table,
+    Json,
+}
+
+impl ObsOpts {
+    /// Splits the global observability flags out of `args`, returning the
+    /// remaining subcommand arguments alongside the parsed options.
+    /// `--manifest` falls back to `ASPP_MANIFEST` when absent.
+    fn extract(args: &[String]) -> Result<(Vec<String>, ObsOpts), String> {
+        let mut rest = Vec::with_capacity(args.len());
+        let mut opts = ObsOpts {
+            trace_json: None,
+            metrics: None,
+            manifest_path: std::env::var("ASPP_MANIFEST")
+                .ok()
+                .filter(|p| !p.is_empty()),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut take = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--trace-json" => opts.trace_json = Some(take("--trace-json")?),
+                "--manifest" => opts.manifest_path = Some(take("--manifest")?),
+                "--metrics" => {
+                    opts.metrics = Some(match take("--metrics")?.as_str() {
+                        "table" => MetricsFormat::Table,
+                        "json" => MetricsFormat::Json,
+                        other => return Err(format!("unknown metrics format {other:?}")),
+                    });
+                }
+                _ => rest.push(arg.clone()),
+            }
+        }
+        Ok((rest, opts))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else {
+    let Some(command) = args.first().cloned() else {
         eprintln!("{}", usage_text());
         return ExitCode::FAILURE;
     };
-    let rest = &args[1..];
+    let (rest, obs) = match ObsOpts::extract(&args[1..]) {
+        Ok(split) => split,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    trace::init_from_env();
+    if let Some(path) = &obs.trace_json {
+        if let Err(e) = trace::init_json_file(path) {
+            eprintln!("error: opening trace file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut manifest = RunManifest::new(&format!("aspp {command}"));
+    manifest.args = rest.clone();
+    let counters_before = MetricsSnapshot::capture();
+    let started = Instant::now();
+
     let result = match command.as_str() {
-        "case-study" => cmd_case_study(rest),
-        "usage" => cmd_usage(rest),
-        "impact" => cmd_impact(rest),
-        "detection" => cmd_detection(rest),
-        "selection" => cmd_selection(rest),
-        "stealth" => cmd_stealth(rest),
-        "mitigate" => cmd_mitigate(rest),
-        "simulate" => cmd_simulate(rest),
-        "corpus" => cmd_corpus(rest),
-        "measure" => cmd_measure(rest),
-        "audit" => cmd_audit(rest),
+        "case-study" => cmd_case_study(&rest, &mut manifest),
+        "usage" => cmd_usage(&rest, &mut manifest),
+        "impact" => cmd_impact(&rest, &mut manifest),
+        "detection" => cmd_detection(&rest, &mut manifest),
+        "selection" => cmd_selection(&rest, &mut manifest),
+        "stealth" => cmd_stealth(&rest, &mut manifest),
+        "mitigate" => cmd_mitigate(&rest, &mut manifest),
+        "simulate" => cmd_simulate(&rest, &mut manifest),
+        "corpus" => cmd_corpus(&rest, &mut manifest),
+        "measure" => cmd_measure(&rest),
+        "audit" => cmd_audit(&rest, &mut manifest),
         "help" | "--help" | "-h" => {
             out!("{}", usage_text());
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{}", usage_text())),
     };
+
+    let delta = MetricsSnapshot::capture().since(&counters_before);
+    manifest.metrics = delta;
+    if manifest.phases.is_empty() {
+        manifest.push_phase("total", started.elapsed().as_secs_f64() * 1e3);
+    }
+    if let Some(path) = &obs.manifest_path {
+        if let Err(e) = manifest.write(path) {
+            eprintln!("error: writing manifest {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match obs.metrics {
+        Some(MetricsFormat::Table) => eprintln!("{delta}"),
+        Some(MetricsFormat::Json) => eprintln!("{}", delta.to_json()),
+        None => {}
+    }
+    trace::flush();
+
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -63,6 +166,28 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Records `graph`'s identity (size and structural fingerprint) in the
+/// manifest.
+fn record_topology(manifest: &mut RunManifest, graph: &AsGraph) {
+    manifest.topology = Some(TopologyInfo {
+        nodes: graph.len() as u64,
+        links: graph.link_count() as u64,
+        fingerprint: graph.fingerprint(),
+    });
+}
+
+/// Records the scale label and seed in the manifest.
+fn record_scale(manifest: &mut RunManifest, scale: Scale, seed: u64) {
+    manifest.seed = Some(seed);
+    manifest.scale = Some(
+        match scale {
+            Scale::Paper => "paper",
+            Scale::Smoke => "smoke",
+        }
+        .to_string(),
+    );
 }
 
 fn usage_text() -> &'static str {
@@ -83,7 +208,13 @@ USAGE:
   aspp measure    FILE
   aspp audit      [--paper] [--seed N]
   aspp audit      --topology FILE [--lenient]
-  aspp audit      --corpus FILE [--lenient]"
+  aspp audit      --corpus FILE [--lenient]
+
+OBSERVABILITY (every subcommand; see README.md):
+  --trace-json PATH     write span timings as JSON lines to PATH
+  --metrics table|json  print an engine-counter snapshot to stderr
+  --manifest PATH       write a run-provenance manifest (JSON) to PATH
+  ASPP_LOG=trace        span timings to stderr    ASPP_MANIFEST=PATH"
 }
 
 /// Minimal flag parser: `--key value` pairs, bare `--flag` booleans, and
@@ -139,37 +270,58 @@ impl<'a> Flags<'a> {
     }
 }
 
-fn cmd_case_study(args: &[String]) -> Result<(), String> {
+fn cmd_case_study(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
-    out!("{}", case_study::run(flags.seed()?).render());
+    let seed = flags.seed()?;
+    manifest.seed = Some(seed);
+    out!("{}", case_study::run(seed).render());
     Ok(())
 }
 
-fn cmd_usage(args: &[String]) -> Result<(), String> {
+fn cmd_usage(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
-    out!("{}", usage::run(flags.scale(), flags.seed()?).render());
+    let (scale, seed) = (flags.scale(), flags.seed()?);
+    record_scale(manifest, scale, seed);
+    out!("{}", usage::run(scale, seed).render());
     Ok(())
 }
 
-fn cmd_impact(args: &[String]) -> Result<(), String> {
+fn cmd_impact(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
     let scale = flags.scale();
     let seed = flags.seed()?;
+    record_scale(manifest, scale, seed);
     let graph = scale.internet(seed);
+    record_topology(manifest, &graph);
     let which = flags.value("--figure").unwrap_or("all");
     let mut printed = false;
-    let mut run = |name: &str, text: String| {
+    let mut run = |name: &str, strategy: &str, text: &dyn Fn() -> String| {
         if which == "all" || which == name {
-            out!("{text}");
+            let t0 = Instant::now();
+            out!("{}", text());
+            manifest.push_phase(&format!("fig{name}"), t0.elapsed().as_secs_f64() * 1e3);
+            manifest.push_strategy(strategy);
             printed = true;
         }
     };
-    run("7", impact::fig7(&graph, scale, seed).render());
-    run("8", impact::fig8(&graph, scale, seed).render());
-    run("9", impact::fig9(&graph).render());
-    run("10", impact::fig10(&graph).render());
-    run("11", impact::fig11(&graph).render());
-    run("12", impact::fig12(&graph).render());
+    run("7", "fig7: tier1 pairs, StripPadding sweep", &|| {
+        impact::fig7(&graph, scale, seed).render()
+    });
+    run("8", "fig8: random pairs, StripPadding sweep", &|| {
+        impact::fig8(&graph, scale, seed).render()
+    });
+    run("9", "fig9: T1 victim vs T1 attacker", &|| {
+        impact::fig9(&graph).render()
+    });
+    run("10", "fig10: T1 victim vs T3 attacker", &|| {
+        impact::fig10(&graph).render()
+    });
+    run("11", "fig11: small victim vs T1 attacker", &|| {
+        impact::fig11(&graph).render()
+    });
+    run("12", "fig12: small victim vs small attacker", &|| {
+        impact::fig12(&graph).render()
+    });
     if printed {
         Ok(())
     } else {
@@ -177,21 +329,29 @@ fn cmd_impact(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_detection(args: &[String]) -> Result<(), String> {
+fn cmd_detection(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
     let scale = flags.scale();
     let seed = flags.seed()?;
+    record_scale(manifest, scale, seed);
     let graph = scale.internet(seed);
+    record_topology(manifest, &graph);
+    let t0 = Instant::now();
     out!("{}", detection::fig13(&graph, scale, seed).render());
+    manifest.push_phase("fig13", t0.elapsed().as_secs_f64() * 1e3);
+    let t1 = Instant::now();
     out!("{}", detection::fig14(&graph, scale, seed).render());
+    manifest.push_phase("fig14", t1.elapsed().as_secs_f64() * 1e3);
     Ok(())
 }
 
-fn cmd_selection(args: &[String]) -> Result<(), String> {
+fn cmd_selection(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
     let scale = flags.scale();
     let seed = flags.seed()?;
+    record_scale(manifest, scale, seed);
     let graph = scale.internet(seed);
+    record_topology(manifest, &graph);
     out!(
         "{}",
         detection::vantage_selection(&graph, scale, seed).render()
@@ -199,22 +359,27 @@ fn cmd_selection(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stealth(args: &[String]) -> Result<(), String> {
+fn cmd_stealth(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
     let seed = flags.seed()?;
+    record_scale(manifest, Scale::Smoke, seed);
     let graph = Scale::Smoke.internet(seed);
+    record_topology(manifest, &graph);
     out!("{}", extensions::stealth(&graph, seed).render());
     Ok(())
 }
 
-fn cmd_mitigate(args: &[String]) -> Result<(), String> {
+fn cmd_mitigate(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
-    let graph = flags.scale().internet(flags.seed()?);
+    let (scale, seed) = (flags.scale(), flags.seed()?);
+    record_scale(manifest, scale, seed);
+    let graph = scale.internet(seed);
+    record_topology(manifest, &graph);
     out!("{}", extensions::mitigations(&graph).render());
     Ok(())
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
     let victim = Asn(flags
         .parsed::<u32>("--victim")?
@@ -253,6 +418,12 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         ExportMode::Compliant
     };
 
+    manifest.seed = Some(seed);
+    record_topology(manifest, &graph);
+    manifest.push_strategy(&format!(
+        "victim=AS{victim} attacker=AS{attacker} {strategy:?} {mode:?} padding={padding}"
+    ));
+
     let exp = HijackExperiment::new(victim, attacker)
         .padding(padding)
         .keep(keep)
@@ -284,13 +455,15 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_corpus(args: &[String]) -> Result<(), String> {
+fn cmd_corpus(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
     let out = flags.value("--out").ok_or("--out FILE is required")?;
     let prefixes = flags.parsed::<usize>("--prefixes")?.unwrap_or(100);
     let monitor_count = flags.parsed::<usize>("--monitors")?.unwrap_or(30);
     let seed = flags.seed()?;
     let graph = InternetConfig::medium().seed(seed).build();
+    manifest.seed = Some(seed);
+    record_topology(manifest, &graph);
     let corpus = CorpusConfig::new(prefixes)
         .monitors_top_degree(monitor_count)
         .seed(seed)
@@ -305,7 +478,7 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_audit(args: &[String]) -> Result<(), String> {
+fn cmd_audit(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
     let lenient = flags.has("--lenient");
     if let Some(path) = flags.value("--topology") {
@@ -314,17 +487,18 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     if let Some(path) = flags.value("--corpus") {
         return audit_corpus_file(path, lenient);
     }
-    audit_equilibria(flags.scale(), flags.seed()?)
+    audit_equilibria(flags.scale(), flags.seed()?, manifest)
 }
 
 /// Recomputes the attack-strategy matrix and verifies every converged
 /// equilibrium against the paper's routing invariants (valley-freeness,
 /// export legality, loop-free next-hop chains, local optimality).
-fn audit_equilibria(scale: Scale, seed: u64) -> Result<(), String> {
+fn audit_equilibria(scale: Scale, seed: u64, manifest: &mut RunManifest) -> Result<(), String> {
     use aspp_repro::routing::audit;
-    use std::time::Instant;
 
     let graph = scale.internet(seed);
+    record_scale(manifest, scale, seed);
+    record_topology(manifest, &graph);
     // Deterministic victim/attacker sample spanning the hierarchy: a
     // well-connected core AS, a mid-degree transit AS, and an edge stub.
     let by_degree = graph.asns_by_degree();
@@ -350,42 +524,52 @@ fn audit_equilibria(scale: Scale, seed: u64) -> Result<(), String> {
     let mut dirty = Vec::new();
     let mut compute_time = std::time::Duration::ZERO;
     let mut audit_time = std::time::Duration::ZERO;
-    let mut check = |spec: &DestinationSpec, label: String| {
-        let t0 = Instant::now();
-        let outcome = engine.compute(spec);
-        compute_time += t0.elapsed();
-        let t1 = Instant::now();
-        let report = audit::audit_outcome(&outcome);
-        audit_time += t1.elapsed();
-        equilibria += 1;
-        routes_checked += report.clean.routes_checked()
-            + report
-                .attacked
-                .as_ref()
-                .map_or(0, aspp_repro::routing::AuditReport::routes_checked);
-        if !report.is_clean() {
-            dirty.push((label, report));
-        }
-    };
+    {
+        let mut check = |spec: &DestinationSpec, label: String| {
+            let t0 = Instant::now();
+            let outcome = engine.compute(spec);
+            compute_time += t0.elapsed();
+            let t1 = Instant::now();
+            let report = audit::audit_outcome(&outcome);
+            audit_time += t1.elapsed();
+            equilibria += 1;
+            routes_checked += report.clean.routes_checked()
+                + report
+                    .attacked
+                    .as_ref()
+                    .map_or(0, aspp_repro::routing::AuditReport::routes_checked);
+            if !report.is_clean() {
+                dirty.push((label, report));
+            }
+        };
 
-    for &(victim, attacker) in &pairs {
-        check(
-            &DestinationSpec::new(victim).origin_padding(3),
-            format!("clean victim=AS{victim}"),
-        );
-        for strategy in strategies {
-            for mode in modes {
-                let exp = HijackExperiment::new(victim, attacker)
-                    .padding(3)
-                    .export_mode(mode)
-                    .strategy(strategy);
-                check(
-                    &exp.to_spec(),
-                    format!("victim=AS{victim} attacker=AS{attacker} {strategy:?} {mode:?}"),
-                );
+        for &(victim, attacker) in &pairs {
+            check(
+                &DestinationSpec::new(victim).origin_padding(3),
+                format!("clean victim=AS{victim}"),
+            );
+            for strategy in strategies {
+                for mode in modes {
+                    let exp = HijackExperiment::new(victim, attacker)
+                        .padding(3)
+                        .export_mode(mode)
+                        .strategy(strategy);
+                    check(
+                        &exp.to_spec(),
+                        format!("victim=AS{victim} attacker=AS{attacker} {strategy:?} {mode:?}"),
+                    );
+                }
             }
         }
     }
+
+    for strategy in strategies {
+        for mode in modes {
+            manifest.push_strategy(&format!("{strategy:?} {mode:?} padding=3"));
+        }
+    }
+    manifest.push_phase("compute", compute_time.as_secs_f64() * 1e3);
+    manifest.push_phase("audit", audit_time.as_secs_f64() * 1e3);
 
     out!(
         "audited {equilibria} equilibria on {} ASes (seed {seed}): {} route entries checked",

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`fn@vec`].
 pub struct VecStrategy<S> {
     element: S,
     size: core::ops::Range<usize>,
