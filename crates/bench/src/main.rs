@@ -1,11 +1,12 @@
 //! `cargo run -p aspp-bench --release` — machine-readable engine
 //! performance snapshot.
 //!
-//! Times the four workloads the routing engine's perf story is built on
-//! (clean pass, attacked full pass, attacked delta pass, fig9-style λ
-//! sweep full vs delta) and writes them as `BENCH_engine.json` so the
-//! trajectory is tracked across PRs. Since schema 2 the snapshot embeds a
-//! run-provenance [`RunManifest`] (git revision, topology fingerprint,
+//! Times the workloads the engine's perf story is built on (clean pass,
+//! attacked full pass, attacked delta pass, fig9-style λ sweep full vs
+//! delta, and — since schema 3 — the `feed_replay` sharded-pipeline
+//! throughput at 1 vs 4 shards) and writes them as `BENCH_engine.json` so
+//! the trajectory is tracked across PRs. Since schema 2 the snapshot embeds
+//! a run-provenance [`RunManifest`] (git revision, topology fingerprint,
 //! engine-counter totals — see `EXPERIMENTS.md`). Defaults to the smoke
 //! scale; set `ASPP_BENCH_SCALE=paper` for the EXPERIMENTS.md numbers and
 //! `ASPP_BENCH_JSON=path` to redirect the output file.
@@ -101,6 +102,56 @@ fn main() {
     );
     assert_eq!(sweep_points.len(), 8);
 
+    // Feed pipeline replay: a synthetic interleaved update stream through
+    // the sharded streaming detector, 1 shard vs 4. The two runs must merge
+    // to the identical alarm sequence (the pipeline's determinism
+    // guarantee); the timings give records/sec at each width.
+    use aspp_core::feed::{run_feed, FeedConfig, ReplayConfig};
+    use std::sync::Arc;
+    let stream = ReplayConfig::new(match scale {
+        Scale::Smoke => 40,
+        Scale::Paper => 120,
+    })
+    .seed(BENCH_SEED)
+    .generate(&graph);
+    let feed_records = stream.updates().len() as u128;
+    let shared_graph = Arc::new(graph.clone());
+    let feed_alarms_1 = run_feed(
+        &shared_graph,
+        &stream.corpus,
+        stream.updates(),
+        &FeedConfig::new(1),
+    )
+    .alarms;
+    let feed_1shard_ns = time_ns(1, 7, || {
+        black_box(run_feed(
+            &shared_graph,
+            &stream.corpus,
+            stream.updates(),
+            &FeedConfig::new(1),
+        ));
+    });
+    let feed_alarms_4 = run_feed(
+        &shared_graph,
+        &stream.corpus,
+        stream.updates(),
+        &FeedConfig::new(4),
+    )
+    .alarms;
+    let feed_4shard_ns = time_ns(1, 7, || {
+        black_box(run_feed(
+            &shared_graph,
+            &stream.corpus,
+            stream.updates(),
+            &FeedConfig::new(4),
+        ));
+    });
+    assert_eq!(
+        feed_alarms_1, feed_alarms_4,
+        "shard count must not change the merged alarm sequence"
+    );
+    let records_per_sec = |ns: u128| feed_records as f64 / (ns.max(1) as f64 / 1e9);
+
     let mut manifest = RunManifest::new("aspp-bench");
     manifest.seed = Some(BENCH_SEED);
     manifest.scale = Some(scale_name.to_string());
@@ -116,7 +167,7 @@ fn main() {
     let speedup = |full: u128, fast: u128| full as f64 / fast.max(1) as f64;
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": 2,");
+    let _ = writeln!(json, "  \"schema\": 3,");
     let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
     let _ = writeln!(json, "  \"nodes\": {},", graph.len());
     let _ = writeln!(json, "  \"seed\": {BENCH_SEED},");
@@ -125,7 +176,28 @@ fn main() {
     let _ = writeln!(json, "    \"attacked_full\": {attacked_full_ns},");
     let _ = writeln!(json, "    \"attacked_delta\": {attacked_delta_ns},");
     let _ = writeln!(json, "    \"fig9_sweep_full\": {fig9_full_ns},");
-    let _ = writeln!(json, "    \"fig9_sweep_delta\": {fig9_delta_ns}");
+    let _ = writeln!(json, "    \"fig9_sweep_delta\": {fig9_delta_ns},");
+    let _ = writeln!(json, "    \"feed_replay_1shard\": {feed_1shard_ns},");
+    let _ = writeln!(json, "    \"feed_replay_4shard\": {feed_4shard_ns}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"feed_replay\": {{");
+    let _ = writeln!(json, "    \"records\": {feed_records},");
+    let _ = writeln!(json, "    \"alarms\": {},", feed_alarms_4.len());
+    let _ = writeln!(
+        json,
+        "    \"records_per_sec_1shard\": {:.0},",
+        records_per_sec(feed_1shard_ns)
+    );
+    let _ = writeln!(
+        json,
+        "    \"records_per_sec_4shard\": {:.0},",
+        records_per_sec(feed_4shard_ns)
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_4shard_vs_1\": {:.2}",
+        speedup(feed_1shard_ns, feed_4shard_ns)
+    );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"speedup\": {{");
     let _ = writeln!(

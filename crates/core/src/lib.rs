@@ -35,6 +35,7 @@ pub use aspp_attack as attack;
 pub use aspp_data as data;
 pub use aspp_dataplane as dataplane;
 pub use aspp_detect as detect;
+pub use aspp_feed as feed;
 pub use aspp_obs as obs;
 pub use aspp_routing as routing;
 pub use aspp_topology as topology;
@@ -52,6 +53,7 @@ pub mod prelude {
         baseline, eval as detect_eval, monitors, realtime, selection, Alarm, Confidence, Detector,
         RouteView,
     };
+    pub use aspp_feed::{FeedConfig, FeedReport, ReplayConfig, SyntheticFeed};
     pub use aspp_obs::{MetricsSnapshot, RunManifest, TopologyInfo};
     pub use aspp_routing::{
         bgp, AttackStrategy, AttackerModel, AuditReport, AuditViolation, DestinationSpec,

@@ -7,7 +7,9 @@
 //! the monitors' RIB snapshot, feed it update records in arrival order, and
 //! collect alarms the moment the inconsistency becomes visible.
 
+use std::borrow::Borrow;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use aspp_data::{UpdateAction, UpdateRecord};
 use aspp_topology::AsGraph;
@@ -63,9 +65,17 @@ pub struct StreamAlarm {
 /// # Ok(())
 /// # }
 /// ```
+/// The detector is generic over *how it holds the relationship graph*:
+/// `G` is any [`Borrow<AsGraph>`] — a plain `&AsGraph` (the historical
+/// borrowing form, via [`new`](Self::new)), an `Arc<AsGraph>`
+/// ([`shared`](Self::shared)), or an owned `AsGraph`. The immutable graph
+/// baseline is thereby decoupled from the mutable per-stream alarm state,
+/// so a sharded pipeline (see the `aspp-feed` crate) can hand each worker
+/// thread its own fully-owned, `Send` detector without a single borrow
+/// tying the workers together.
 #[derive(Clone, Debug)]
-pub struct StreamingDetector<'g> {
-    detector: Detector<'g>,
+pub struct StreamingDetector<G = Arc<AsGraph>> {
+    graph: G,
     /// Current announced path per (prefix, monitor).
     current: HashMap<Ipv4Prefix, HashMap<Asn, AsPath>>,
     /// Previous path per (prefix, monitor), for before/after comparison.
@@ -74,16 +84,42 @@ pub struct StreamingDetector<'g> {
     raised: HashSet<(Ipv4Prefix, Asn, Asn)>,
 }
 
-impl<'g> StreamingDetector<'g> {
-    /// Creates a detector over the (possibly inferred) relationship graph.
+impl<'g> StreamingDetector<&'g AsGraph> {
+    /// Creates a detector borrowing the (possibly inferred) relationship
+    /// graph — the historical constructor, unchanged for existing callers.
     #[must_use]
     pub fn new(graph: &'g AsGraph) -> Self {
+        StreamingDetector::over(graph)
+    }
+}
+
+impl StreamingDetector<Arc<AsGraph>> {
+    /// Creates a detector co-owning the relationship graph. The result is
+    /// `Send + 'static`: it can move onto a worker thread outliving the
+    /// scope that built the graph, which is what the feed pipeline's
+    /// shard workers do.
+    #[must_use]
+    pub fn shared(graph: Arc<AsGraph>) -> Self {
+        StreamingDetector::over(graph)
+    }
+}
+
+impl<G: Borrow<AsGraph>> StreamingDetector<G> {
+    /// Creates a detector over any holder of the relationship graph.
+    #[must_use]
+    pub fn over(graph: G) -> Self {
         StreamingDetector {
-            detector: Detector::new(graph),
+            graph,
             current: HashMap::new(),
             previous: HashMap::new(),
             raised: HashSet::new(),
         }
+    }
+
+    /// The relationship graph the detector consults.
+    #[must_use]
+    pub fn graph(&self) -> &AsGraph {
+        self.graph.borrow()
     }
 
     /// Installs a RIB-snapshot route (no detection is run on seeds).
@@ -161,7 +197,7 @@ impl<'g> StreamingDetector<'g> {
                 .flat_map(|m| m.values().cloned()),
         );
         let mut out = Vec::new();
-        for alarm in self.detector.scan(&before, &after) {
+        for alarm in Detector::new(self.graph.borrow()).scan(&before, &after) {
             let key = (update.prefix, alarm.suspect, alarm.observed_at);
             if self.raised.insert(key) {
                 out.push(StreamAlarm {
@@ -356,6 +392,50 @@ mod tests {
         let alarms = stream.process(&update(1, Asn(77), p1, "77 66 10 1"));
         assert!(alarms.iter().all(|a| a.prefix == p1));
         assert_eq!(stream.tracked_prefixes(), 2);
+    }
+
+    /// A shard worker must be able to own its detector outright and move it
+    /// across threads: the `Arc`-holding form is `Send + 'static`.
+    #[test]
+    fn shared_detector_is_send_and_static() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<StreamingDetector<std::sync::Arc<AsGraph>>>();
+        assert_send::<StreamingDetector<AsGraph>>();
+    }
+
+    /// Regression for the graph-holder refactor: the borrowing constructor
+    /// and the `Arc` constructor must replay a stream to bit-identical
+    /// alarm sequences.
+    #[test]
+    fn borrowed_and_shared_detectors_agree() {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(66)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(55)).unwrap();
+        g.add_provider_customer(Asn(66), Asn(77)).unwrap();
+        let prefix: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let updates = [
+            update(1, Asn(77), prefix, "77 66 10 1"),
+            withdraw(2, Asn(77), prefix),
+            update(3, Asn(77), prefix, "77 66 10 1 1 1"),
+            update(4, Asn(77), prefix, "77 66 10 1"),
+        ];
+
+        fn replay<G: std::borrow::Borrow<AsGraph>>(
+            mut d: StreamingDetector<G>,
+            prefix: Ipv4Prefix,
+            updates: &[UpdateRecord],
+        ) -> Vec<StreamAlarm> {
+            d.seed(Asn(77), prefix, "77 66 10 1 1 1".parse().unwrap());
+            d.seed(Asn(55), prefix, "55 10 1 1 1".parse().unwrap());
+            d.process_all(updates)
+        }
+
+        let shared = std::sync::Arc::new(g.clone());
+        let from_borrow = replay(StreamingDetector::new(&g), prefix, &updates);
+        let from_arc = replay(StreamingDetector::shared(shared), prefix, &updates);
+        assert_eq!(from_borrow, from_arc);
+        assert!(!from_borrow.is_empty());
     }
 
     #[test]

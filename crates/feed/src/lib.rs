@@ -1,0 +1,34 @@
+//! `aspp-feed` — a production-style BGP update-feed pipeline for the
+//! paper's Section V detection service.
+//!
+//! Three layers:
+//!
+//! - [`codec`]: a compact length-prefixed binary wire format for
+//!   [`UpdateRecord`](aspp_data::UpdateRecord) streams — versioned header,
+//!   per-frame FNV-1a checksums, frame-indexed errors on corruption.
+//! - [`pipeline`]: a sharded worker pool. Updates are hash-partitioned by
+//!   prefix onto bounded channels with blocking backpressure; each shard
+//!   owns a [`StreamingDetector`](aspp_detect::realtime::StreamingDetector)
+//!   seeded from the clean equilibrium, and the merged alarm output is
+//!   deterministic regardless of shard count or thread interleaving.
+//! - [`replay`]: a driver synthesizing paper-scale streams — clean churn,
+//!   withdraw/re-announce episodes, and injected ASPP interceptions at
+//!   configurable rates — for throughput measurement and file replay.
+//!
+//! With the `obs` feature the pipeline feeds the workspace-wide counters
+//! (`feed_records_in`, `feed_frames_bad`, `feed_backpressure_waits`,
+//! `feed_alarms`, `feed_shard_depth_high_water`) and opens a `feed` trace
+//! span per run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod pipeline;
+pub mod replay;
+
+pub use codec::{
+    decode_records, decode_records_lenient, encode_records, FrameReader, WIRE_MAGIC, WIRE_VERSION,
+};
+pub use pipeline::{run_feed, shard_of, FeedConfig, FeedReport, ShardStats};
+pub use replay::{InjectedAttack, ReplayConfig, SyntheticFeed};

@@ -1,0 +1,430 @@
+//! Sharded streaming-detection worker pool.
+//!
+//! Updates are hash-partitioned **by prefix** onto N bounded channels, each
+//! drained by a worker thread owning its own [`StreamingDetector`] seeded
+//! with that shard's slice of the RIB snapshot. Prefix-sharding (rather
+//! than the coarser `(monitor, prefix)`) is what makes the merged output
+//! independent of the shard count: the detector's state and its alarm scan
+//! are per-prefix — every monitor's view of a prefix must sit in one shard,
+//! or the cross-monitor witness comparison at the heart of the paper's
+//! Section V check would be split across workers and the alarm sequence
+//! would depend on thread interleaving.
+//!
+//! Backpressure is blocking, never lossy: the dispatcher first `try_send`s,
+//! and on a full channel counts a backpressure wait and blocks until the
+//! worker drains. Shutdown is a poison pill per shard (`ShardMsg::Close`)
+//! after the last record; workers flush what they hold and return their
+//! alarms, which the driver merges into `(triggered_by_seq, emission index)`
+//! order — for a seq-ordered input stream this is bit-identical to what a
+//! single serial [`StreamingDetector::process_all`] pass emits.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aspp_data::{Corpus, UpdateRecord};
+use aspp_detect::realtime::{StreamAlarm, StreamingDetector};
+use aspp_obs::counters::{self, Counter};
+use aspp_obs::trace;
+use aspp_topology::AsGraph;
+use aspp_types::Ipv4Prefix;
+
+/// The shard a prefix is pinned to — FNV-1a over its address and length.
+///
+/// Deterministic across runs and shard counts; every update and every RIB
+/// seed for one prefix lands on the same worker.
+#[must_use]
+pub fn shard_of(prefix: Ipv4Prefix, shards: usize) -> usize {
+    let mut hash: u32 = 0x811c_9dc5;
+    for b in prefix
+        .addr()
+        .to_le_bytes()
+        .into_iter()
+        .chain([prefix.len()])
+    {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash as usize % shards.max(1)
+}
+
+/// Worker-pool sizing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FeedConfig {
+    /// Number of shard workers (≥ 1).
+    pub shards: usize,
+    /// Bounded per-shard channel capacity; a full channel blocks the
+    /// dispatcher (records are never dropped).
+    pub capacity: usize,
+}
+
+impl Default for FeedConfig {
+    fn default() -> Self {
+        FeedConfig {
+            shards: 4,
+            capacity: 1024,
+        }
+    }
+}
+
+impl FeedConfig {
+    /// A pool of `shards` workers with the default channel capacity.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        FeedConfig {
+            shards,
+            ..FeedConfig::default()
+        }
+    }
+
+    /// Sets the per-shard channel capacity.
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+}
+
+/// What one shard worker saw.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Records routed to this shard.
+    pub records: u64,
+    /// Alarms this shard emitted.
+    pub alarms: u64,
+    /// Deepest channel occupancy observed at dequeue time.
+    pub depth_high_water: u64,
+    /// Dispatcher stalls on this shard's full channel.
+    pub backpressure_waits: u64,
+}
+
+/// The merged result of one pipeline run.
+#[derive(Clone, Debug)]
+pub struct FeedReport {
+    /// Records dispatched into the pool.
+    pub records_in: u64,
+    /// All alarms, merged across shards into `(triggered_by_seq, emission
+    /// index)` order.
+    pub alarms: Vec<StreamAlarm>,
+    /// Enqueue-to-alarm latency of each alarm, sorted ascending.
+    pub alarm_latencies_ns: Vec<u64>,
+    /// Per-shard accounting, indexed by shard id.
+    pub shards: Vec<ShardStats>,
+    /// Wall-clock time from first dispatch to merged output.
+    pub wall: Duration,
+}
+
+impl FeedReport {
+    /// Records per second of wall-clock time.
+    #[must_use]
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.records_in as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The `pct`-th percentile (0–100) of enqueue-to-alarm latency, in
+    /// microseconds. `None` when no alarms fired.
+    #[must_use]
+    pub fn latency_us(&self, pct: f64) -> Option<f64> {
+        if self.alarm_latencies_ns.is_empty() {
+            return None;
+        }
+        let last = self.alarm_latencies_ns.len() - 1;
+        let rank = (pct.clamp(0.0, 100.0) / 100.0 * last as f64).round() as usize;
+        Some(self.alarm_latencies_ns[rank.min(last)] as f64 / 1_000.0)
+    }
+
+    /// Shard balance as max-over-mean of per-shard record counts: `1.0` is
+    /// a perfectly even split, `shards as f64` is everything on one worker.
+    #[must_use]
+    pub fn shard_balance(&self) -> f64 {
+        let max = self.shards.iter().map(|s| s.records).max().unwrap_or(0);
+        if self.records_in == 0 || self.shards.is_empty() {
+            return 1.0;
+        }
+        let mean = self.records_in as f64 / self.shards.len() as f64;
+        if mean > 0.0 {
+            max as f64 / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Total dispatcher stalls across all shards.
+    #[must_use]
+    pub fn backpressure_waits(&self) -> u64 {
+        self.shards.iter().map(|s| s.backpressure_waits).sum()
+    }
+
+    /// Deepest channel occupancy any shard saw.
+    #[must_use]
+    pub fn depth_high_water(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.depth_high_water)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One message on a shard channel.
+enum ShardMsg {
+    /// A record plus its enqueue instant (for alarm-latency accounting).
+    Record(UpdateRecord, Instant),
+    /// Poison pill: drain and return.
+    Close,
+}
+
+/// An alarm tagged with its merge key.
+struct TaggedAlarm {
+    seq: u64,
+    idx: usize,
+    latency_ns: u64,
+    alarm: StreamAlarm,
+}
+
+/// Runs `updates` through a pool of shard workers and merges the alarms.
+///
+/// Each worker owns a [`StreamingDetector`] over a clone of the `Arc`'d
+/// graph, seeded with the subset of `seeds`' RIB entries whose prefix hashes
+/// to its shard. For a seq-ordered update stream the merged alarm sequence
+/// is identical for every shard count — see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use aspp_data::Corpus;
+/// use aspp_feed::pipeline::{run_feed, FeedConfig};
+/// use aspp_topology::AsGraph;
+///
+/// let graph = Arc::new(AsGraph::new());
+/// let report = run_feed(&graph, &Corpus::new(), &[], &FeedConfig::new(2));
+/// assert_eq!(report.records_in, 0);
+/// assert!(report.alarms.is_empty());
+/// ```
+#[must_use]
+pub fn run_feed(
+    graph: &Arc<AsGraph>,
+    seeds: &Corpus,
+    updates: &[UpdateRecord],
+    config: &FeedConfig,
+) -> FeedReport {
+    let _span = trace::span("feed");
+    let shards = config.shards.max(1);
+    let capacity = config.capacity.max(1);
+    let start = Instant::now();
+
+    // Per-shard enqueued counters; a worker derives instantaneous channel
+    // occupancy as `enqueued - dequeued`. The dispatcher bumps the counter
+    // just before handing the record off, so a reading may include the one
+    // record currently in flight (the mark is an upper bound within 1).
+    let enqueued: Arc<Vec<AtomicU64>> = Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect());
+
+    let mut backpressure = vec![0u64; shards];
+    let mut records_in = 0u64;
+    let mut per_shard: Vec<(Vec<TaggedAlarm>, ShardStats)> = Vec::with_capacity(shards);
+
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<ShardMsg>(capacity);
+            senders.push(tx);
+            let graph = Arc::clone(graph);
+            let enqueued = Arc::clone(&enqueued);
+            handles.push(scope.spawn(move || {
+                let mut detector = StreamingDetector::shared(graph);
+                for (monitor, table) in seeds.tables() {
+                    for (prefix, path) in table.iter() {
+                        if shard_of(prefix, shards) == shard {
+                            detector.seed(monitor, prefix, path.clone());
+                        }
+                    }
+                }
+                let mut stats = ShardStats::default();
+                let mut alarms: Vec<TaggedAlarm> = Vec::new();
+                let mut dequeued = 0u64;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ShardMsg::Close => break,
+                        ShardMsg::Record(record, enqueued_at) => {
+                            dequeued += 1;
+                            let depth = enqueued[shard]
+                                .load(Ordering::Relaxed)
+                                .saturating_sub(dequeued);
+                            stats.depth_high_water = stats.depth_high_water.max(depth);
+                            stats.records += 1;
+                            for (idx, alarm) in detector.process(&record).into_iter().enumerate() {
+                                stats.alarms += 1;
+                                alarms.push(TaggedAlarm {
+                                    seq: record.seq,
+                                    idx,
+                                    latency_ns: enqueued_at.elapsed().as_nanos() as u64,
+                                    alarm,
+                                });
+                            }
+                        }
+                    }
+                }
+                (alarms, stats)
+            }));
+        }
+
+        for record in updates {
+            let shard = shard_of(record.prefix, shards);
+            records_in += 1;
+            counters::incr(Counter::FeedRecordIn);
+            enqueued[shard].fetch_add(1, Ordering::Relaxed);
+            let msg = ShardMsg::Record(record.clone(), Instant::now());
+            match senders[shard].try_send(msg) {
+                Ok(()) => {}
+                Err(TrySendError::Full(msg)) => {
+                    counters::incr(Counter::FeedBackpressureWait);
+                    backpressure[shard] += 1;
+                    senders[shard]
+                        .send(msg)
+                        .expect("shard worker exits only after Close");
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    unreachable!("shard worker exits only after Close")
+                }
+            }
+        }
+        // Drain: one poison pill per shard, then drop the senders.
+        for tx in &senders {
+            tx.send(ShardMsg::Close)
+                .expect("shard worker exits only after Close");
+        }
+        drop(senders);
+        for handle in handles {
+            per_shard.push(handle.join().expect("shard worker must not panic"));
+        }
+    });
+
+    let mut shard_stats = Vec::with_capacity(shards);
+    let mut tagged: Vec<TaggedAlarm> = Vec::new();
+    for (shard, (alarms, mut stats)) in per_shard.into_iter().enumerate() {
+        stats.backpressure_waits = backpressure[shard];
+        counters::record_max(Counter::FeedShardDepthHighWater, stats.depth_high_water);
+        shard_stats.push(stats);
+        tagged.extend(alarms);
+    }
+    // A prefix lives on exactly one shard and each shard preserves dispatch
+    // order, so (seq, per-update emission index) is a total merge key.
+    tagged.sort_by_key(|t| (t.seq, t.idx));
+    counters::add(Counter::FeedAlarm, tagged.len() as u64);
+
+    let mut alarm_latencies_ns: Vec<u64> = tagged.iter().map(|t| t.latency_ns).collect();
+    alarm_latencies_ns.sort_unstable();
+    let alarms = tagged.into_iter().map(|t| t.alarm).collect();
+
+    FeedReport {
+        records_in,
+        alarms,
+        alarm_latencies_ns,
+        shards: shard_stats,
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspp_data::UpdateAction;
+    use aspp_types::Asn;
+
+    fn attack_world() -> (Arc<AsGraph>, Corpus, Vec<UpdateRecord>) {
+        // Two prefixes over the doc-comment topology: monitor 77 routes via
+        // the soon-to-be attacker 66, honest monitor 55 is the witness.
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(66)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(55)).unwrap();
+        g.add_provider_customer(Asn(66), Asn(77)).unwrap();
+        let p1: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let p2: Ipv4Prefix = "10.0.1.0/24".parse().unwrap();
+        let mut seeds = Corpus::new();
+        for &p in &[p1, p2] {
+            seeds.add_table_entry(Asn(77), p, "77 66 10 1 1 1".parse().unwrap());
+            seeds.add_table_entry(Asn(55), p, "55 10 1 1 1".parse().unwrap());
+        }
+        let updates = vec![
+            UpdateRecord {
+                seq: 1,
+                monitor: Asn(77),
+                prefix: p1,
+                action: UpdateAction::Announce("77 66 10 1".parse().unwrap()),
+            },
+            UpdateRecord {
+                seq: 2,
+                monitor: Asn(77),
+                prefix: p2,
+                action: UpdateAction::Withdraw,
+            },
+            UpdateRecord {
+                seq: 3,
+                monitor: Asn(77),
+                prefix: p2,
+                action: UpdateAction::Announce("77 66 10 1".parse().unwrap()),
+            },
+        ];
+        (Arc::new(g), seeds, updates)
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let p: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        assert_eq!(shard_of(p, 1), 0);
+        for shards in 1..9 {
+            assert!(shard_of(p, shards) < shards);
+            assert_eq!(shard_of(p, shards), shard_of(p, shards));
+        }
+    }
+
+    #[test]
+    fn pool_matches_serial_detector() {
+        let (graph, seeds, updates) = attack_world();
+        let mut serial = StreamingDetector::new(&graph);
+        serial.seed_from_corpus(&seeds);
+        let expected = serial.process_all(&updates);
+        assert!(!expected.is_empty());
+
+        for shards in [1, 2, 3, 8] {
+            let report = run_feed(&graph, &seeds, &updates, &FeedConfig::new(shards));
+            assert_eq!(report.alarms, expected, "shards = {shards}");
+            assert_eq!(report.records_in, 3);
+            assert_eq!(
+                report.shards.iter().map(|s| s.records).sum::<u64>(),
+                3,
+                "every record reaches exactly one shard"
+            );
+            assert_eq!(report.alarm_latencies_ns.len(), expected.len());
+        }
+    }
+
+    #[test]
+    fn tiny_capacity_forces_backpressure_not_loss() {
+        let (graph, seeds, updates) = attack_world();
+        let report = run_feed(&graph, &seeds, &updates, &FeedConfig::new(1).capacity(1));
+        assert_eq!(report.records_in, 3);
+        assert_eq!(report.shards[0].records, 3, "blocking, never dropping");
+        assert!(!report.alarms.is_empty());
+    }
+
+    #[test]
+    fn report_statistics_are_sane() {
+        let (graph, seeds, updates) = attack_world();
+        let report = run_feed(&graph, &seeds, &updates, &FeedConfig::new(2));
+        assert!(report.records_per_sec() > 0.0);
+        assert!(report.latency_us(50.0).is_some());
+        assert!(report.latency_us(99.0) >= report.latency_us(50.0));
+        assert!(report.shard_balance() >= 1.0);
+        assert!(report.depth_high_water() <= 3);
+    }
+}

@@ -48,11 +48,22 @@ pub enum Counter {
     AuditCheck,
     /// Invariant violations found by the auditor.
     AuditViolation,
+    /// Update records accepted into the feed pipeline.
+    FeedRecordIn,
+    /// Wire-format frames rejected by the feed codec (lenient decode).
+    FeedFrameBad,
+    /// Dispatcher stalls on a full shard channel (blocking backpressure).
+    FeedBackpressureWait,
+    /// Alarms emitted by the feed pipeline's merged output.
+    FeedAlarm,
+    /// Deepest shard-queue occupancy observed across the run (a high-water
+    /// mark maintained with [`record_max`], not a monotone sum).
+    FeedShardDepthHighWater,
 }
 
 impl Counter {
     /// Number of distinct counters.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 16;
 
     /// All counters, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -67,6 +78,11 @@ impl Counter {
         Counter::HostileMemoHit,
         Counter::AuditCheck,
         Counter::AuditViolation,
+        Counter::FeedRecordIn,
+        Counter::FeedFrameBad,
+        Counter::FeedBackpressureWait,
+        Counter::FeedAlarm,
+        Counter::FeedShardDepthHighWater,
     ];
 
     /// The counter's stable snake_case name, used as the JSON key and the
@@ -85,6 +101,11 @@ impl Counter {
             Counter::HostileMemoHit => "hostile_memo_hits",
             Counter::AuditCheck => "audit_checks",
             Counter::AuditViolation => "audit_violations",
+            Counter::FeedRecordIn => "feed_records_in",
+            Counter::FeedFrameBad => "feed_frames_bad",
+            Counter::FeedBackpressureWait => "feed_backpressure_waits",
+            Counter::FeedAlarm => "feed_alarms",
+            Counter::FeedShardDepthHighWater => "feed_shard_depth_high_water",
         }
     }
 }
@@ -101,6 +122,11 @@ mod backing {
     #[inline]
     pub(super) fn add(counter: Counter, n: u64) {
         COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(super) fn record_max(counter: Counter, v: u64) {
+        COUNTERS[counter as usize].fetch_max(v, Ordering::Relaxed);
     }
 
     pub(super) fn load(counter: Counter) -> u64 {
@@ -122,6 +148,18 @@ pub fn add(counter: Counter, n: u64) {
 #[inline(always)]
 pub fn incr(counter: Counter) {
     add(counter, 1);
+}
+
+/// Raises `counter` to at least `v` (a high-water mark, via `fetch_max`).
+/// A no-op without the `enabled` feature. Use for gauges like the feed
+/// pipeline's per-shard queue depth, where the interesting number is the
+/// worst occupancy seen, not a running sum.
+#[inline(always)]
+pub fn record_max(counter: Counter, v: u64) {
+    #[cfg(feature = "enabled")]
+    backing::record_max(counter, v);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (counter, v);
 }
 
 /// A point-in-time reading of every [`Counter`].
@@ -259,6 +297,21 @@ mod tests {
         let json = delta.to_json();
         assert!(json.contains("\"queue_spills\""));
         assert!(json.contains("counters_compiled_in"));
+    }
+
+    #[test]
+    fn record_max_is_a_high_water_mark() {
+        let before = MetricsSnapshot::capture();
+        record_max(Counter::FeedShardDepthHighWater, 7);
+        record_max(Counter::FeedShardDepthHighWater, 3);
+        let now = MetricsSnapshot::capture();
+        if MetricsSnapshot::compiled_in() {
+            // Monotone: the later, smaller reading must not lower the mark.
+            assert!(now.get(Counter::FeedShardDepthHighWater) >= 7);
+        } else {
+            assert!(now.since(&before).is_empty());
+        }
+        assert!(now.to_json().contains("\"feed_shard_depth_high_water\""));
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Pipeline determinism: the same seeded stream replayed through 1, 2, and
+//! 8 shards must produce the identical merged alarm sequence (order and
+//! content) — and that sequence must equal what a single serial
+//! `StreamingDetector::process_all` pass emits, the strongest form of the
+//! guarantee since it pins the parallel pipeline to the tier-1-tested
+//! serial semantics.
+
+use std::sync::Arc;
+
+use aspp_repro::detect::realtime::StreamingDetector;
+use aspp_repro::experiments::Scale;
+use aspp_repro::feed::{decode_records, encode_records, run_feed, FeedConfig, ReplayConfig};
+
+#[test]
+fn shard_count_does_not_change_the_alarm_sequence() {
+    let graph = Scale::Smoke.internet(11);
+    let feed = ReplayConfig::new(30)
+        .attack_ratio(0.5)
+        .seed(11)
+        .generate(&graph);
+    assert!(!feed.attacks.is_empty(), "stream must carry interceptions");
+
+    let mut serial = StreamingDetector::new(&graph);
+    serial.seed_from_corpus(&feed.corpus);
+    let expected = serial.process_all(feed.updates());
+    assert!(!expected.is_empty(), "interceptions must raise alarms");
+
+    let graph = Arc::new(graph);
+    for shards in [1usize, 2, 8] {
+        let report = run_feed(
+            &graph,
+            &feed.corpus,
+            feed.updates(),
+            &FeedConfig::new(shards),
+        );
+        assert_eq!(
+            report.alarms, expected,
+            "merged alarms diverge from the serial oracle at {shards} shards"
+        );
+        assert_eq!(report.records_in as usize, feed.updates().len());
+    }
+}
+
+#[test]
+fn wire_roundtrip_preserves_the_alarm_sequence() {
+    // Encode the stream to the wire format and replay the decoded copy:
+    // alarms must match the in-memory stream bit for bit.
+    let graph = Scale::Smoke.internet(13);
+    let feed = ReplayConfig::new(20)
+        .attack_ratio(0.6)
+        .seed(13)
+        .generate(&graph);
+    let decoded = decode_records(&encode_records(feed.updates())).unwrap();
+    assert_eq!(decoded, feed.updates());
+
+    let graph = Arc::new(graph);
+    let direct = run_feed(&graph, &feed.corpus, feed.updates(), &FeedConfig::new(4));
+    let replayed = run_feed(&graph, &feed.corpus, &decoded, &FeedConfig::new(4));
+    assert_eq!(direct.alarms, replayed.alarms);
+    assert!(!direct.alarms.is_empty());
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    // Thread interleaving varies between runs; the merged output must not.
+    let graph = Scale::Smoke.internet(17);
+    let feed = ReplayConfig::new(25)
+        .attack_ratio(0.4)
+        .seed(17)
+        .generate(&graph);
+    let graph = Arc::new(graph);
+    let config = FeedConfig::new(8).capacity(2);
+    let first = run_feed(&graph, &feed.corpus, feed.updates(), &config);
+    for _ in 0..3 {
+        let again = run_feed(&graph, &feed.corpus, feed.updates(), &config);
+        assert_eq!(again.alarms, first.alarms);
+    }
+}
