@@ -3,8 +3,8 @@
 use std::fmt;
 
 use aspp_routing::{
-    AttackStrategy, AttackerModel, DestinationSpec, ExportMode, RouteWorkspace, RoutingEngine,
-    TieBreak,
+    AttackStrategy, AttackerModel, BatchRunner, DestinationSpec, ExportMode, RouteWorkspace,
+    RoutingEngine, RoutingOutcome, TieBreak,
 };
 use aspp_topology::AsGraph;
 use aspp_types::Asn;
@@ -112,6 +112,14 @@ impl HijackExperiment {
         self.mode
     }
 
+    /// The attack strategy in effect (the default ASPP strip when none was
+    /// set explicitly).
+    #[must_use]
+    pub fn attack_strategy(&self) -> AttackStrategy {
+        self.strategy
+            .unwrap_or(AttackStrategy::StripPadding { keep: self.keep })
+    }
+
     /// Builds the routing-engine destination spec for this experiment.
     #[must_use]
     pub fn to_spec(&self) -> DestinationSpec {
@@ -198,9 +206,18 @@ pub fn run_experiment_with(
     let _span = aspp_obs::trace::span("attack.experiment");
     let engine = RoutingEngine::new(graph);
     let outcome = engine.compute_with(&exp.to_spec(), ws);
+    impact_of(exp, &outcome)
+}
+
+/// Reduces a routing outcome to the experiment's impact metrics, auditing
+/// the equilibrium first (a no-op unless `debug-audit` / `ASPP_AUDIT=1`).
+/// This is the single reduction shared by the serial, chunk-parallel, and
+/// batch harnesses, so every path reports identical numbers by
+/// construction.
+fn impact_of(exp: &HijackExperiment, outcome: &RoutingOutcome<'_>) -> HijackImpact {
     // No-op unless `debug-audit` / ASPP_AUDIT=1: every equilibrium the
     // sweep machinery consumes is invariant-checked before use.
-    aspp_routing::audit::check_outcome(&outcome);
+    aspp_routing::audit::check_outcome(outcome);
     HijackImpact {
         experiment: *exp,
         before_fraction: outcome.baseline_fraction(),
@@ -248,6 +265,32 @@ pub fn run_experiments_parallel(graph: &AsGraph, exps: &[HijackExperiment]) -> V
         .into_iter()
         .map(|r| r.expect("every experiment ran"))
         .collect()
+}
+
+/// Runs many experiments through the batch equilibrium engine
+/// ([`aspp_routing::batch`]), preserving input order.
+///
+/// All cells sharing a victim form one steal unit, so each victim's clean
+/// pass is computed once per batch and every λ/strategy/export-mode cell
+/// against it rides the warm workspace (cached clean pass + delta attacked
+/// pass). Results are bit-identical to mapping [`run_experiment`] serially;
+/// this is the default harness behind the figure sweeps and `aspp sweep`.
+#[must_use]
+pub fn run_experiments_batch(graph: &AsGraph, exps: &[HijackExperiment]) -> Vec<HijackImpact> {
+    run_experiments_with_runner(graph, exps, &BatchRunner::new())
+}
+
+/// Like [`run_experiments_batch`] with an explicit batch handle — the
+/// `aspp sweep --serial` escape hatch passes `BatchRunner::new().serial()`.
+#[must_use]
+pub fn run_experiments_with_runner(
+    graph: &AsGraph,
+    exps: &[HijackExperiment],
+    runner: &BatchRunner,
+) -> Vec<HijackImpact> {
+    let _span = aspp_obs::trace::span("attack.experiments_batch");
+    let specs: Vec<DestinationSpec> = exps.iter().map(HijackExperiment::to_spec).collect();
+    runner.run(graph, &specs, |i, outcome| impact_of(&exps[i], outcome))
 }
 
 #[cfg(test)]
@@ -332,6 +375,36 @@ mod tests {
         let serial: Vec<HijackImpact> = exps.iter().map(|e| run_experiment(&g, e)).collect();
         assert_eq!(serial, run_experiments_parallel(&g, &exps));
         assert!(run_experiments_parallel(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        // Repeated victims across λ levels and strategies: the batch path
+        // must agree with the serial oracle bit for bit, at every worker
+        // configuration.
+        let g = InternetConfig::small().seed(36).build();
+        let mut exps = Vec::new();
+        for pad in 1..6 {
+            for (v, m) in [(Asn(100), Asn(20_001)), (Asn(20_002), Asn(101))] {
+                exps.push(HijackExperiment::new(v, m).padding(pad));
+                exps.push(
+                    HijackExperiment::new(v, m)
+                        .padding(pad)
+                        .export_mode(ExportMode::ViolateValleyFree),
+                );
+            }
+        }
+        let serial: Vec<HijackImpact> = exps.iter().map(|e| run_experiment(&g, e)).collect();
+        assert_eq!(serial, run_experiments_batch(&g, &exps));
+        assert_eq!(
+            serial,
+            run_experiments_with_runner(&g, &exps, &BatchRunner::new().serial())
+        );
+        assert_eq!(
+            serial,
+            run_experiments_with_runner(&g, &exps, &BatchRunner::new().workers(3))
+        );
+        assert!(run_experiments_batch(&g, &[]).is_empty());
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub mod mitigation;
 pub mod scenarios;
 pub mod sweep;
 
-pub use aspp_routing::{ExportMode, RouteWorkspace};
+pub use aspp_routing::{BatchRunner, ExportMode, RouteWorkspace};
 pub use experiment::{
-    run_experiment, run_experiment_with, run_experiments_parallel, HijackExperiment, HijackImpact,
+    run_experiment, run_experiment_with, run_experiments_batch, run_experiments_parallel,
+    run_experiments_with_runner, HijackExperiment, HijackImpact,
 };

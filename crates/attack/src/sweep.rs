@@ -1,6 +1,6 @@
 //! Experiment sweeps reproducing the paper's Figures 7–12.
 
-use aspp_routing::{ExportMode, RouteWorkspace};
+use aspp_routing::{AttackStrategy, ExportMode, RouteWorkspace};
 use aspp_topology::tier::TierMap;
 use aspp_topology::AsGraph;
 use aspp_types::Asn;
@@ -9,7 +9,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::experiment::{
-    run_experiment_with, run_experiments_parallel, HijackExperiment, HijackImpact,
+    run_experiment_with, run_experiments_batch, HijackExperiment, HijackImpact,
 };
 
 /// Samples `n` distinct tier-1 attacker/victim pairs (Figure 7: "80
@@ -115,10 +115,11 @@ pub fn pair_experiments(
 }
 
 /// Runs a batch of experiments and ranks the impacts by descending pollution
-/// — the x-axis ordering of Figures 7 and 8.
+/// — the x-axis ordering of Figures 7 and 8. Uses the batch equilibrium
+/// engine, so repeated victims amortize their clean passes.
 #[must_use]
 pub fn run_ranked(graph: &AsGraph, exps: &[HijackExperiment]) -> Vec<HijackImpact> {
-    let mut impacts = run_experiments_parallel(graph, exps);
+    let mut impacts = run_experiments_batch(graph, exps);
     // total_cmp: a NaN fraction (impossible today, but a degenerate
     // population could produce one) must not panic mid-sort.
     impacts.sort_by(|a, b| b.after_fraction.total_cmp(&a.after_fraction));
@@ -157,7 +158,41 @@ pub fn prepend_sweep(
                 .export_mode(mode)
         })
         .collect();
-    run_experiments_parallel(graph, &exps)
+    run_experiments_batch(graph, &exps)
+}
+
+/// Builds the full strategy-matrix sweep for one victim/attacker pair:
+/// every [`AttackStrategy`] × export mode × λ in `paddings` — the cell grid
+/// behind `aspp sweep` and the `strategy_matrix_*` benchmarks. Cells are
+/// ordered λ-major within each (strategy, mode) series so each series is a
+/// ready-to-plot Figure-9-style curve.
+#[must_use]
+pub fn strategy_matrix(
+    victim: Asn,
+    attacker: Asn,
+    paddings: impl IntoIterator<Item = usize> + Clone,
+) -> Vec<HijackExperiment> {
+    let strategies = [
+        AttackStrategy::StripPadding { keep: 1 },
+        AttackStrategy::StripAllPadding,
+        AttackStrategy::ForgeDirect,
+        AttackStrategy::OriginHijack,
+    ];
+    let modes = [ExportMode::Compliant, ExportMode::ViolateValleyFree];
+    let mut exps = Vec::new();
+    for strategy in strategies {
+        for mode in modes {
+            for p in paddings.clone() {
+                exps.push(
+                    HijackExperiment::new(victim, attacker)
+                        .padding(p)
+                        .export_mode(mode)
+                        .strategy(strategy),
+                );
+            }
+        }
+    }
+    exps
 }
 
 /// Serial variant of [`prepend_sweep`] that reuses `ws` across λ values and
@@ -341,6 +376,21 @@ mod tests {
         }
         // The second sweep served every clean pass from cache.
         assert_eq!(ws.cache_hits(), 6);
+    }
+
+    #[test]
+    fn strategy_matrix_covers_the_grid() {
+        let exps = strategy_matrix(Asn(1), Asn(2), 1..=8);
+        assert_eq!(exps.len(), 4 * 2 * 8);
+        let mut distinct: Vec<_> = exps.clone();
+        distinct.sort_by_key(|e| format!("{e:?}"));
+        distinct.dedup();
+        assert_eq!(distinct.len(), exps.len(), "every cell is distinct");
+        // λ-major within each series: the first eight cells share one
+        // (strategy, mode) and sweep λ = 1..=8.
+        assert!(exps[..8]
+            .windows(2)
+            .all(|w| w[1].padding_level() == w[0].padding_level() + 1));
     }
 
     #[test]

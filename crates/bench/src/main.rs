@@ -3,8 +3,10 @@
 //!
 //! Times the workloads the engine's perf story is built on (clean pass,
 //! attacked full pass, attacked delta pass, fig9-style λ sweep full vs
-//! delta, and — since schema 3 — the `feed_replay` sharded-pipeline
-//! throughput at 1 vs 4 shards) and writes them as `BENCH_engine.json` so
+//! delta, since schema 3 the `feed_replay` sharded-pipeline throughput at
+//! 1 vs 4 shards, and since schema 4 the `strategy_matrix_batch` batched
+//! multi-victim sweep vs its per-cell serial path) and writes them as
+//! `BENCH_engine.json` so
 //! the trajectory is tracked across PRs. Since schema 2 the snapshot embeds
 //! a run-provenance [`RunManifest`] (git revision, topology fingerprint,
 //! engine-counter totals — see `EXPERIMENTS.md`). Defaults to the smoke
@@ -102,6 +104,31 @@ fn main() {
     );
     assert_eq!(sweep_points.len(), 8);
 
+    // Strategy-matrix sweep (since schema 4): the batch multi-victim engine
+    // vs the per-cell serial path over sampled pairs × 4 strategies × 2
+    // export modes × λ=1..8 — the repeated-sweep amortization the batch
+    // engine exists for.
+    let matrix_pairs = sweep::random_pair_experiments(&graph, 3, 1, BENCH_SEED);
+    let matrix: Vec<HijackExperiment> = matrix_pairs
+        .iter()
+        .flat_map(|p| sweep::strategy_matrix(p.victim(), p.attacker(), 1..=8))
+        .collect();
+    let matrix_serial_ns = time_ns(1, 5, || {
+        for exp in &matrix {
+            black_box(run_experiment(&graph, exp));
+        }
+    });
+    let matrix_batch_ns = time_ns(1, 5, || {
+        black_box(run_experiments_batch(&graph, &matrix));
+    });
+    let matrix_serial: Vec<HijackImpact> =
+        matrix.iter().map(|e| run_experiment(&graph, e)).collect();
+    assert_eq!(
+        matrix_serial,
+        run_experiments_batch(&graph, &matrix),
+        "batch strategy-matrix results must be bit-identical to serial"
+    );
+
     // Feed pipeline replay: a synthetic interleaved update stream through
     // the sharded streaming detector, 1 shard vs 4. The two runs must merge
     // to the identical alarm sequence (the pipeline's determinism
@@ -167,7 +194,7 @@ fn main() {
     let speedup = |full: u128, fast: u128| full as f64 / fast.max(1) as f64;
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": 3,");
+    let _ = writeln!(json, "  \"schema\": 4,");
     let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
     let _ = writeln!(json, "  \"nodes\": {},", graph.len());
     let _ = writeln!(json, "  \"seed\": {BENCH_SEED},");
@@ -177,8 +204,14 @@ fn main() {
     let _ = writeln!(json, "    \"attacked_delta\": {attacked_delta_ns},");
     let _ = writeln!(json, "    \"fig9_sweep_full\": {fig9_full_ns},");
     let _ = writeln!(json, "    \"fig9_sweep_delta\": {fig9_delta_ns},");
+    let _ = writeln!(json, "    \"strategy_matrix_serial\": {matrix_serial_ns},");
+    let _ = writeln!(json, "    \"strategy_matrix_batch\": {matrix_batch_ns},");
     let _ = writeln!(json, "    \"feed_replay_1shard\": {feed_1shard_ns},");
     let _ = writeln!(json, "    \"feed_replay_4shard\": {feed_4shard_ns}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"strategy_matrix\": {{");
+    let _ = writeln!(json, "    \"cells\": {},", matrix.len());
+    let _ = writeln!(json, "    \"pairs\": {}", matrix_pairs.len());
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"feed_replay\": {{");
     let _ = writeln!(json, "    \"records\": {feed_records},");
@@ -207,8 +240,13 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    \"fig9_sweep_delta_vs_full\": {:.2}",
+        "    \"fig9_sweep_delta_vs_full\": {:.2},",
         speedup(fig9_full_ns, fig9_delta_ns)
+    );
+    let _ = writeln!(
+        json,
+        "    \"strategy_matrix_batch_vs_serial\": {:.2}",
+        speedup(matrix_serial_ns, matrix_batch_ns)
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"delta_passes\": {},", sweep_ws.delta_passes());

@@ -1,4 +1,10 @@
 //! Attack-impact experiments — the paper's Figures 7 through 12.
+//!
+//! Every driver here runs on the batch equilibrium engine
+//! (`aspp_routing::batch`, via [`run_ranked`] and [`prepend_sweep`]): cells
+//! sharing a victim form one steal unit, so each victim's clean pass is
+//! computed once per figure and the λ/strategy cells ride the warm
+//! workspace. Results are bit-identical to the serial per-cell path.
 
 use aspp_attack::sweep::{
     best_connected_stub, prepend_sweep, random_pair_experiments, run_ranked, tier1_pair_experiments,

@@ -14,15 +14,21 @@
 //! and on a full channel counts a backpressure wait and blocks until the
 //! worker drains. Shutdown is a poison pill per shard (`ShardMsg::Close`)
 //! after the last record; workers flush what they hold and return their
-//! alarms, which the driver merges into `(triggered_by_seq, emission index)`
-//! order — for a seq-ordered input stream this is bit-identical to what a
-//! single serial [`StreamingDetector::process_all`] pass emits.
+//! alarms, which the driver merges into `(dispatch index, emission index)`
+//! order — bit-identical to what a single serial
+//! [`StreamingDetector::process_all`] pass emits. The dispatch index (the
+//! record's position in the input slice) rather than the record's `seq`
+//! field keys the merge: `seq` is caller-supplied wire data with no
+//! uniqueness guarantee, and an externally recorded stream with duplicate
+//! seqs (per-monitor counters, say) would otherwise merge in
+//! shard-count-dependent order.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use aspp_data::stats::Cdf;
 use aspp_data::{Corpus, UpdateRecord};
 use aspp_detect::realtime::{StreamAlarm, StreamingDetector};
 use aspp_obs::counters::{self, Counter};
@@ -116,27 +122,35 @@ pub struct FeedReport {
 }
 
 impl FeedReport {
-    /// Records per second of wall-clock time.
+    /// Records per second of wall-clock time, or `None` when the wall
+    /// clock registered zero — a run so fast (or so empty) that the timer
+    /// resolution cannot support a rate. `None` rather than `0.0` so a
+    /// sub-resolution run can never be mistaken for an idle one, and
+    /// rather than `f64::INFINITY` so the value stays safe to format and
+    /// aggregate.
     #[must_use]
-    pub fn records_per_sec(&self) -> f64 {
+    pub fn records_per_sec(&self) -> Option<f64> {
         let secs = self.wall.as_secs_f64();
-        if secs > 0.0 {
-            self.records_in as f64 / secs
-        } else {
-            0.0
-        }
+        (secs > 0.0).then(|| self.records_in as f64 / secs)
     }
 
     /// The `pct`-th percentile (0–100) of enqueue-to-alarm latency, in
     /// microseconds. `None` when no alarms fired.
+    ///
+    /// Computed through [`Cdf::quantile`]'s nearest-rank (ceil) convention,
+    /// the same convention as every paper-figure CDF, so `aspp feed`
+    /// latency percentiles and figure percentiles agree on identical data.
     #[must_use]
     pub fn latency_us(&self, pct: f64) -> Option<f64> {
         if self.alarm_latencies_ns.is_empty() {
             return None;
         }
-        let last = self.alarm_latencies_ns.len() - 1;
-        let rank = (pct.clamp(0.0, 100.0) / 100.0 * last as f64).round() as usize;
-        Some(self.alarm_latencies_ns[rank.min(last)] as f64 / 1_000.0)
+        let cdf = Cdf::from_samples(
+            self.alarm_latencies_ns
+                .iter()
+                .map(|&ns| ns as f64 / 1_000.0),
+        );
+        Some(cdf.quantile(pct.clamp(0.0, 100.0) / 100.0))
     }
 
     /// Shard balance as max-over-mean of per-shard record counts: `1.0` is
@@ -174,15 +188,18 @@ impl FeedReport {
 
 /// One message on a shard channel.
 enum ShardMsg {
-    /// A record plus its enqueue instant (for alarm-latency accounting).
-    Record(UpdateRecord, Instant),
+    /// A record plus its global dispatch index (its position in the input
+    /// slice — the merge key) and its enqueue instant (for alarm-latency
+    /// accounting).
+    Record(UpdateRecord, u64, Instant),
     /// Poison pill: drain and return.
     Close,
 }
 
-/// An alarm tagged with its merge key.
+/// An alarm tagged with its merge key: the triggering record's dispatch
+/// index plus the alarm's per-record emission index.
 struct TaggedAlarm {
-    seq: u64,
+    dispatch: u64,
     idx: usize,
     latency_ns: u64,
     alarm: StreamAlarm,
@@ -192,8 +209,9 @@ struct TaggedAlarm {
 ///
 /// Each worker owns a [`StreamingDetector`] over a clone of the `Arc`'d
 /// graph, seeded with the subset of `seeds`' RIB entries whose prefix hashes
-/// to its shard. For a seq-ordered update stream the merged alarm sequence
-/// is identical for every shard count — see the module docs.
+/// to its shard. The merged alarm sequence is identical for every shard
+/// count — including streams with duplicate or non-monotone `seq` values,
+/// since the merge keys on dispatch order, not `seq` — see the module docs.
 ///
 /// # Example
 ///
@@ -253,7 +271,7 @@ pub fn run_feed(
                 while let Ok(msg) = rx.recv() {
                     match msg {
                         ShardMsg::Close => break,
-                        ShardMsg::Record(record, enqueued_at) => {
+                        ShardMsg::Record(record, dispatch, enqueued_at) => {
                             dequeued += 1;
                             let depth = enqueued[shard]
                                 .load(Ordering::Relaxed)
@@ -263,7 +281,7 @@ pub fn run_feed(
                             for (idx, alarm) in detector.process(&record).into_iter().enumerate() {
                                 stats.alarms += 1;
                                 alarms.push(TaggedAlarm {
-                                    seq: record.seq,
+                                    dispatch,
                                     idx,
                                     latency_ns: enqueued_at.elapsed().as_nanos() as u64,
                                     alarm,
@@ -276,12 +294,12 @@ pub fn run_feed(
             }));
         }
 
-        for record in updates {
+        for (dispatch, record) in updates.iter().enumerate() {
             let shard = shard_of(record.prefix, shards);
             records_in += 1;
             counters::incr(Counter::FeedRecordIn);
             enqueued[shard].fetch_add(1, Ordering::Relaxed);
-            let msg = ShardMsg::Record(record.clone(), Instant::now());
+            let msg = ShardMsg::Record(record.clone(), dispatch as u64, Instant::now());
             match senders[shard].try_send(msg) {
                 Ok(()) => {}
                 Err(TrySendError::Full(msg)) => {
@@ -316,8 +334,10 @@ pub fn run_feed(
         tagged.extend(alarms);
     }
     // A prefix lives on exactly one shard and each shard preserves dispatch
-    // order, so (seq, per-update emission index) is a total merge key.
-    tagged.sort_by_key(|t| (t.seq, t.idx));
+    // order, so (dispatch index, per-update emission index) is a total merge
+    // key — total even when the stream carries duplicate `seq` values,
+    // which caller-supplied wire data is free to do.
+    tagged.sort_by_key(|t| (t.dispatch, t.idx));
     counters::add(Counter::FeedAlarm, tagged.len() as u64);
 
     let mut alarm_latencies_ns: Vec<u64> = tagged.iter().map(|t| t.latency_ns).collect();
@@ -421,10 +441,73 @@ mod tests {
     fn report_statistics_are_sane() {
         let (graph, seeds, updates) = attack_world();
         let report = run_feed(&graph, &seeds, &updates, &FeedConfig::new(2));
-        assert!(report.records_per_sec() > 0.0);
+        assert!(report.records_per_sec().expect("nonzero wall") > 0.0);
         assert!(report.latency_us(50.0).is_some());
         assert!(report.latency_us(99.0) >= report.latency_us(50.0));
         assert!(report.shard_balance() >= 1.0);
         assert!(report.depth_high_water() <= 3);
+    }
+
+    fn report_with(latencies_ns: Vec<u64>, records_in: u64, wall: Duration) -> FeedReport {
+        FeedReport {
+            records_in,
+            alarms: Vec::new(),
+            alarm_latencies_ns: latencies_ns,
+            shards: Vec::new(),
+            wall,
+        }
+    }
+
+    #[test]
+    fn zero_wall_throughput_is_none_not_idle() {
+        // A wall clock that registered nothing must not report the run as
+        // idle (the old behaviour returned 0.0 records/sec).
+        let report = report_with(Vec::new(), 1000, Duration::ZERO);
+        assert_eq!(report.records_per_sec(), None);
+        let report = report_with(Vec::new(), 1000, Duration::from_millis(500));
+        assert_eq!(report.records_per_sec(), Some(2000.0));
+    }
+
+    #[test]
+    fn latency_percentiles_match_the_cdf_convention() {
+        // [10,20,30,40] µs: nearest-rank (ceil) p50 is the 2nd sample, 20 —
+        // not 30, which the old round-to-nearest-index convention returned.
+        // The feed's percentiles must agree with Cdf::quantile on the same
+        // data, the convention of every paper-figure CDF.
+        let ns = vec![10_000u64, 20_000, 30_000, 40_000];
+        let report = report_with(ns.clone(), 4, Duration::from_millis(1));
+        let cdf = Cdf::from_samples(ns.iter().map(|&n| n as f64 / 1_000.0));
+        for pct in [0.0, 25.0, 26.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            assert_eq!(
+                report.latency_us(pct),
+                Some(cdf.quantile(pct / 100.0)),
+                "feed and Cdf disagree at p{pct}"
+            );
+        }
+        assert_eq!(report.latency_us(50.0), Some(20.0));
+        assert_eq!(report.latency_us(100.0), Some(40.0));
+        assert_eq!(
+            report_with(Vec::new(), 0, Duration::ZERO).latency_us(50.0),
+            None
+        );
+    }
+
+    #[test]
+    fn duplicate_seqs_merge_shard_count_independently() {
+        // Every record claims seq=7 (think per-monitor counters in an
+        // externally recorded stream). The merge keys on dispatch order, so
+        // 1/2/8 shards must still reproduce the serial oracle exactly.
+        let (graph, seeds, mut updates) = attack_world();
+        for u in &mut updates {
+            u.seq = 7;
+        }
+        let mut serial = StreamingDetector::new(&graph);
+        serial.seed_from_corpus(&seeds);
+        let expected = serial.process_all(&updates);
+        assert!(!expected.is_empty());
+        for shards in [1, 2, 8] {
+            let report = run_feed(&graph, &seeds, &updates, &FeedConfig::new(shards));
+            assert_eq!(report.alarms, expected, "shards = {shards}");
+        }
     }
 }

@@ -59,11 +59,22 @@ pub enum Counter {
     /// Deepest shard-queue occupancy observed across the run (a high-water
     /// mark maintained with [`record_max`], not a monotone sum).
     FeedShardDepthHighWater,
+    /// Victim steal units processed by the batch sweep engine (one unit
+    /// per distinct victim in the batch).
+    BatchVictim,
+    /// Propagation passes that began by epoch-bumping an already-sized
+    /// scratch table instead of allocating one — the batch engine's
+    /// cross-victim pass-structure reuse.
+    BatchScratchReuse,
+    /// Steal-unit claims beyond a batch worker's first: how often a worker
+    /// outran its fair share and pulled extra victims off the shared
+    /// cursor.
+    BatchSteal,
 }
 
 impl Counter {
     /// Number of distinct counters.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 19;
 
     /// All counters, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -83,6 +94,9 @@ impl Counter {
         Counter::FeedBackpressureWait,
         Counter::FeedAlarm,
         Counter::FeedShardDepthHighWater,
+        Counter::BatchVictim,
+        Counter::BatchScratchReuse,
+        Counter::BatchSteal,
     ];
 
     /// The counter's stable snake_case name, used as the JSON key and the
@@ -106,6 +120,9 @@ impl Counter {
             Counter::FeedBackpressureWait => "feed_backpressure_waits",
             Counter::FeedAlarm => "feed_alarms",
             Counter::FeedShardDepthHighWater => "feed_shard_depth_high_water",
+            Counter::BatchVictim => "batch_victims",
+            Counter::BatchScratchReuse => "batch_scratch_reuses",
+            Counter::BatchSteal => "batch_steals",
         }
     }
 }
@@ -164,7 +181,7 @@ pub fn record_max(counter: Counter, v: u64) {
 
 /// A point-in-time reading of every [`Counter`].
 ///
-/// Capturing is cheap (eleven relaxed loads); without the `enabled` feature
+/// Capturing is cheap (one relaxed load per counter); without the `enabled` feature
 /// the snapshot is always all-zero ([`is_empty`](Self::is_empty)).
 ///
 /// # Example

@@ -677,6 +677,7 @@ pub struct RouteWorkspace {
     misses: u64,
     delta_passes: u64,
     delta_fallbacks: u64,
+    scratch_reuses: u64,
 }
 
 impl Default for RouteWorkspace {
@@ -713,6 +714,7 @@ impl RouteWorkspace {
             misses: 0,
             delta_passes: 0,
             delta_fallbacks: 0,
+            scratch_reuses: 0,
         }
     }
 
@@ -760,6 +762,15 @@ impl RouteWorkspace {
         self.delta_fallbacks
     }
 
+    /// Number of passes that started by epoch-bumping an already-sized
+    /// scratch table instead of growing it — the amortization the batch
+    /// engine ([`crate::batch`]) buys by keeping one workspace alive across
+    /// many victims.
+    #[must_use]
+    pub fn scratch_reuses(&self) -> u64 {
+        self.scratch_reuses
+    }
+
     /// Starts a fresh propagation pass over a graph of `n` nodes: bumps the
     /// pass epoch (retiring every offer, adoption and chain mark in O(1),
     /// without re-zeroing the scratch array) and marks `chain` as the
@@ -767,6 +778,8 @@ impl RouteWorkspace {
     fn begin_pass(&mut self, n: usize, chain: &[usize]) {
         if self.scratch.len() < n {
             self.scratch.resize(n, NodeScratch::default());
+        } else if n > 0 {
+            self.scratch_reuses += 1;
         }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {

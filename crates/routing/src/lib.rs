@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod batch;
 pub mod bgp;
 pub mod decision;
 mod engine;
@@ -48,6 +49,7 @@ pub mod prepend;
 mod table;
 
 pub use audit::{AuditReport, AuditViolation, OutcomeAudit, PassKind};
+pub use batch::BatchRunner;
 pub use decision::{RouteCandidate, TieBreak};
 pub use engine::{
     AttackStrategy, AttackerModel, DestinationSpec, ExportMode, RouteInfo, RouteWorkspace,

@@ -13,6 +13,7 @@
 //! aspp audit      [--paper] [--seed N]  invariant-audit attacked equilibria
 //! aspp audit      --topology FILE | --corpus FILE [--lenient]
 //! aspp feed       [--replay] [--paper] [--shards N] [--baseline] [options]
+//! aspp sweep      [--paper] [--seed N] [--pairs N] [--lambda-max N] [--serial]
 //! ```
 //!
 //! Every subcommand additionally understands the observability flags
@@ -136,6 +137,7 @@ fn main() -> ExitCode {
         "measure" => cmd_measure(&rest),
         "audit" => cmd_audit(&rest, &mut manifest),
         "feed" => cmd_feed(&rest, &mut manifest),
+        "sweep" => cmd_sweep(&rest, &mut manifest),
         "help" | "--help" | "-h" => {
             out!("{}", usage_text());
             Ok(())
@@ -215,6 +217,8 @@ USAGE:
                   [--prefixes N] [--monitors N] [--attack-ratio F]
                   [--withdraw-ratio F] [--baseline] [--out FILE]
                   [--corpus-out FILE] [--in FILE --corpus FILE] [--lenient]
+  aspp sweep      [--paper] [--seed N] [--pairs N] [--lambda-max N]
+                  [--batch] [--serial] [--workers N]
 
 OBSERVABILITY (every subcommand; see README.md):
   --trace-json PATH     write span timings as JSON lines to PATH
@@ -754,11 +758,16 @@ fn cmd_feed(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
         seeds.tables().next().map_or(0, |(_, table)| table.len()),
         shards,
     );
-    out!(
-        "throughput: {:.0} records/sec ({:.2} ms wall)",
-        report.records_per_sec(),
-        report.wall.as_secs_f64() * 1e3,
-    );
+    match report.records_per_sec() {
+        Some(rate) => out!(
+            "throughput: {rate:.0} records/sec ({:.2} ms wall)",
+            report.wall.as_secs_f64() * 1e3,
+        ),
+        None => out!(
+            "throughput: n/a — wall clock below timer resolution ({} records)",
+            report.records_in,
+        ),
+    }
     out!(
         "alarms: {} ({} injected interceptions in the stream)",
         report.alarms.len(),
@@ -787,11 +796,12 @@ fn cmd_feed(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     );
     if let Some(base) = baseline {
         let speedup = base.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-12);
+        let base_rate = base
+            .records_per_sec()
+            .map_or_else(|| "n/a".to_string(), |r| format!("{r:.0}"));
         out!(
-            "baseline (1 shard): {:.0} records/sec ({:.2} ms wall), speedup {:.2}x",
-            base.records_per_sec(),
+            "baseline (1 shard): {base_rate} records/sec ({:.2} ms wall), speedup {speedup:.2}x",
             base.wall.as_secs_f64() * 1e3,
-            speedup,
         );
         if base.alarms == report.alarms {
             out!("determinism: merged alarm sequence identical to the 1-shard run");
@@ -801,6 +811,124 @@ fn cmd_feed(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
                 base.alarms.len(),
                 report.alarms.len(),
             ));
+        }
+    }
+    Ok(())
+}
+
+/// `aspp sweep` — the full strategy-matrix sweep (every attack strategy ×
+/// export mode × λ) over sampled victim/attacker pairs, run on the batch
+/// equilibrium engine by default. `--serial` is the escape hatch back to
+/// the pre-batch per-cell harness (identical results, no amortization).
+fn cmd_sweep(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
+    use aspp_repro::attack::sweep::{random_pair_experiments, strategy_matrix};
+
+    let flags = Flags::new(args);
+    let scale = flags.scale();
+    let seed = flags.seed()?;
+    let pairs = flags.parsed::<usize>("--pairs")?.unwrap_or(match scale {
+        Scale::Paper => 8,
+        Scale::Smoke => 4,
+    });
+    let lambda_max = flags.parsed::<usize>("--lambda-max")?.unwrap_or(8).max(1);
+    let serial = flags.has("--serial");
+    // `--batch` names the default mode; accepted for clarity.
+    let _ = flags.has("--batch");
+    if serial && flags.has("--batch") {
+        return Err("--serial and --batch are mutually exclusive".into());
+    }
+    let workers = flags.parsed::<usize>("--workers")?.unwrap_or(0);
+
+    record_scale(manifest, scale, seed);
+    let graph = scale.internet(seed);
+    record_topology(manifest, &graph);
+
+    // Sample distinct pairs over the whole population (λ here is a
+    // placeholder; the matrix below sets the real λ grid).
+    let sampled = random_pair_experiments(&graph, pairs, 1, seed);
+    let mut exps = Vec::with_capacity(sampled.len() * 4 * 2 * lambda_max);
+    for pair in &sampled {
+        exps.extend(strategy_matrix(
+            pair.victim(),
+            pair.attacker(),
+            1..=lambda_max,
+        ));
+    }
+    manifest.push_strategy(&format!(
+        "strategy matrix: {} pairs x 4 strategies x 2 modes x lambda 1..={lambda_max} ({})",
+        sampled.len(),
+        if serial { "serial" } else { "batch" },
+    ));
+
+    let t0 = Instant::now();
+    let impacts = if serial {
+        exps.iter().map(|e| run_experiment(&graph, e)).collect()
+    } else {
+        run_experiments_with_runner(&graph, &exps, &BatchRunner::new().workers(workers))
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    manifest.push_phase(
+        if serial {
+            "sweep_serial"
+        } else {
+            "sweep_batch"
+        },
+        wall_ms,
+    );
+
+    out!(
+        "sweep: {} cells ({} pairs, lambda 1..={lambda_max}) on {} ASes in {:.1} ms [{}]",
+        impacts.len(),
+        sampled.len(),
+        graph.len(),
+        wall_ms,
+        if serial { "serial" } else { "batch" },
+    );
+
+    // Mean pollution per (strategy, mode) series at the λ extremes.
+    out!(
+        "{:<12} {:<10} {:>12} {:>12}",
+        "strategy",
+        "export",
+        "pollute(l=1)",
+        "pollute(l=max)",
+    );
+    let strategy_label = |s: AttackStrategy| match s {
+        AttackStrategy::StripPadding { .. } => "strip",
+        AttackStrategy::StripAllPadding => "strip-all",
+        AttackStrategy::ForgeDirect => "forge",
+        AttackStrategy::OriginHijack => "origin",
+    };
+    let mode_label = |m: ExportMode| match m {
+        ExportMode::Compliant => "compliant",
+        ExportMode::ViolateValleyFree => "violate",
+    };
+    for strategy in [
+        AttackStrategy::StripPadding { keep: 1 },
+        AttackStrategy::StripAllPadding,
+        AttackStrategy::ForgeDirect,
+        AttackStrategy::OriginHijack,
+    ] {
+        for mode in [ExportMode::Compliant, ExportMode::ViolateValleyFree] {
+            let series = |lambda: usize| {
+                let cells: Vec<f64> = impacts
+                    .iter()
+                    .filter(|i| {
+                        i.experiment.attack_strategy() == strategy
+                            && i.experiment.mode() == mode
+                            && i.experiment.padding_level() == lambda
+                    })
+                    .map(|i| i.after_fraction)
+                    .collect();
+                cells.iter().sum::<f64>() / (cells.len().max(1) as f64)
+            };
+            out!(
+                "{:<12} {:<10} {:>11}% {:>11}%",
+                strategy_label(strategy),
+                mode_label(mode),
+                pct(series(1)),
+                pct(series(lambda_max)),
+            );
         }
     }
     Ok(())

@@ -42,6 +42,52 @@ fn shard_count_does_not_change_the_alarm_sequence() {
 }
 
 #[test]
+fn duplicate_seq_wire_replay_is_shard_count_independent() {
+    // An externally recorded stream is free to carry duplicate seq values
+    // (e.g. per-monitor counters). Rewrite the synthetic stream's seqs that
+    // way, round-trip it through the wire codec, and demand the replay
+    // merges to the serial oracle at every shard count — the merge must key
+    // on dispatch order, never on the caller-supplied seq.
+    let graph = Scale::Smoke.internet(17);
+    let feed = ReplayConfig::new(30)
+        .attack_ratio(0.5)
+        .seed(17)
+        .generate(&graph);
+    let mut updates = feed.updates().to_vec();
+    let mut per_monitor = std::collections::HashMap::new();
+    for u in &mut updates {
+        let counter = per_monitor.entry(u.monitor).or_insert(0u64);
+        *counter += 1;
+        u.seq = *counter;
+    }
+    let mut seqs: Vec<u64> = updates.iter().map(|u| u.seq).collect();
+    let total = seqs.len();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert!(
+        seqs.len() < total,
+        "the rewritten stream must actually carry duplicate seqs"
+    );
+
+    let decoded = decode_records(&encode_records(&updates)).unwrap();
+    assert_eq!(decoded, updates, "wire round-trip must preserve the stream");
+
+    let mut serial = StreamingDetector::new(&graph);
+    serial.seed_from_corpus(&feed.corpus);
+    let expected = serial.process_all(&decoded);
+    assert!(!expected.is_empty(), "interceptions must raise alarms");
+
+    let graph = std::sync::Arc::new(graph);
+    for shards in [1usize, 2, 8] {
+        let report = run_feed(&graph, &feed.corpus, &decoded, &FeedConfig::new(shards));
+        assert_eq!(
+            report.alarms, expected,
+            "duplicate-seq replay diverges from the serial oracle at {shards} shards"
+        );
+    }
+}
+
+#[test]
 fn wire_roundtrip_preserves_the_alarm_sequence() {
     // Encode the stream to the wire format and replay the decoded copy:
     // alarms must match the in-memory stream bit for bit.

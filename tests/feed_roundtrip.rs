@@ -1,7 +1,9 @@
 //! Wire-codec robustness: arbitrary update-record sequences survive
-//! encode→frame→decode bit-identically, and any single-bit corruption of
+//! encode→frame→decode bit-identically, any single-bit corruption of
 //! the encoded stream yields a frame-indexed `AsppError` (component
-//! `"feed"`) — never a panic, never a silently wrong record.
+//! `"feed"`) — never a panic, never a silently wrong record — and
+//! lenient decoding of a stream truncated at any byte offset keeps the
+//! `IngestReport` accounting identity `accepted + skipped == declared`.
 
 use aspp_repro::data::{UpdateAction, UpdateRecord};
 use aspp_repro::feed::{decode_records, decode_records_lenient, encode_records, FrameReader};
@@ -89,5 +91,46 @@ proptest! {
         prop_assert!(!report.is_clean());
         prop_assert!(partial.len() <= records.len());
         prop_assert_eq!(partial.as_slice(), &records[..partial.len()]);
+    }
+
+    #[test]
+    fn truncation_preserves_the_accounting_identity(
+        raw in record_strategy(),
+        cut in any::<usize>(),
+    ) {
+        let records = build_records(&raw);
+        let bytes = encode_records(&records);
+        let cut = cut % bytes.len();
+        let truncated = &bytes[..cut];
+
+        let (decoded, report) = decode_records_lenient(truncated);
+        prop_assert_eq!(decoded.len(), report.accepted);
+        prop_assert_eq!(decoded.as_slice(), &records[..decoded.len()]);
+
+        if cut < 16 {
+            // Mid-header cut: the declared count itself is unreadable, so
+            // the only defensible accounting is zero accepts and one skip
+            // marking the unreadable stream.
+            prop_assert_eq!(report.accepted, 0);
+            prop_assert_eq!(report.skipped, 1);
+            prop_assert!(decoded.is_empty());
+        } else {
+            // Mid-frame cut: the header survives, so every declared record
+            // must be accounted for — decoded prefix plus skips covering
+            // the truncated frame and everything it made unreachable.
+            let declared = FrameReader::new(&bytes)
+                .unwrap()
+                .declared_records() as usize;
+            prop_assert_eq!(records.len(), declared);
+            prop_assert_eq!(
+                report.accepted + report.skipped,
+                declared,
+                "accepted={} skipped={} declared={} cut={}",
+                report.accepted, report.skipped, declared, cut
+            );
+            // A proper prefix always loses at least the final record.
+            prop_assert!(report.skipped >= 1);
+            prop_assert!(!report.is_clean());
+        }
     }
 }
