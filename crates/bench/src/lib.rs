@@ -13,11 +13,14 @@
 use aspp_core::experiments::Scale;
 
 /// Scale selected by the `ASPP_BENCH_SCALE` environment variable
-/// (`paper` = full scale, anything else = smoke).
+/// (`paper` = full scale, `internet` = ~80k ASes, `internet-smoke` = its
+/// ~20k CI cut, anything else = smoke).
 #[must_use]
 pub fn bench_scale() -> Scale {
     match std::env::var("ASPP_BENCH_SCALE").as_deref() {
         Ok("paper") => Scale::Paper,
+        Ok("internet") => Scale::Internet,
+        Ok("internet-smoke") => Scale::InternetSmoke,
         _ => Scale::Smoke,
     }
 }

@@ -4,14 +4,18 @@
 //! Times the workloads the engine's perf story is built on (clean pass,
 //! attacked full pass, attacked delta pass, fig9-style λ sweep full vs
 //! delta, since schema 3 the `feed_replay` sharded-pipeline throughput at
-//! 1 vs 4 shards, and since schema 4 the `strategy_matrix_batch` batched
-//! multi-victim sweep vs its per-cell serial path) and writes them as
+//! 1 vs 4 shards, since schema 4 the `strategy_matrix_batch` batched
+//! multi-victim sweep vs its per-cell serial path, and since schema 5 an
+//! internet-tier section — clean pass, attacked delta, and fig9 λ sweep on
+//! the routing-system-scale topology) and writes them as
 //! `BENCH_engine.json` so
 //! the trajectory is tracked across PRs. Since schema 2 the snapshot embeds
 //! a run-provenance [`RunManifest`] (git revision, topology fingerprint,
 //! engine-counter totals — see `EXPERIMENTS.md`). Defaults to the smoke
 //! scale; set `ASPP_BENCH_SCALE=paper` for the EXPERIMENTS.md numbers and
-//! `ASPP_BENCH_JSON=path` to redirect the output file.
+//! `ASPP_BENCH_JSON=path` to redirect the output file. The internet tier
+//! runs the full ~80k-AS preset at `paper`/`internet` scale and its ~20k
+//! CI cut otherwise.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -43,6 +47,8 @@ fn main() {
     let scale_name = match scale {
         Scale::Smoke => "smoke",
         Scale::Paper => "paper",
+        Scale::Internet => "internet",
+        Scale::InternetSmoke => "internet-smoke",
     };
     let bench_started = Instant::now();
     let counters_before = MetricsSnapshot::capture();
@@ -136,8 +142,8 @@ fn main() {
     use aspp_core::feed::{run_feed, FeedConfig, ReplayConfig};
     use std::sync::Arc;
     let stream = ReplayConfig::new(match scale {
-        Scale::Smoke => 40,
-        Scale::Paper => 120,
+        Scale::Smoke | Scale::InternetSmoke => 40,
+        Scale::Paper | Scale::Internet => 120,
     })
     .seed(BENCH_SEED)
     .generate(&graph);
@@ -179,6 +185,48 @@ fn main() {
     );
     let records_per_sec = |ns: u128| feed_records as f64 / (ns.max(1) as f64 / 1e9);
 
+    // Internet tier (since schema 5): the flat-ID engine at routing-system
+    // scale. Paper-grade runs time the full ~80k-AS preset; smoke runs its
+    // ~20k CI cut. Fewer iterations — one pass here costs more than a whole
+    // smoke-tier sweep.
+    let inet_scale = match scale {
+        Scale::Paper | Scale::Internet => Scale::Internet,
+        Scale::Smoke | Scale::InternetSmoke => Scale::InternetSmoke,
+    };
+    let inet_graph = inet_scale.internet(BENCH_SEED);
+    let inet_engine = RoutingEngine::new(&inet_graph);
+    let mut inet_t1: Vec<Asn> = TierMap::classify(&inet_graph).tier1().collect();
+    inet_t1.sort();
+    let (inet_attacker, inet_victim) = (inet_t1[0], inet_t1[1]);
+    let (inet_warmup, inet_iters) = (1, 5);
+
+    let inet_clean_spec = DestinationSpec::new(inet_victim).origin_padding(3);
+    let mut inet_cold = RouteWorkspace::with_cache_capacity(0);
+    let clean_internet_ns = time_ns(inet_warmup, inet_iters, || {
+        black_box(inet_engine.compute_with(black_box(&inet_clean_spec), &mut inet_cold));
+    });
+
+    let inet_attacked_spec = DestinationSpec::new(inet_victim)
+        .origin_padding(3)
+        .attacker(AttackerModel::new(inet_attacker));
+    let mut inet_ws = RouteWorkspace::new();
+    let attacked_delta_internet_ns = time_ns(inet_warmup, inet_iters, || {
+        black_box(inet_engine.compute_with(black_box(&inet_attacked_spec), &mut inet_ws));
+    });
+
+    // Fig9 λ = 1..=8 sweep at internet scale; the recorded wall seconds
+    // (warmup + all iterations) document the single-core time budget.
+    let fig9_inet_started = Instant::now();
+    let fig9_sweep_internet_ns = time_ns(inet_warmup, inet_iters, || {
+        for pad in 1..=8usize {
+            let spec = DestinationSpec::new(inet_victim)
+                .origin_padding(pad)
+                .attacker(AttackerModel::new(inet_attacker));
+            black_box(inet_engine.compute_with(&spec, &mut inet_ws));
+        }
+    });
+    let fig9_internet_wall_s = fig9_inet_started.elapsed().as_secs_f64();
+
     let mut manifest = RunManifest::new("aspp-bench");
     manifest.seed = Some(BENCH_SEED);
     manifest.scale = Some(scale_name.to_string());
@@ -194,9 +242,10 @@ fn main() {
     let speedup = |full: u128, fast: u128| full as f64 / fast.max(1) as f64;
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": 4,");
+    let _ = writeln!(json, "  \"schema\": 5,");
     let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
     let _ = writeln!(json, "  \"nodes\": {},", graph.len());
+    let _ = writeln!(json, "  \"internet_nodes\": {},", inet_graph.len());
     let _ = writeln!(json, "  \"seed\": {BENCH_SEED},");
     let _ = writeln!(json, "  \"median_ns\": {{");
     let _ = writeln!(json, "    \"clean_pass\": {clean_ns},");
@@ -207,8 +256,21 @@ fn main() {
     let _ = writeln!(json, "    \"strategy_matrix_serial\": {matrix_serial_ns},");
     let _ = writeln!(json, "    \"strategy_matrix_batch\": {matrix_batch_ns},");
     let _ = writeln!(json, "    \"feed_replay_1shard\": {feed_1shard_ns},");
-    let _ = writeln!(json, "    \"feed_replay_4shard\": {feed_4shard_ns}");
+    let _ = writeln!(json, "    \"feed_replay_4shard\": {feed_4shard_ns},");
+    let _ = writeln!(json, "    \"clean_pass_internet\": {clean_internet_ns},");
+    let _ = writeln!(
+        json,
+        "    \"attacked_delta_internet\": {attacked_delta_internet_ns},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"fig9_sweep_internet\": {fig9_sweep_internet_ns}"
+    );
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"fig9_internet_wall_s\": {fig9_internet_wall_s:.3},"
+    );
     let _ = writeln!(json, "  \"strategy_matrix\": {{");
     let _ = writeln!(json, "    \"cells\": {},", matrix.len());
     let _ = writeln!(json, "    \"pairs\": {}", matrix_pairs.len());

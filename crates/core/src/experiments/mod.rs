@@ -29,13 +29,19 @@ use aspp_topology::gen::InternetConfig;
 use aspp_topology::AsGraph;
 
 /// Experiment scale: `Smoke` for fast CI runs, `Paper` for the sizes the
-/// figures in `EXPERIMENTS.md` were produced at.
+/// figures in `EXPERIMENTS.md` were produced at, `Internet` for
+/// routing-system scale (~80k ASes), and `InternetSmoke` for its CI-sized
+/// ~20k cut.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// ~150-AS Internet, reduced instance counts; seconds end-to-end.
     Smoke,
     /// ~1500-AS Internet, paper-matching instance counts.
     Paper,
+    /// ~80,000-AS Internet; instance counts cut to keep runs in minutes.
+    Internet,
+    /// ~20,000-AS Internet; the `Internet` tier shrunk for CI.
+    InternetSmoke,
 }
 
 impl Scale {
@@ -45,6 +51,8 @@ impl Scale {
         match self {
             Scale::Smoke => InternetConfig::small().seed(seed).build(),
             Scale::Paper => InternetConfig::medium().seed(seed).build(),
+            Scale::Internet => InternetConfig::internet().seed(seed).build(),
+            Scale::InternetSmoke => InternetConfig::internet_smoke().seed(seed).build(),
         }
     }
 
@@ -54,6 +62,8 @@ impl Scale {
         match self {
             Scale::Smoke => 10,
             Scale::Paper => 80,
+            Scale::Internet => 6,
+            Scale::InternetSmoke => 6,
         }
     }
 
@@ -63,6 +73,8 @@ impl Scale {
         match self {
             Scale::Smoke => 8,
             Scale::Paper => 27,
+            Scale::Internet => 6,
+            Scale::InternetSmoke => 6,
         }
     }
 
@@ -73,6 +85,8 @@ impl Scale {
         match self {
             Scale::Smoke => 15,
             Scale::Paper => 200,
+            Scale::Internet => 12,
+            Scale::InternetSmoke => 10,
         }
     }
 
@@ -82,6 +96,8 @@ impl Scale {
         match self {
             Scale::Smoke => vec![5, 20, 60],
             Scale::Paper => vec![10, 30, 50, 70, 100, 150, 200, 300],
+            Scale::Internet => vec![10, 50, 100, 200],
+            Scale::InternetSmoke => vec![5, 20, 60],
         }
     }
 
@@ -91,6 +107,8 @@ impl Scale {
         match self {
             Scale::Smoke => 30,
             Scale::Paper => 150,
+            Scale::Internet => 100,
+            Scale::InternetSmoke => 30,
         }
     }
 
@@ -100,6 +118,8 @@ impl Scale {
         match self {
             Scale::Smoke => 60,
             Scale::Paper => 400,
+            Scale::Internet => 80,
+            Scale::InternetSmoke => 40,
         }
     }
 
@@ -109,6 +129,8 @@ impl Scale {
         match self {
             Scale::Smoke => 20,
             Scale::Paper => 45,
+            Scale::Internet => 30,
+            Scale::InternetSmoke => 20,
         }
     }
 }

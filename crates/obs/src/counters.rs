@@ -191,7 +191,12 @@ pub fn record_max(counter: Counter, v: u64) {
 ///
 /// let snap = MetricsSnapshot::capture();
 /// let json = snap.to_json();
-/// assert!(json.contains("\"clean_cache_hits\""));
+/// assert!(json.contains("counters_compiled_in"));
+/// // Per-counter keys appear only when the counters are compiled in.
+/// assert_eq!(
+///     json.contains("\"clean_cache_hits\""),
+///     MetricsSnapshot::compiled_in()
+/// );
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
@@ -255,15 +260,19 @@ impl MetricsSnapshot {
         self.values.iter().all(|&v| v == 0)
     }
 
-    /// Renders the snapshot as a JSON object, one key per counter plus a
-    /// `"counters_compiled_in"` flag distinguishing "all zero because
-    /// nothing ran" from "all zero because the feature is off".
+    /// Renders the snapshot as a JSON object: a `"counters_compiled_in"`
+    /// flag plus, **only when the counters are compiled in**, one key per
+    /// counter. Builds without the `enabled` feature emit just the flag —
+    /// an all-zero block would read as "nothing happened" when the truth
+    /// is "nothing was measured".
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::object();
         w.field_bool("counters_compiled_in", Self::compiled_in());
-        for c in Counter::ALL {
-            w.field_u64(c.name(), self.get(c));
+        if Self::compiled_in() {
+            for c in Counter::ALL {
+                w.field_u64(c.name(), self.get(c));
+            }
         }
         w.finish()
     }
@@ -312,8 +321,12 @@ mod tests {
         let table = delta.to_string();
         assert!(table.contains("queue_pushes"));
         let json = delta.to_json();
-        assert!(json.contains("\"queue_spills\""));
         assert!(json.contains("counters_compiled_in"));
+        // Per-counter keys only when the counters actually exist.
+        assert_eq!(
+            json.contains("\"queue_spills\""),
+            MetricsSnapshot::compiled_in()
+        );
     }
 
     #[test]
@@ -328,7 +341,10 @@ mod tests {
         } else {
             assert!(now.since(&before).is_empty());
         }
-        assert!(now.to_json().contains("\"feed_shard_depth_high_water\""));
+        assert_eq!(
+            now.to_json().contains("\"feed_shard_depth_high_water\""),
+            MetricsSnapshot::compiled_in()
+        );
     }
 
     #[test]

@@ -149,7 +149,11 @@ impl RunManifest {
         }
         w.field_raw("wall_ms", &ph.finish());
         w.field_f64("total_wall_ms", self.total_wall_ms());
-        w.field_raw("metrics", &self.metrics.to_json());
+        // Without compiled-in counters a metrics block would be all-zero
+        // noise masquerading as a measurement; omit it entirely.
+        if MetricsSnapshot::compiled_in() {
+            w.field_raw("metrics", &self.metrics.to_json());
+        }
         w.finish()
     }
 
@@ -213,10 +217,14 @@ mod tests {
             "\"strategy_matrix\":[\"StripPadding keep=1\"]",
             "\"fig9\":3.250",
             "\"total_wall_ms\":5.000",
-            "\"metrics\":{",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+        // The metrics block is present exactly when counters exist.
+        assert_eq!(
+            json.contains("\"metrics\":{"),
+            MetricsSnapshot::compiled_in()
+        );
     }
 
     #[test]

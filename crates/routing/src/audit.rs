@@ -431,7 +431,8 @@ fn attack_ctx(outcome: &RoutingOutcome<'_>) -> AttackCtx {
     let export_class = match strategy {
         AttackStrategy::OriginHijack => RouteClass::Origin,
         _ => {
-            clean[m_idx]
+            clean
+                .get(m_idx)
                 .expect("attacked pass implies clean route")
                 .class
         }
@@ -486,7 +487,7 @@ fn audit_pass(outcome: &RoutingOutcome<'_>, kind: PassKind) -> AuditReport {
         }
         if let Some(ctx) = attack {
             if i == ctx.m_idx {
-                if *route != outcome.clean_pass_ref()[i] {
+                if route != outcome.clean_pass_ref().get(i) {
                     violations.push(AuditViolation::UnpinnedAttacker { attacker: asn });
                 }
                 continue;
@@ -515,11 +516,11 @@ fn audit_pass(outcome: &RoutingOutcome<'_>, kind: PassKind) -> AuditReport {
         });
         let mut parent_seen = false;
         let mut best_offer: Option<(u128, Asn)> = None;
-        for &(n_idx, rel_of_n) in csr.neighbors(i) {
-            let n = n_idx as usize;
+        for &entry in csr.neighbors(i) {
+            let n = entry.node() as usize;
             let n_asn = graph.asn_at(n);
             // How n sees i — the relationship the export rules key on.
-            let rel_of_i = rel_of_n.reverse();
+            let rel_of_i = entry.rel().reverse();
             // What n exports to i in this equilibrium: (class, len, taint).
             let offer = match attack {
                 Some(ctx) if n == ctx.m_idx => {
@@ -542,7 +543,7 @@ fn audit_pass(outcome: &RoutingOutcome<'_>, kind: PassKind) -> AuditReport {
                         )
                     })
                 }
-                _ => pass[n].and_then(|rn| {
+                _ => pass.get(n).and_then(|rn| {
                     export_row(rn.class)[rel_of_i as usize].map(|class| {
                         (
                             class,
@@ -559,7 +560,7 @@ fn audit_pass(outcome: &RoutingOutcome<'_>, kind: PassKind) -> AuditReport {
                 match offer {
                     None => {
                         let parent_routeless =
-                            pass[n].is_none() && attack.is_none_or(|c| c.m_idx != n);
+                            pass.get(n).is_none() && attack.is_none_or(|c| c.m_idx != n);
                         violations.push(if parent_routeless {
                             AuditViolation::BrokenNextHop {
                                 asn,
@@ -647,7 +648,7 @@ fn audit_pass(outcome: &RoutingOutcome<'_>, kind: PassKind) -> AuditReport {
         let mut cur = i;
         let mut steps = 0usize;
         loop {
-            let Some(r) = pass[cur] else {
+            let Some(r) = pass.get(cur) else {
                 violations.push(AuditViolation::NotTerminating {
                     asn,
                     stuck_at: graph.asn_at(cur),

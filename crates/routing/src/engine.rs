@@ -96,7 +96,7 @@ use std::sync::Arc;
 
 use aspp_obs::counters::{self, Counter};
 use aspp_topology::{AsGraph, CsrIndex};
-use aspp_types::{AsPath, Asn, Relationship, RouteClass};
+use aspp_types::{AsPath, Asn, PathArena, PathRange, Relationship, RouteClass};
 
 use crate::decision::TieBreak;
 use crate::prepend::{PrependConfig, PrependingPolicy};
@@ -254,7 +254,9 @@ impl AttackerModel {
 #[derive(Clone, Debug)]
 pub struct DestinationSpec {
     victim: Asn,
-    prepend: PrependConfig,
+    // Arc-shared so cloning a spec (batch cells, cached clean entries,
+    // outcome embedding) bumps a refcount instead of copying the policy map.
+    prepend: Arc<PrependConfig>,
     attacker: Option<AttackerModel>,
     tie: TieBreak,
 }
@@ -266,7 +268,7 @@ impl DestinationSpec {
     pub fn new(victim: Asn) -> Self {
         DestinationSpec {
             victim,
-            prepend: PrependConfig::new(),
+            prepend: Arc::new(PrependConfig::new()),
             attacker: None,
             tie: TieBreak::default(),
         }
@@ -277,7 +279,7 @@ impl DestinationSpec {
     /// clamped to at least 1.
     #[must_use]
     pub fn origin_padding(mut self, copies: usize) -> Self {
-        self.prepend.set(
+        Arc::make_mut(&mut self.prepend).set(
             self.victim,
             PrependingPolicy::Uniform(copies.saturating_sub(1)),
         );
@@ -288,7 +290,7 @@ impl DestinationSpec {
     /// policies). Replaces any padding set earlier.
     #[must_use]
     pub fn prepend_config(mut self, config: PrependConfig) -> Self {
-        self.prepend = config;
+        self.prepend = Arc::new(config);
         self
     }
 
@@ -352,7 +354,111 @@ pub(crate) struct NodeRoute {
     pub(crate) via_attacker: bool,
 }
 
-pub(crate) type Pass = Vec<Option<NodeRoute>>;
+/// One node's route state packed into a single 64-bit word:
+///
+/// ```text
+/// bit 63      present (0 ⇒ no route, whole word is 0)
+/// bit 62      via_attacker
+/// bits 60-61  RouteClass discriminant
+/// bits 32-59  effective length (28 bits)
+/// bits 0-31   parent node index (u32::MAX ⇒ origin / pinned root)
+/// ```
+///
+/// The pack/unpack round-trip is lossless (lengths are bounded far below
+/// 2^28 and node indices fit 30 bits per the CSR), so the packed pass is
+/// bit-identical in behaviour to the former `Vec<Option<NodeRoute>>` while
+/// taking 8 bytes per node instead of 24 — at Internet scale the whole
+/// route table is one 640 kB allocation that clones via `memcpy`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(transparent)]
+pub(crate) struct PackedRoute(u64);
+
+impl PackedRoute {
+    const ABSENT: PackedRoute = PackedRoute(0);
+    const PRESENT: u64 = 1 << 63;
+    const VIA: u64 = 1 << 62;
+    const NO_PARENT: u64 = u32::MAX as u64;
+    /// Discriminant-indexed decode table for the 2-bit class field.
+    const CLASS: [RouteClass; 4] = [
+        RouteClass::Origin,
+        RouteClass::FromCustomer,
+        RouteClass::FromPeer,
+        RouteClass::FromProvider,
+    ];
+
+    #[inline]
+    fn pack(r: NodeRoute) -> Self {
+        debug_assert!(r.len < (1 << 28), "effective length fits 28 bits");
+        let parent = r.parent.map_or(Self::NO_PARENT, |p| {
+            debug_assert!(p < u32::MAX as usize);
+            p as u64
+        });
+        PackedRoute(
+            Self::PRESENT
+                | if r.via_attacker { Self::VIA } else { 0 }
+                | ((r.class as u64) << 60)
+                | (u64::from(r.len) << 32)
+                | parent,
+        )
+    }
+
+    #[inline]
+    fn unpack(self) -> Option<NodeRoute> {
+        if self.0 & Self::PRESENT == 0 {
+            return None;
+        }
+        let parent = self.0 & Self::NO_PARENT;
+        Some(NodeRoute {
+            class: Self::CLASS[((self.0 >> 60) & 3) as usize],
+            len: ((self.0 >> 32) & 0x0FFF_FFFF) as u32,
+            parent: (parent != Self::NO_PARENT).then_some(parent as usize),
+            via_attacker: self.0 & Self::VIA != 0,
+        })
+    }
+}
+
+/// One equilibrium's full route table: a dense, flat array of
+/// [`PackedRoute`] words indexed by node id. The accessors speak
+/// `Option<NodeRoute>` so the rest of the engine (and the auditor) reads
+/// and writes routes exactly as before the packing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct Pass {
+    words: Vec<PackedRoute>,
+}
+
+impl Pass {
+    /// An all-absent pass over `n` nodes — one zeroed allocation.
+    #[inline]
+    pub(crate) fn absent(n: usize) -> Self {
+        Pass {
+            words: vec![PackedRoute::ABSENT; n],
+        }
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The route at node `i`, unpacked.
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> Option<NodeRoute> {
+        self.words[i].unpack()
+    }
+
+    /// Stores (or clears) the route at node `i`.
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize, route: Option<NodeRoute>) {
+        self.words[i] = route.map_or(PackedRoute::ABSENT, PackedRoute::pack);
+    }
+
+    /// Iterates every node's route in id order.
+    #[inline]
+    pub(crate) fn iter(&self) -> impl Iterator<Item = Option<NodeRoute>> + '_ {
+        self.words.iter().map(|w| w.unpack())
+    }
+}
 
 /// Identity stamp for the graph a workspace's cached passes were computed
 /// against. Combines the graph's address, mutation counter and node count so
@@ -387,7 +493,7 @@ impl GraphStamp {
 struct CleanEntry {
     victim: Asn,
     tie: TieBreak,
-    prepend: PrependConfig,
+    prepend: Arc<PrependConfig>,
     pass: Arc<Pass>,
     keys: Option<Arc<[u128]>>,
 }
@@ -670,7 +776,7 @@ pub struct RouteWorkspace {
     /// Attack specs whose delta pass is known to hit the non-monotone
     /// corner; repeats go straight to the full pass instead of re-paying a
     /// doomed delta attempt. Valid for the stamped graph only.
-    delta_hostile: Vec<(Asn, AttackerModel, TieBreak, PrependConfig)>,
+    delta_hostile: Vec<(Asn, AttackerModel, TieBreak, Arc<PrependConfig>)>,
     cache_capacity: usize,
     stamp: Option<GraphStamp>,
     hits: u64,
@@ -927,7 +1033,7 @@ impl<'g> RoutingEngine<'g> {
 
         let attacked = spec.attacker.as_ref().and_then(|att| {
             let m_idx = self.graph.index_of(att.asn).expect("checked above");
-            let m_route = clean[m_idx]?;
+            let m_route = clean.get(m_idx)?;
             let (base_len, chain) = match att.strategy {
                 AttackStrategy::StripPadding { keep } => {
                     // Reconstruct M's received path to find the strippable
@@ -1126,7 +1232,7 @@ impl<'g> RoutingEngine<'g> {
         let n = self.graph.len();
         let csr = self.graph.csr();
         let pad = self.pad_table(spec);
-        let mut best: Pass = vec![None; n];
+        let mut best = Pass::absent(n);
         ws.begin_pass(n, attack.map_or(&[][..], |a| a.chain.as_slice()));
         let RouteWorkspace {
             queue,
@@ -1137,12 +1243,15 @@ impl<'g> RoutingEngine<'g> {
         let (scratch, epoch) = (&mut scratch[..], *epoch);
         queue.clear();
 
-        best[v_idx] = Some(NodeRoute {
-            class: RouteClass::Origin,
-            len: 0,
-            parent: None,
-            via_attacker: false,
-        });
+        best.set(
+            v_idx,
+            Some(NodeRoute {
+                class: RouteClass::Origin,
+                len: 0,
+                parent: None,
+                via_attacker: false,
+            }),
+        );
         scratch[v_idx].adopted_epoch = epoch;
 
         // Victim's exports.
@@ -1162,7 +1271,7 @@ impl<'g> RoutingEngine<'g> {
 
         // Attacker: pin its clean route and seed its modified exports.
         if let Some(att) = attack {
-            best[att.m_idx] = Some(att.pinned);
+            best.set(att.m_idx, Some(att.pinned));
             scratch[att.m_idx].adopted_epoch = epoch;
             self.seed_attacker_exports::<false>(
                 spec,
@@ -1185,12 +1294,15 @@ impl<'g> RoutingEngine<'g> {
             // Chain-masked targets were filtered at push (loop prevention).
             debug_assert!(!label.via_attacker || scratch[node].chain_epoch != epoch);
             scratch[node].adopted_epoch = epoch;
-            best[node] = Some(NodeRoute {
-                class: label.class,
-                len: label.len,
-                parent: Some(label.parent as usize),
-                via_attacker: label.via_attacker,
-            });
+            best.set(
+                node,
+                Some(NodeRoute {
+                    class: label.class,
+                    len: label.len,
+                    parent: Some(label.parent as usize),
+                    via_attacker: label.via_attacker,
+                }),
+            );
             // The attacker itself never reaches this point: its entry is
             // pre-set (full pass) or chain-masked (delta), so its pinned
             // route is never re-exported — only the pre-seeded exports are.
@@ -1260,7 +1372,7 @@ impl<'g> RoutingEngine<'g> {
         queue.clear();
 
         let mut attacked: Pass = clean.clone();
-        attacked[att.m_idx] = Some(att.pinned);
+        attacked.set(att.m_idx, Some(att.pinned));
         scratch[att.m_idx].adopted_epoch = epoch;
         let mut frontier = 0u64;
 
@@ -1293,12 +1405,15 @@ impl<'g> RoutingEngine<'g> {
             }
             s.adopted_epoch = epoch;
             frontier += 1;
-            attacked[node] = Some(NodeRoute {
-                class: label.class,
-                len: label.len,
-                parent: Some(label.parent as usize),
-                via_attacker: true,
-            });
+            attacked.set(
+                node,
+                Some(NodeRoute {
+                    class: label.class,
+                    len: label.len,
+                    parent: Some(label.parent as usize),
+                    via_attacker: true,
+                }),
+            );
             self.export_from::<true>(
                 spec,
                 csr,
@@ -1334,11 +1449,12 @@ impl<'g> RoutingEngine<'g> {
         keys: &[u128],
         epoch: u32,
     ) {
-        let m_asn = self.graph.asn_at(att.m_idx);
+        let m_asn = csr.asn_at(att.m_idx);
         let policy = pad.get(att.m_idx).copied().flatten();
         let tie_key = tie_key_for(spec.tie, true, m_asn);
-        for &(x_idx, rel_of_x) in csr.neighbors(att.m_idx) {
-            let x_idx = x_idx as usize;
+        for &entry in csr.neighbors(att.m_idx) {
+            let x_idx = entry.node() as usize;
+            let rel_of_x = entry.rel();
             if x_idx == v_idx {
                 continue;
             }
@@ -1353,9 +1469,8 @@ impl<'g> RoutingEngine<'g> {
                 continue;
             }
             let class = class_at_receiver(att.clean_class, rel_of_x);
-            let len = att.base_len
-                + 1
-                + policy.map_or(0, |p| p.extra_for(self.graph.asn_at(x_idx))) as u32;
+            let len =
+                att.base_len + 1 + policy.map_or(0, |p| p.extra_for(csr.asn_at(x_idx))) as u32;
             offer::<DELTA, true>(
                 queue,
                 &mut scratch[x_idx],
@@ -1385,16 +1500,16 @@ impl<'g> RoutingEngine<'g> {
         keys: &[u128],
         epoch: u32,
     ) {
-        let node_asn = self.graph.asn_at(node);
+        let node_asn = csr.asn_at(node);
         let policy = pad.get(node).copied().flatten();
         let tie_key = tie_key_for(spec.tie, via_attacker, node_asn);
         let row = export_row(class);
-        for &(x_idx, rel_of_x) in csr.neighbors(node) {
-            let x_idx = x_idx as usize;
-            let Some(receiver_class) = row[rel_of_x as usize] else {
+        for &entry in csr.neighbors(node) {
+            let x_idx = entry.node() as usize;
+            let Some(receiver_class) = row[entry.rel() as usize] else {
                 continue;
             };
-            let weight = 1 + policy.map_or(0, |p| p.extra_for(self.graph.asn_at(x_idx))) as u32;
+            let weight = 1 + policy.map_or(0, |p| p.extra_for(csr.asn_at(x_idx))) as u32;
             if via_attacker {
                 offer::<DELTA, true>(
                     queue,
@@ -1552,7 +1667,7 @@ fn pack_bucket_rank(tie_key: (u8, u32), node: u32, parent: u32, via_attacker: bo
 pub(crate) fn chain_of(pass: &Pass, idx: usize) -> Vec<usize> {
     let mut chain = vec![idx];
     let mut current = idx;
-    while let Some(route) = pass[current] {
+    while let Some(route) = pass.get(current) {
         match route.parent {
             Some(p) => {
                 chain.push(p);
@@ -1565,8 +1680,56 @@ pub(crate) fn chain_of(pass: &Pass, idx: usize) -> Vec<usize> {
 }
 
 /// Reconstructs the path stored in `idx`'s RIB (not including `idx` itself)
-/// for the given pass. `attack_base` supplies the attacker's stripped base
+/// for the given pass, appending its hops to `arena` in wire order
+/// (most-recent-first). `attack_base` supplies the attacker's stripped base
 /// path when reconstructing attacked routes.
+///
+/// Walking the parent chain from `idx` toward the source visits export
+/// steps `u -> w` from the receiver outward — exactly wire order when each
+/// step's `1 + extra(u, w)` copies of `u` are pushed at the back, with the
+/// attacker's base path (the hops "behind" the attacker) appended last. One
+/// O(len) pass, no chain buffer, no front insertion.
+fn reconstruct_into(
+    graph: &AsGraph,
+    spec: &DestinationSpec,
+    pass: &Pass,
+    attack_base: Option<(usize, &AsPath)>,
+    idx: usize,
+    arena: &mut PathArena,
+) -> Option<PathRange> {
+    pass.get(idx)?;
+    let start = arena.begin();
+    // Follow parents, stopping at the attacker: its pinned parent chain
+    // belongs to the *clean* route, while everything it exported in the
+    // attacked pass carries the stripped base path instead.
+    let mut w = idx;
+    loop {
+        if attack_base.is_some_and(|(m, _)| w == m) {
+            break;
+        }
+        let Some(u) = pass.get(w).and_then(|r| r.parent) else {
+            break;
+        };
+        let u_asn = graph.asn_at(u);
+        let copies = if attack_base.is_some_and(|(m, _)| u == m) {
+            // The attacker prepends itself exactly once.
+            1
+        } else {
+            1 + spec.prepend.extra_for(u_asn, graph.asn_at(w))
+        };
+        arena.push_n(u_asn, copies);
+        w = u;
+    }
+    if let Some((m_idx, m_base)) = attack_base {
+        if w == m_idx {
+            arena.extend(m_base.hops());
+        }
+    }
+    Some(arena.finish(start))
+}
+
+/// [`reconstruct_into`] materialized as an owned [`AsPath`] — the one-shot
+/// boundary form used by per-AS accessors.
 fn reconstruct_received(
     graph: &AsGraph,
     spec: &DestinationSpec,
@@ -1574,49 +1737,9 @@ fn reconstruct_received(
     attack_base: Option<(usize, &AsPath)>,
     idx: usize,
 ) -> Option<AsPath> {
-    let route = pass[idx]?;
-    if route.parent.is_none() && attack_base.is_none_or(|(m, _)| idx != m) {
-        // Origin: its own RIB entry for its own prefix is the empty path.
-        return Some(AsPath::new());
-    }
-    // Collect the chain idx -> ... -> source, stopping at the attacker: its
-    // pinned parent chain belongs to the *clean* route, while everything it
-    // exported in the attacked pass carries the stripped base path instead.
-    let mut chain = vec![idx];
-    let mut current = idx;
-    loop {
-        if attack_base.is_some_and(|(m, _)| current == m) {
-            break;
-        }
-        match pass[current].and_then(|r| r.parent) {
-            Some(p) => {
-                chain.push(p);
-                current = p;
-            }
-            None => break,
-        }
-    }
-    let source = *chain.last().expect("chain includes idx");
-    let mut path = AsPath::new();
-    if let Some((m_idx, m_base)) = attack_base {
-        if source == m_idx {
-            path = m_base.clone();
-        }
-    }
-    // Build from the source outward: for each export step u -> w, prepend u
-    // (1 + extra(u, w)) times; the attacker prepends itself exactly once.
-    for pair in chain.windows(2).rev() {
-        let (w, u) = (pair[0], pair[1]);
-        let u_asn = graph.asn_at(u);
-        let w_asn = graph.asn_at(w);
-        let copies = if attack_base.is_some_and(|(m, _)| u == m) {
-            1
-        } else {
-            1 + spec.prepend.extra_for(u_asn, w_asn)
-        };
-        path.prepend_n(u_asn, copies);
-    }
-    Some(path)
+    let mut arena = PathArena::new();
+    let range = reconstruct_into(graph, spec, pass, attack_base, idx, &mut arena)?;
+    Some(arena.to_path(range))
 }
 
 /// The result of [`RoutingEngine::compute`]: the clean equilibrium and, when
@@ -1713,14 +1836,14 @@ impl RoutingOutcome<'_> {
             via_attacker: r.via_attacker,
         });
         match &mut self.attacked {
-            Some(pass) => pass[idx] = node,
-            None => Arc::make_mut(&mut self.clean)[idx] = node,
+            Some(pass) => pass.set(idx, node),
+            None => Arc::make_mut(&mut self.clean).set(idx, node),
         }
     }
 
     fn info_from(&self, pass: &Pass, asn: Asn) -> Option<RouteInfo> {
         let idx = self.graph.index_of(asn)?;
-        let r = pass[idx]?;
+        let r = pass.get(idx)?;
         Some(RouteInfo {
             class: r.class,
             effective_len: r.len,
@@ -1784,12 +1907,34 @@ impl RoutingOutcome<'_> {
         let Some(m_idx) = self.m_idx else {
             return 0.0;
         };
-        let mut through = 0;
+        // Whether i's chain passes through the attacker is its parent's
+        // answer, so memoizing turns per-node chain walks into one amortized
+        // O(n) sweep: walk up only until a resolved node, then unwind.
+        // 0 = unresolved, 1 = misses the attacker, 2 = passes through it.
+        const MISS: u8 = 1;
+        const THROUGH: u8 = 2;
+        let mut state = vec![0u8; self.graph.len()];
+        state[m_idx] = THROUGH;
+        let mut through = 0usize;
+        let mut trail = Vec::new();
         for i in 0..self.graph.len() {
-            if i == self.v_idx || i == m_idx || self.clean[i].is_none() {
+            if self.clean.get(i).is_none() {
                 continue;
             }
-            if chain_of(&self.clean, i).contains(&m_idx) {
+            let mut cur = i;
+            while state[cur] == 0 {
+                trail.push(cur);
+                match self.clean.get(cur).and_then(|r| r.parent) {
+                    Some(p) => cur = p,
+                    None => break, // hit the source without meeting the attacker
+                }
+            }
+            let verdict = if state[cur] == 0 { MISS } else { state[cur] };
+            for &n in &trail {
+                state[n] = verdict;
+            }
+            trail.clear();
+            if verdict == THROUGH && i != self.v_idx && i != m_idx {
                 through += 1;
             }
         }
@@ -1822,7 +1967,7 @@ impl RoutingOutcome<'_> {
         if idx == m_idx {
             return Some(0);
         }
-        if !attacked[idx].is_some_and(|r| r.via_attacker) {
+        if !attacked.get(idx).is_some_and(|r| r.via_attacker) {
             return None;
         }
         let chain = chain_of(attacked, idx);
@@ -1900,12 +2045,34 @@ impl RoutingOutcome<'_> {
     }
 
     /// Number of ASes whose announced path visibly changed under the attack.
+    ///
+    /// Every observed path is its received path with the AS's own ASN
+    /// prepended, so comparing received paths suffices; both are built into
+    /// one reusable [`PathArena`] and compared as slices — the whole sweep
+    /// allocates two buffers total instead of two `AsPath`s per AS.
     #[must_use]
     pub fn changed_count(&self) -> usize {
-        if self.attacked.is_none() {
+        let Some(attacked) = &self.attacked else {
             return 0;
+        };
+        let base = self.m_idx.zip(self.attacker_base_path());
+        let base_ref = base.as_ref().map(|(m, p)| (*m, p));
+        let mut arena = PathArena::new();
+        let mut changed = 0usize;
+        for i in 0..self.graph.len() {
+            arena.clear();
+            let att = reconstruct_into(self.graph, &self.spec, attacked, base_ref, i, &mut arena);
+            let cln = reconstruct_into(self.graph, &self.spec, &self.clean, None, i, &mut arena);
+            let differs = match (att, cln) {
+                (Some(a), Some(c)) => arena.slice(a) != arena.slice(c),
+                (None, None) => false,
+                _ => true,
+            };
+            if differs {
+                changed += 1;
+            }
         }
-        self.graph.asns().filter(|&a| self.route_changed(a)).count()
+        changed
     }
 
     /// Iterates over every AS in the underlying topology.

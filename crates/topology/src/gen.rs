@@ -11,12 +11,17 @@
 //! Generation is fully deterministic given a seed, so experiments and benches
 //! are reproducible.
 
-use aspp_types::Asn;
+use aspp_types::{Asn, Relationship};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::AsGraph;
+
+/// Pool size at which [`InternetConfig::build`] switches the peering sweep
+/// from the all-pairs Bernoulli loop to target-count pair sampling. Every
+/// legacy preset's pools sit below this, so their output is untouched.
+const SPRINKLE_SAMPLE_THRESHOLD: usize = 2_048;
 
 /// ASN block in which generated tier-1 ASes live (`100`, `101`, …).
 pub const TIER1_BASE: u32 = 100;
@@ -120,6 +125,56 @@ impl InternetConfig {
             tier2_tier1_peer_prob: 0.1,
             tier3_peer_prob: 0.004,
             content_peer_fraction: 0.3,
+            seed: 0,
+        }
+    }
+
+    /// ~80,000-AS Internet, CAIDA-shaped: a routing-system-scale topology
+    /// (~80k ASes, ~500k links) for the `--scale internet` tier. Same
+    /// power-law construction as the smaller presets; the provider draws go
+    /// through the Fenwick fast path and the dense peering layers through
+    /// target-count sampling, so it builds in seconds rather than hours.
+    ///
+    /// Tier-3 is capped at 9,500 by the [`TIER3_BASE`]/[`STUB_BASE`] ASN
+    /// block split; the stub fringe absorbs the difference, matching the
+    /// real Internet's ~85% stub share.
+    #[must_use]
+    pub fn internet() -> Self {
+        InternetConfig {
+            num_tier1: 20,
+            num_tier2: 4_000,
+            num_tier3: 9_500,
+            num_stubs: 66_000,
+            num_content: 480,
+            tier2_provider_range: (2, 4),
+            tier3_provider_range: (1, 3),
+            stub_provider_range: (1, 2),
+            tier2_peer_prob: 0.015,
+            tier2_tier1_peer_prob: 0.2,
+            tier3_peer_prob: 0.003,
+            content_peer_fraction: 0.015,
+            seed: 0,
+        }
+    }
+
+    /// ~20,000-AS Internet: the CI-sized cut of
+    /// [`internet`](Self::internet) (the `--scale internet-smoke` tier),
+    /// preserving its tier proportions and density character.
+    #[must_use]
+    pub fn internet_smoke() -> Self {
+        InternetConfig {
+            num_tier1: 15,
+            num_tier2: 1_200,
+            num_tier3: 4_000,
+            num_stubs: 14_600,
+            num_content: 185,
+            tier2_provider_range: (2, 4),
+            tier3_provider_range: (1, 3),
+            stub_provider_range: (1, 2),
+            tier2_peer_prob: 0.03,
+            tier2_tier1_peer_prob: 0.2,
+            tier3_peer_prob: 0.004,
+            content_peer_fraction: 0.02,
             seed: 0,
         }
     }
@@ -233,9 +288,13 @@ impl InternetConfig {
 
         // 2. Tier-2: multi-homed to tier-1, sparse mutual peering, and some
         //    settlement-free peering up into the tier-1 layer.
-        for &asn in &tier2 {
-            self.attach_providers(&mut graph, &mut rng, asn, &tier1, self.tier2_provider_range);
-        }
+        attach_providers_batch(
+            &mut graph,
+            &mut rng,
+            &tier2,
+            &tier1,
+            self.tier2_provider_range,
+        );
         self.sprinkle_peering(&mut graph, &mut rng, &tier2, self.tier2_peer_prob);
         if self.tier2_tier1_peer_prob > 0.0 {
             for &t2 in &tier2 {
@@ -249,22 +308,24 @@ impl InternetConfig {
         }
 
         // 3. Tier-3: multi-homed to tier-2, very sparse peering.
-        for &asn in &tier3 {
-            self.attach_providers(&mut graph, &mut rng, asn, &tier2, self.tier3_provider_range);
-        }
+        attach_providers_batch(
+            &mut graph,
+            &mut rng,
+            &tier3,
+            &tier2,
+            self.tier3_provider_range,
+        );
         self.sprinkle_peering(&mut graph, &mut rng, &tier3, self.tier3_peer_prob);
 
         // 4. Stubs: providers drawn from tier-2 ∪ tier-3.
         let transit: Vec<Asn> = tier2.iter().chain(tier3.iter()).copied().collect();
-        for &asn in &stubs {
-            self.attach_providers(
-                &mut graph,
-                &mut rng,
-                asn,
-                &transit,
-                self.stub_provider_range,
-            );
-        }
+        attach_providers_batch(
+            &mut graph,
+            &mut rng,
+            &stubs,
+            &transit,
+            self.stub_provider_range,
+        );
 
         // 5. Content ASes: one or two transit providers plus rich peering
         //    across every layer, tier-1 included — the "well-connected
@@ -336,12 +397,165 @@ impl InternetConfig {
         if prob <= 0.0 {
             return;
         }
+        if pool.len() >= SPRINKLE_SAMPLE_THRESHOLD {
+            sprinkle_peering_sampled(graph, rng, pool, prob);
+            return;
+        }
         for (i, &a) in pool.iter().enumerate() {
             for &b in &pool[i + 1..] {
                 if rng.gen_bool(prob) {
                     let _ = graph.add_peering(a, b);
                 }
             }
+        }
+    }
+}
+
+/// Fenwick (binary-indexed) tree over the provider pool's attachment
+/// weights: prefix-sum queries and point updates in O(log n), plus the
+/// classic bit-descent [`find`](Self::find) that resolves a lottery ticket
+/// to the element containing it — the O(log n) replacement for the linear
+/// ticket scan in [`InternetConfig::attach_providers`].
+struct WeightTree {
+    tree: Vec<u64>,
+}
+
+impl WeightTree {
+    fn from_weights(weights: &[u64]) -> Self {
+        let mut t = WeightTree {
+            tree: vec![0; weights.len() + 1],
+        };
+        for (i, &w) in weights.iter().enumerate() {
+            t.increase(i, w);
+        }
+        t
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    fn increase(&mut self, i: usize, delta: u64) {
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] += delta;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    /// Removes `delta` from element `i`; `delta` must not exceed the
+    /// element's current value.
+    fn decrease(&mut self, i: usize, delta: u64) {
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] -= delta;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    fn total(&self) -> u64 {
+        let mut i = self.len();
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// The 0-based index of the element whose cumulative weight range
+    /// contains `ticket` — the smallest `i` with `prefix(i + 1) > ticket`.
+    /// Zero-weight (already-chosen) elements are never returned.
+    fn find(&self, mut ticket: u64) -> usize {
+        let n = self.len();
+        let mut pos = 0;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next] <= ticket {
+                pos = next;
+                ticket -= self.tree[next];
+            }
+            step >>= 1;
+        }
+        pos
+    }
+}
+
+/// Phase-level fast path for [`InternetConfig::attach_providers`]: attaches
+/// every AS in `customers` to providers drawn from `pool`, consuming the
+/// *identical* RNG sequence — one `gen_range(lo..=hi)` per customer, one
+/// `gen_range(0..total)` per draw with the same running totals — so the
+/// resulting graph is bit-for-bit the one the per-customer linear scan
+/// builds. Each ticket resolves through a [`WeightTree`] in O(log n)
+/// instead of an O(n) pool rescan, which is what makes the 80k-AS preset
+/// build in seconds.
+///
+/// Callers must guarantee `pool` and `customers` occupy disjoint ASN blocks
+/// with no pre-existing links between them (the tiered construction does,
+/// structurally) — the precondition for `add_link_unchecked`.
+fn attach_providers_batch(
+    graph: &mut AsGraph,
+    rng: &mut StdRng,
+    customers: &[Asn],
+    pool: &[Asn],
+    (lo, hi): (usize, usize),
+) {
+    let mut weights: Vec<u64> = pool.iter().map(|&p| graph.degree(p) as u64 + 1).collect();
+    let mut tree = WeightTree::from_weights(&weights);
+    let mut chosen: Vec<usize> = Vec::new();
+    for &customer in customers {
+        graph.add_as(customer);
+        let want = rng.gen_range(lo..=hi).min(pool.len());
+        chosen.clear();
+        while chosen.len() < want {
+            let total = tree.total() as usize;
+            if total == 0 {
+                break;
+            }
+            let ticket = rng.gen_range(0..total);
+            let pick = tree.find(ticket as u64);
+            // Zero the pick's weight so later draws for this customer
+            // exclude it, exactly as the linear scan's `chosen` filter does.
+            tree.decrease(pick, weights[pick]);
+            chosen.push(pick);
+        }
+        for &pick in &chosen {
+            graph.add_link_unchecked(pool[pick], customer, Relationship::Customer);
+            // Restore the weight, +1 for the degree the new link added.
+            weights[pick] += 1;
+            tree.increase(pick, weights[pick]);
+        }
+    }
+}
+
+/// Peering sweep for internet-scale pools, where the all-pairs Bernoulli
+/// loop would burn O(n²) RNG draws: hit the sweep's expected edge count
+/// deterministically by sampling random pairs until `round(pairs × prob)`
+/// distinct peerings exist. Same density, different (still seeded,
+/// deterministic) RNG stream — which is why only pools at or above
+/// [`SPRINKLE_SAMPLE_THRESHOLD`] take this path.
+fn sprinkle_peering_sampled(graph: &mut AsGraph, rng: &mut StdRng, pool: &[Asn], prob: f64) {
+    let n = pool.len();
+    let pairs = n * (n - 1) / 2;
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let target = ((pairs as f64) * prob).round() as usize;
+    // Collisions (self-pairs, duplicates, existing links) are resampled; the
+    // cap only guards against a target near the pool's saturation point,
+    // which no preset approaches.
+    let max_attempts = target.saturating_mul(8) + 1_024;
+    let mut added = 0;
+    for _ in 0..max_attempts {
+        if added >= target {
+            break;
+        }
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        if graph.add_peering(pool[i], pool[j]).is_ok() {
+            added += 1;
         }
     }
 }
@@ -481,6 +695,92 @@ mod tests {
         pairs.sort();
         pairs.dedup();
         assert_eq!(pairs.len(), before);
+    }
+
+    #[test]
+    fn fenwick_batch_is_bit_identical_to_linear_scan() {
+        // Same seed, same pool, same customers: the per-customer linear
+        // ticket scan and the phase-level Fenwick path must consume the RNG
+        // identically and therefore build the identical graph — including
+        // the preferential-attachment feedback as pool degrees grow.
+        let pool: Vec<Asn> = (0..50).map(|i| Asn(TIER1_BASE + i)).collect();
+        let customers: Vec<Asn> = (0..300).map(|i| Asn(STUB_BASE + i)).collect();
+        let cfg = InternetConfig::small();
+
+        let mut legacy = AsGraph::with_capacity(350);
+        for &p in &pool {
+            legacy.add_as(p);
+        }
+        let mut rng = StdRng::seed_from_u64(77);
+        for &c in &customers {
+            cfg.attach_providers(&mut legacy, &mut rng, c, &pool, (1, 3));
+        }
+
+        let mut fast = AsGraph::with_capacity(350);
+        for &p in &pool {
+            fast.add_as(p);
+        }
+        let mut rng = StdRng::seed_from_u64(77);
+        attach_providers_batch(&mut fast, &mut rng, &customers, &pool, (1, 3));
+
+        let legacy_links: Vec<_> = legacy.links().collect();
+        let fast_links: Vec<_> = fast.links().collect();
+        assert_eq!(legacy_links, fast_links);
+    }
+
+    #[test]
+    fn internet_presets_are_sized_to_their_tiers() {
+        assert_eq!(InternetConfig::internet().total_ases(), 80_000);
+        assert_eq!(InternetConfig::internet_smoke().total_ases(), 20_000);
+    }
+
+    #[test]
+    fn internet_smoke_builds_a_well_formed_graph() {
+        let cfg = InternetConfig::internet_smoke().seed(13);
+        let g = cfg.build();
+        assert_eq!(g.len(), 20_000);
+        let tiers = TierMap::classify(&g);
+        assert_eq!(tiers.tier1().count(), 15);
+        assert!(tiers.verify_tier1_clique(&g).is_ok());
+        // No self-links or duplicate links anywhere, including the sampled
+        // peering and unchecked provider-attachment fast paths.
+        let mut pairs: Vec<(Asn, Asn)> = g
+            .links()
+            .map(|(a, b, _)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        for &(a, b) in &pairs {
+            assert_ne!(a, b, "self-loop at AS{a}");
+        }
+        let before = pairs.len();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs.len(), before, "duplicate links");
+        // Every non-tier-1 AS bought transit, so the graph hangs together
+        // through the core.
+        for asn in g.asns() {
+            let is_tier1 = (TIER1_BASE..TIER1_BASE + 100).contains(&asn.value());
+            if !is_tier1 {
+                assert!(
+                    g.providers(asn).next().is_some(),
+                    "AS{asn} should have a provider"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_peering_path_is_deterministic() {
+        // tier3_count ≥ SPRINKLE_SAMPLE_THRESHOLD forces the sampled
+        // peering sweep, which must stay seed-reproducible like the rest.
+        let cfg = InternetConfig::small().tier3_count(2_500).stub_count(100);
+        let a = cfg.clone().seed(21).build();
+        let b = cfg.clone().seed(21).build();
+        let la: Vec<_> = a.links().collect();
+        let lb: Vec<_> = b.links().collect();
+        assert_eq!(la, lb);
+        let c = cfg.seed(22).build();
+        let lc: Vec<_> = c.links().collect();
+        assert_ne!(la, lc);
     }
 
     #[test]

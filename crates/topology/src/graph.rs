@@ -41,18 +41,63 @@ pub struct AsGraph {
     version: u64,
 }
 
+/// One packed CSR adjacency entry: the neighbor's dense node index in the
+/// upper 30 bits and its [`Relationship`] (as seen from the owning node) in
+/// the low 2. Packing both into a single `u32` halves the entry footprint
+/// again versus `(u32, Relationship)` — at Internet scale (~1M directed
+/// entries) the whole adjacency array stays within a few MB of contiguous,
+/// branch-predictable memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct CsrEntry(u32);
+
+impl CsrEntry {
+    /// Discriminant-indexed decode table; `Relationship` has exactly four
+    /// variants, so the low 2 bits round-trip losslessly.
+    const REL: [Relationship; 4] = [
+        Relationship::Customer,
+        Relationship::Peer,
+        Relationship::Provider,
+        Relationship::Sibling,
+    ];
+
+    #[inline]
+    fn pack(node: u32, rel: Relationship) -> Self {
+        debug_assert!(node < (1 << 30), "node index must fit 30 bits");
+        CsrEntry((node << 2) | rel as u32)
+    }
+
+    /// The neighbor's dense node index.
+    #[inline]
+    #[must_use]
+    pub fn node(self) -> u32 {
+        self.0 >> 2
+    }
+
+    /// The neighbor's relationship as seen from the owning node.
+    #[inline]
+    #[must_use]
+    pub fn rel(self) -> Relationship {
+        Self::REL[(self.0 & 3) as usize]
+    }
+}
+
 /// A compressed-sparse-row snapshot of the adjacency lists: one contiguous
 /// entry array plus per-node offsets. Route computation iterates millions of
 /// neighbor lists per experiment; the CSR keeps them in one cache-friendly
-/// allocation (and halves entry size by storing `u32` indices).
+/// allocation of packed [`CsrEntry`] words, plus a flat `Asn`-by-index table
+/// so hot loops never touch the node structs (32-byte stride) or the
+/// `Asn → index` hash map.
 ///
 /// Obtained from [`AsGraph::csr`]; rebuilt lazily after any mutation.
 #[derive(Clone, Debug, Default)]
 pub struct CsrIndex {
     /// `offsets[i]..offsets[i + 1]` brackets node `i`'s entries.
     offsets: Vec<u32>,
-    /// `(neighbor index, relationship of that neighbor as seen from here)`.
-    entries: Vec<(u32, Relationship)>,
+    /// Packed `(neighbor index, relationship)` entries.
+    entries: Vec<CsrEntry>,
+    /// ASN of every dense index — the boundary-free reverse mapping.
+    asn_of: Vec<Asn>,
 }
 
 impl CsrIndex {
@@ -63,8 +108,27 @@ impl CsrIndex {
     /// Panics if `idx` is out of bounds.
     #[inline]
     #[must_use]
-    pub fn neighbors(&self, idx: usize) -> &[(u32, Relationship)] {
+    pub fn neighbors(&self, idx: usize) -> &[CsrEntry] {
         &self.entries[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
+    }
+
+    /// The ASN at dense index `idx`, from the snapshot's flat table (a
+    /// 4-byte-stride array read, no hashing, no node-struct traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn asn_at(&self, idx: usize) -> Asn {
+        self.asn_of[idx]
+    }
+
+    /// The whole dense-index → ASN table.
+    #[inline]
+    #[must_use]
+    pub fn asn_table(&self) -> &[Asn] {
+        &self.asn_of
     }
 
     /// Number of nodes covered by this snapshot.
@@ -152,14 +216,23 @@ impl AsGraph {
             let total: usize = self.nodes.iter().map(|n| n.neighbors.len()).sum();
             let mut offsets = Vec::with_capacity(self.nodes.len() + 1);
             let mut entries = Vec::with_capacity(total);
+            let mut asn_of = Vec::with_capacity(self.nodes.len());
             offsets.push(0u32);
             for node in &self.nodes {
+                asn_of.push(node.asn);
                 for &(idx, rel) in &node.neighbors {
-                    entries.push((u32::try_from(idx).expect("node count fits u32"), rel));
+                    entries.push(CsrEntry::pack(
+                        u32::try_from(idx).expect("node count fits u32"),
+                        rel,
+                    ));
                 }
                 offsets.push(u32::try_from(entries.len()).expect("entry count fits u32"));
             }
-            CsrIndex { offsets, entries }
+            CsrIndex {
+                offsets,
+                entries,
+                asn_of,
+            }
         })
     }
 
@@ -284,6 +357,27 @@ impl AsGraph {
         self.nodes[ib].neighbors.push((ia, rel_of_b.reverse()));
         self.invalidate_caches();
         Ok(())
+    }
+
+    /// [`add_link`](Self::add_link) without the O(degree) duplicate scan,
+    /// for bulk generators that prove pair uniqueness structurally (e.g.
+    /// disjoint ASN blocks per construction phase). A duplicate inserted
+    /// here corrupts the adjacency lists, hence crate-private.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-loop in debug builds.
+    pub(crate) fn add_link_unchecked(&mut self, a: Asn, b: Asn, rel_of_b: Relationship) {
+        debug_assert_ne!(a, b, "self-loop");
+        let ia = self.add_as(a);
+        let ib = self.add_as(b);
+        debug_assert!(
+            !self.nodes[ia].neighbors.iter().any(|&(n, _)| n == ib),
+            "duplicate link AS{a}-AS{b}"
+        );
+        self.nodes[ia].neighbors.push((ib, rel_of_b));
+        self.nodes[ib].neighbors.push((ia, rel_of_b.reverse()));
+        self.invalidate_caches();
     }
 
     /// Records that `provider` sells transit to `customer`.
@@ -544,8 +638,15 @@ mod tests {
                 .iter()
                 .map(|&(n, rel)| (n as u32, rel))
                 .collect();
-            assert_eq!(csr.neighbors(idx), expected.as_slice());
+            let got: Vec<(u32, Relationship)> = csr
+                .neighbors(idx)
+                .iter()
+                .map(|e| (e.node(), e.rel()))
+                .collect();
+            assert_eq!(got, expected);
+            assert_eq!(csr.asn_at(idx), g.asn_at(idx));
         }
+        assert_eq!(csr.asn_table().len(), g.len());
         assert!(AsGraph::new().csr().is_empty());
     }
 

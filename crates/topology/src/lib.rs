@@ -36,4 +36,4 @@ pub mod io;
 pub mod metrics;
 pub mod tier;
 
-pub use graph::{AsGraph, CsrIndex, GraphError, NeighborIter};
+pub use graph::{AsGraph, CsrEntry, CsrIndex, GraphError, NeighborIter};

@@ -1,0 +1,211 @@
+//! A flat, append-only arena for AS-path hops.
+//!
+//! Route engines reconstruct thousands of observed paths per experiment;
+//! materializing each one as an [`AsPath`] (a fresh `Vec<Asn>`) makes the
+//! reconstruction loop allocation-bound. A [`PathArena`] instead packs every
+//! path's hops into **one** growable buffer and hands out [`PathRange`]
+//! handles — plain `u32` index pairs — so building, comparing and discarding
+//! paths costs no per-path allocation. An [`AsPath`] is produced only at the
+//! API boundary, via [`PathArena::to_path`].
+//!
+//! Hops are stored in wire order (most-recent-first), matching [`AsPath`].
+//!
+//! # Example
+//!
+//! ```
+//! use aspp_types::{Asn, PathArena};
+//!
+//! let mut arena = PathArena::new();
+//! let start = arena.begin();
+//! arena.push(Asn(3356));
+//! arena.push_n(Asn(32934), 3);
+//! let range = arena.finish(start);
+//! assert_eq!(arena.slice(range).len(), 4);
+//! assert_eq!(arena.to_path(range).to_string(), "3356 32934 32934 32934");
+//! ```
+
+use crate::{AsPath, Asn};
+
+/// A half-open range of hops inside a [`PathArena`]: one reconstructed
+/// path's handle. Copyable, 8 bytes, independent of path length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PathRange {
+    start: u32,
+    end: u32,
+}
+
+impl PathRange {
+    /// Number of hops in the range (the path's effective length).
+    #[must_use]
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Returns `true` for a zero-hop range (the origin's own empty path).
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The arena itself: a single hop buffer shared by every path built into it.
+///
+/// Paths are built bracketed — [`begin`](Self::begin), any number of
+/// [`push`](Self::push)/[`push_n`](Self::push_n)/[`extend`](Self::extend),
+/// then [`finish`](Self::finish) — and read back through their
+/// [`PathRange`]. [`clear`](Self::clear) recycles the buffer (capacity
+/// kept), which is what makes a long-lived arena a zero-allocation scratch
+/// for per-pass reconstruction.
+#[derive(Clone, Debug, Default)]
+pub struct PathArena {
+    hops: Vec<Asn>,
+}
+
+impl PathArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        PathArena::default()
+    }
+
+    /// An empty arena with room for `hops` hops.
+    #[must_use]
+    pub fn with_capacity(hops: usize) -> Self {
+        PathArena {
+            hops: Vec::with_capacity(hops),
+        }
+    }
+
+    /// Total hops stored across all finished and in-progress paths.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Returns `true` when no hops are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Drops every stored path, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.hops.clear();
+    }
+
+    /// Opens a new path; returns the mark to pass to
+    /// [`finish`](Self::finish).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena already holds `u32::MAX` hops.
+    #[must_use]
+    pub fn begin(&self) -> u32 {
+        u32::try_from(self.hops.len()).expect("arena exceeds u32 hops")
+    }
+
+    /// Appends one hop to the path under construction.
+    pub fn push(&mut self, asn: Asn) {
+        self.hops.push(asn);
+    }
+
+    /// Appends `n` copies of `asn` (a prepend run) to the path under
+    /// construction.
+    pub fn push_n(&mut self, asn: Asn, n: usize) {
+        self.hops.resize(self.hops.len() + n, asn);
+    }
+
+    /// Appends a slice of hops (e.g. an attack base path) verbatim.
+    pub fn extend(&mut self, hops: &[Asn]) {
+        self.hops.extend_from_slice(hops);
+    }
+
+    /// Closes the path opened at `start` and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena grew past `u32::MAX` hops.
+    pub fn finish(&mut self, start: u32) -> PathRange {
+        PathRange {
+            start,
+            end: u32::try_from(self.hops.len()).expect("arena exceeds u32 hops"),
+        }
+    }
+
+    /// Truncates the arena back to `mark`, discarding any hops pushed after
+    /// it — the cheap way to abandon or recycle a trial reconstruction.
+    pub fn truncate(&mut self, mark: u32) {
+        self.hops.truncate(mark as usize);
+    }
+
+    /// The hops of a finished path, wire order (most-recent-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` does not lie within the arena (e.g. after a
+    /// [`clear`](Self::clear)).
+    #[must_use]
+    pub fn slice(&self, range: PathRange) -> &[Asn] {
+        &self.hops[range.start as usize..range.end as usize]
+    }
+
+    /// Materializes a finished path as an owned [`AsPath`] — the boundary
+    /// reconstruction, and the only allocating read.
+    #[must_use]
+    pub fn to_path(&self, range: PathRange) -> AsPath {
+        AsPath::from_hops(self.slice(range).iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_compare_and_materialize() {
+        let mut arena = PathArena::new();
+        let s1 = arena.begin();
+        arena.push(Asn(7018));
+        arena.push_n(Asn(32934), 2);
+        let p1 = arena.finish(s1);
+
+        let s2 = arena.begin();
+        arena.extend(&[Asn(7018), Asn(32934), Asn(32934)]);
+        let p2 = arena.finish(s2);
+
+        assert_eq!(p1.len(), 3);
+        assert!(!p1.is_empty());
+        assert_eq!(arena.slice(p1), arena.slice(p2));
+        assert_eq!(arena.to_path(p1), arena.to_path(p2));
+        assert_eq!(arena.to_path(p1).to_string(), "7018 32934 32934");
+        assert_eq!(arena.len(), 6);
+    }
+
+    #[test]
+    fn empty_path_and_clear_recycling() {
+        let mut arena = PathArena::with_capacity(16);
+        let s = arena.begin();
+        let empty = arena.finish(s);
+        assert!(empty.is_empty());
+        assert_eq!(arena.to_path(empty), AsPath::new());
+
+        arena.push_n(Asn(1), 5);
+        assert_eq!(arena.len(), 5);
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.begin(), 0);
+    }
+
+    #[test]
+    fn truncate_discards_trial_hops() {
+        let mut arena = PathArena::new();
+        let mark = arena.begin();
+        arena.push_n(Asn(9), 4);
+        arena.truncate(mark);
+        assert!(arena.is_empty());
+        let s = arena.begin();
+        arena.push(Asn(2));
+        let r = arena.finish(s);
+        assert_eq!(arena.slice(r), &[Asn(2)]);
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod announce;
+mod arena;
 mod asn;
 mod error;
 mod path;
@@ -48,6 +49,7 @@ mod prefix;
 mod relationship;
 
 pub use announce::Announcement;
+pub use arena::{PathArena, PathRange};
 pub use asn::Asn;
 pub use error::{AsppError, IngestReport, ParseAsPathError, ParseAsnError, ParsePrefixError};
 pub use path::AsPath;

@@ -14,6 +14,7 @@
 //! aspp audit      --topology FILE | --corpus FILE [--lenient]
 //! aspp feed       [--replay] [--paper] [--shards N] [--baseline] [options]
 //! aspp sweep      [--paper] [--seed N] [--pairs N] [--lambda-max N] [--serial]
+//! aspp gen        [--scale S] [--seed N] [--out FILE]   synthesize a topology
 //! ```
 //!
 //! Every subcommand additionally understands the observability flags
@@ -138,6 +139,7 @@ fn main() -> ExitCode {
         "audit" => cmd_audit(&rest, &mut manifest),
         "feed" => cmd_feed(&rest, &mut manifest),
         "sweep" => cmd_sweep(&rest, &mut manifest),
+        "gen" => cmd_gen(&rest, &mut manifest),
         "help" | "--help" | "-h" => {
             out!("{}", usage_text());
             Ok(())
@@ -189,6 +191,8 @@ fn record_scale(manifest: &mut RunManifest, scale: Scale, seed: u64) {
         match scale {
             Scale::Paper => "paper",
             Scale::Smoke => "smoke",
+            Scale::Internet => "internet",
+            Scale::InternetSmoke => "internet-smoke",
         }
         .to_string(),
     );
@@ -219,6 +223,12 @@ USAGE:
                   [--corpus-out FILE] [--in FILE --corpus FILE] [--lenient]
   aspp sweep      [--paper] [--seed N] [--pairs N] [--lambda-max N]
                   [--batch] [--serial] [--workers N]
+  aspp gen        [--scale smoke|paper|internet|internet-smoke] [--seed N]
+                  [--out FILE]
+
+SCALES (usage/impact/detection/selection/audit/feed/sweep/gen):
+  --scale smoke|paper|internet|internet-smoke   (~150 / ~1.5k / ~80k / ~20k
+  ASes; --paper remains shorthand for --scale paper)
 
 OBSERVABILITY (every subcommand; see README.md):
   --trace-json PATH     write span timings as JSON lines to PATH
@@ -267,12 +277,23 @@ impl<'a> Flags<'a> {
             .map(String::as_str)
     }
 
-    fn scale(&self) -> Scale {
-        if self.has("--paper") {
+    fn scale(&self) -> Result<Scale, String> {
+        if let Some(name) = self.value("--scale") {
+            return match name {
+                "smoke" => Ok(Scale::Smoke),
+                "paper" => Ok(Scale::Paper),
+                "internet" => Ok(Scale::Internet),
+                "internet-smoke" => Ok(Scale::InternetSmoke),
+                other => Err(format!(
+                    "unknown scale {other:?} (expected smoke, paper, internet, internet-smoke)"
+                )),
+            };
+        }
+        Ok(if self.has("--paper") {
             Scale::Paper
         } else {
             Scale::Smoke
-        }
+        })
     }
 
     fn seed(&self) -> Result<u64, String> {
@@ -290,7 +311,7 @@ fn cmd_case_study(args: &[String], manifest: &mut RunManifest) -> Result<(), Str
 
 fn cmd_usage(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
-    let (scale, seed) = (flags.scale(), flags.seed()?);
+    let (scale, seed) = (flags.scale()?, flags.seed()?);
     record_scale(manifest, scale, seed);
     out!("{}", usage::run(scale, seed).render());
     Ok(())
@@ -298,7 +319,7 @@ fn cmd_usage(args: &[String], manifest: &mut RunManifest) -> Result<(), String> 
 
 fn cmd_impact(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
-    let scale = flags.scale();
+    let scale = flags.scale()?;
     let seed = flags.seed()?;
     record_scale(manifest, scale, seed);
     let graph = scale.internet(seed);
@@ -341,7 +362,7 @@ fn cmd_impact(args: &[String], manifest: &mut RunManifest) -> Result<(), String>
 
 fn cmd_detection(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
-    let scale = flags.scale();
+    let scale = flags.scale()?;
     let seed = flags.seed()?;
     record_scale(manifest, scale, seed);
     let graph = scale.internet(seed);
@@ -357,7 +378,7 @@ fn cmd_detection(args: &[String], manifest: &mut RunManifest) -> Result<(), Stri
 
 fn cmd_selection(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
-    let scale = flags.scale();
+    let scale = flags.scale()?;
     let seed = flags.seed()?;
     record_scale(manifest, scale, seed);
     let graph = scale.internet(seed);
@@ -381,7 +402,7 @@ fn cmd_stealth(args: &[String], manifest: &mut RunManifest) -> Result<(), String
 
 fn cmd_mitigate(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     let flags = Flags::new(args);
-    let (scale, seed) = (flags.scale(), flags.seed()?);
+    let (scale, seed) = (flags.scale()?, flags.seed()?);
     record_scale(manifest, scale, seed);
     let graph = scale.internet(seed);
     record_topology(manifest, &graph);
@@ -497,7 +518,7 @@ fn cmd_audit(args: &[String], manifest: &mut RunManifest) -> Result<(), String> 
     if let Some(path) = flags.value("--corpus") {
         return audit_corpus_file(path, lenient);
     }
-    audit_equilibria(flags.scale(), flags.seed()?, manifest)
+    audit_equilibria(flags.scale()?, flags.seed()?, manifest)
 }
 
 /// Recomputes the attack-strategy matrix and verifies every converged
@@ -666,7 +687,7 @@ fn cmd_feed(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
     use std::sync::Arc;
 
     let flags = Flags::new(args);
-    let scale = flags.scale();
+    let scale = flags.scale()?;
     let seed = flags.seed()?;
     let shards = flags.parsed::<usize>("--shards")?.unwrap_or(4).max(1);
     let capacity = flags.parsed::<usize>("--capacity")?.unwrap_or(1024).max(1);
@@ -702,6 +723,8 @@ fn cmd_feed(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
         let prefixes = flags.parsed::<usize>("--prefixes")?.unwrap_or(match scale {
             Scale::Paper => 120,
             Scale::Smoke => 40,
+            Scale::Internet => 160,
+            Scale::InternetSmoke => 60,
         });
         let monitors = flags.parsed::<usize>("--monitors")?.unwrap_or(30);
         let attack_ratio = flags.parsed::<f64>("--attack-ratio")?.unwrap_or(0.15);
@@ -824,11 +847,13 @@ fn cmd_sweep(args: &[String], manifest: &mut RunManifest) -> Result<(), String> 
     use aspp_repro::attack::sweep::{random_pair_experiments, strategy_matrix};
 
     let flags = Flags::new(args);
-    let scale = flags.scale();
+    let scale = flags.scale()?;
     let seed = flags.seed()?;
     let pairs = flags.parsed::<usize>("--pairs")?.unwrap_or(match scale {
         Scale::Paper => 8,
         Scale::Smoke => 4,
+        Scale::Internet => 3,
+        Scale::InternetSmoke => 2,
     });
     let lambda_max = flags.parsed::<usize>("--lambda-max")?.unwrap_or(8).max(1);
     let serial = flags.has("--serial");
@@ -931,6 +956,36 @@ fn cmd_sweep(args: &[String], manifest: &mut RunManifest) -> Result<(), String> 
             );
         }
     }
+    Ok(())
+}
+
+/// `aspp gen` — build the synthetic Internet at a named scale and write it
+/// in CAIDA serial-2 format, for external tools and the internet-scale CI
+/// job. Without `--out` it only reports the generated graph's identity.
+fn cmd_gen(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
+    use aspp_repro::topology::io::to_caida;
+
+    let flags = Flags::new(args);
+    let scale = flags.scale()?;
+    let seed = flags.seed()?;
+    record_scale(manifest, scale, seed);
+    let t0 = Instant::now();
+    let graph = scale.internet(seed);
+    manifest.push_phase("generate", t0.elapsed().as_secs_f64() * 1e3);
+    record_topology(manifest, &graph);
+    if let Some(path) = flags.value("--out") {
+        let t = Instant::now();
+        std::fs::write(path, to_caida(&graph)).map_err(|e| format!("writing {path}: {e}"))?;
+        manifest.push_phase("serialize", t.elapsed().as_secs_f64() * 1e3);
+        out!("wrote {path} (CAIDA serial-2)");
+    }
+    out!(
+        "generated {} ASes, {} links (scale {}, seed {seed}, fingerprint {:016x})",
+        graph.len(),
+        graph.link_count(),
+        manifest.scale.as_deref().unwrap_or("?"),
+        graph.fingerprint(),
+    );
     Ok(())
 }
 

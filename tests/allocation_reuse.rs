@@ -92,4 +92,23 @@ fn warm_workspace_rounds_allocate_identically() {
         round_c < cold,
         "cleared workspace must reuse scratch allocations ({round_c} vs cold {cold})"
     );
+
+    // Arc-shared spec state: cloning a fully-configured spec — what the
+    // batch engine and the workspace's delta memo do per cell — must bump
+    // refcounts, never copy the prepend table.
+    let asns: Vec<Asn> = graph.asns().collect();
+    let spec = DestinationSpec::new(asns[0])
+        .origin_padding(4)
+        .attacker(AttackerModel::new(asns[10]));
+    let mut clones: Vec<DestinationSpec> = Vec::with_capacity(16);
+    let before_clone = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..16 {
+        clones.push(spec.clone());
+    }
+    let clone_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before_clone;
+    assert_eq!(
+        clone_allocs, 0,
+        "DestinationSpec clones must share the prepend config via Arc"
+    );
+    drop(clones);
 }
