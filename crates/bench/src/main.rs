@@ -5,9 +5,12 @@
 //! attacked full pass, attacked delta pass, fig9-style λ sweep full vs
 //! delta, since schema 3 the `feed_replay` sharded-pipeline throughput at
 //! 1 vs 4 shards, since schema 4 the `strategy_matrix_batch` batched
-//! multi-victim sweep vs its per-cell serial path, and since schema 5 an
+//! multi-victim sweep vs its per-cell serial path, since schema 5 an
 //! internet-tier section — clean pass, attacked delta, and fig9 λ sweep on
-//! the routing-system-scale topology) and writes them as
+//! the routing-system-scale topology — and since schema 6 the resident
+//! engine's `feed_ingest` wire hot path: zero-copy frame scan plus batched
+//! shard dispatch on an already-seeded engine, the steady-state cost the
+//! `aspp serve` service pays per record) and writes them as
 //! `BENCH_engine.json` so
 //! the trajectory is tracked across PRs. Since schema 2 the snapshot embeds
 //! a run-provenance [`RunManifest`] (git revision, topology fingerprint,
@@ -185,6 +188,24 @@ fn main() {
     );
     let records_per_sec = |ns: u128| feed_records as f64 / (ns.max(1) as f64 / 1e9);
 
+    // Ingest throughput (since schema 6): the resident engine's wire hot
+    // path. Unlike `feed_replay` (which re-seeds a fresh pipeline per run),
+    // this seeds once and times repeated `ingest_wire` calls on the
+    // long-lived engine — the steady-state per-record cost `aspp serve`
+    // pays: zero-copy frame scan, batched shard dispatch, detector process.
+    use aspp_core::feed::{encode_records, FeedEngine};
+    let wire = encode_records(stream.updates());
+    let mut ingest_1 = FeedEngine::new(Arc::clone(&shared_graph), &FeedConfig::new(1));
+    ingest_1.seed_from_corpus(&stream.corpus);
+    let feed_ingest_1shard_ns = time_ns(1, 7, || {
+        black_box(ingest_1.ingest_wire(&wire).expect("bench stream is clean"));
+    });
+    let mut ingest_4 = FeedEngine::new(Arc::clone(&shared_graph), &FeedConfig::new(4));
+    ingest_4.seed_from_corpus(&stream.corpus);
+    let feed_ingest_4shard_ns = time_ns(1, 7, || {
+        black_box(ingest_4.ingest_wire(&wire).expect("bench stream is clean"));
+    });
+
     // Internet tier (since schema 5): the flat-ID engine at routing-system
     // scale. Paper-grade runs time the full ~80k-AS preset; smoke runs its
     // ~20k CI cut. Fewer iterations — one pass here costs more than a whole
@@ -242,7 +263,7 @@ fn main() {
     let speedup = |full: u128, fast: u128| full as f64 / fast.max(1) as f64;
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": 5,");
+    let _ = writeln!(json, "  \"schema\": 6,");
     let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
     let _ = writeln!(json, "  \"nodes\": {},", graph.len());
     let _ = writeln!(json, "  \"internet_nodes\": {},", inet_graph.len());
@@ -257,6 +278,8 @@ fn main() {
     let _ = writeln!(json, "    \"strategy_matrix_batch\": {matrix_batch_ns},");
     let _ = writeln!(json, "    \"feed_replay_1shard\": {feed_1shard_ns},");
     let _ = writeln!(json, "    \"feed_replay_4shard\": {feed_4shard_ns},");
+    let _ = writeln!(json, "    \"feed_ingest_1shard\": {feed_ingest_1shard_ns},");
+    let _ = writeln!(json, "    \"feed_ingest_4shard\": {feed_ingest_4shard_ns},");
     let _ = writeln!(json, "    \"clean_pass_internet\": {clean_internet_ns},");
     let _ = writeln!(
         json,
@@ -292,6 +315,20 @@ fn main() {
         json,
         "    \"speedup_4shard_vs_1\": {:.2}",
         speedup(feed_1shard_ns, feed_4shard_ns)
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"feed_ingest\": {{");
+    let _ = writeln!(json, "    \"records\": {feed_records},");
+    let _ = writeln!(json, "    \"wire_bytes\": {},", wire.len());
+    let _ = writeln!(
+        json,
+        "    \"records_per_sec_1shard\": {:.0},",
+        records_per_sec(feed_ingest_1shard_ns)
+    );
+    let _ = writeln!(
+        json,
+        "    \"records_per_sec_4shard\": {:.0}",
+        records_per_sec(feed_ingest_4shard_ns)
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"speedup\": {{");

@@ -221,7 +221,7 @@ impl CorpusConfig {
         let mut seq = 0u64;
         let mut attacked_prefix_spec: Option<(Ipv4Prefix, DestinationSpec)> = None;
         for (i, &origin) in origins.iter().enumerate() {
-            let prefix = Ipv4Prefix::containing(0x0a00_0000 + ((i as u32) << 8), 24);
+            let prefix = Ipv4Prefix::synthetic_24(i);
             let mut config = base_config.clone();
             // For differential padders, remember the clean primary provider:
             // failing that link is what exposes the padded backup routes in

@@ -1,6 +1,7 @@
 //! The Figure 4 detection algorithm.
 
 use core::fmt;
+use std::collections::{BTreeMap, HashMap};
 
 use aspp_topology::AsGraph;
 use aspp_types::{AsPath, Asn, Relationship};
@@ -96,37 +97,48 @@ impl<'g> Detector<'g> {
         r_now: &AsPath,
         view_now: &RouteView,
     ) -> Option<Alarm> {
-        self.check_indexed(d, r_prev, r_now, &ViewIndex::build(view_now))
+        let index = ViewIndex::build(view_now);
+        let mut scratch = Vec::new();
+        self.check_slices(d, r_prev.hops(), r_now.hops(), &index, &mut scratch)
     }
 
-    fn check_indexed(
+    /// The check at the core of every rule, on raw hop slices so the scan
+    /// loop allocates nothing on the (overwhelmingly common) no-alarm path.
+    /// `scratch` holds the collapsed current path between calls.
+    fn check_slices(
         &self,
         d: Asn,
-        r_prev: &AsPath,
-        r_now: &AsPath,
+        prev: &[Asn],
+        now: &[Asn],
         index: &ViewIndex,
+        scratch: &mut Vec<Asn>,
     ) -> Option<Alarm> {
-        let origin = r_now.origin()?;
-        if r_prev.origin() != Some(origin) {
+        let &origin = now.last()?;
+        if prev.last() != Some(&origin) {
             return None; // different prefix owner: MOAS territory, not ASPP.
         }
-        let lambda_now = r_now.origin_padding();
-        let lambda_prev = r_prev.origin_padding();
+        let lambda_now = origin_padding(now);
+        let lambda_prev = origin_padding(prev);
         if lambda_now >= lambda_prev {
             return None;
         }
-        let suspect = r_now.first()?;
+        let &suspect = now.first()?;
         if suspect == origin {
             // The "shortened" route begins at the origin itself: the owner
             // reduced its own padding, which is legitimate engineering.
             return None;
         }
-        let segment = r_now.detector_segment();
+        collapse_into(now, scratch);
+        let segment: &[Asn] = if scratch.len() >= 3 {
+            &scratch[1..scratch.len() - 1]
+        } else {
+            &[]
+        };
 
         // Rule 1 (high confidence): some other observed route carries the
         // same transit segment with more origin padding.
         if !segment.is_empty() {
-            if let Some(&max_pad) = index.max_pad_by_segment.get(&(segment.clone(), origin)) {
+            if let Some(max_pad) = index.max_pad(origin, segment) {
                 if lambda_now < max_pad {
                     return Some(Alarm {
                         suspect,
@@ -143,8 +155,8 @@ impl<'g> Detector<'g> {
         // more-padded route although policy says it should have received the
         // shorter one.
         let as_i_minus_1 = segment.first().copied().unwrap_or(origin);
-        for r in &index.padded_routes {
-            if r.origin != origin || lambda_now >= r.padding || r.len <= r_now.len() {
+        for r in index.padded_routes.keys() {
+            if r.origin != origin || lambda_now >= r.padding || r.len <= now.len() {
                 continue;
             }
             let rel_of_i_minus_1 = self.graph.relationship(r.first, as_i_minus_1);
@@ -156,7 +168,7 @@ impl<'g> Detector<'g> {
                 // AS_{I-1} peers with AS'_L: the shorter route would have
                 // been exported if it was customer-learned, which it must be
                 // if the shortened route itself shows no peer link.
-                Some(Relationship::Peer) => !path_has_peer_link(self.graph, r_now),
+                Some(Relationship::Peer) => !collapsed_has_peer_link(self.graph, scratch),
                 // AS_{I-1} is a provider of AS'_L while AS'_L is also using
                 // a provider route: providers export everything downhill, so
                 // the longer choice is inconsistent.
@@ -186,19 +198,35 @@ impl<'g> Detector<'g> {
     #[must_use]
     pub fn scan(&self, before: &RouteView, after: &RouteView) -> Vec<Alarm> {
         let index = ViewIndex::build(after);
+        self.scan_with_index(before, after, &index)
+    }
+
+    /// [`scan`](Self::scan) against a caller-maintained index of `after`,
+    /// for streaming callers that keep views and index alive across updates
+    /// instead of rebuilding them per record.
+    pub(crate) fn scan_with_index(
+        &self,
+        before: &RouteView,
+        after: &RouteView,
+        index: &ViewIndex,
+    ) -> Vec<Alarm> {
         let mut alarms = Vec::new();
+        let mut scratch = Vec::new();
         for d in after.observed_asns() {
             let prev_routes = before.routes_of(d);
             if prev_routes.is_empty() {
                 continue;
             }
             for full_now in after.routes_of(d) {
+                let now_hops = full_now.hops();
+                let now_stripped = strip_head(now_hops);
                 for full_prev in prev_routes {
+                    let prev_hops = full_prev.hops();
                     // The received path r^d_t starts at d's next hop.
-                    if let (Some(r_now), Some(r_prev)) =
-                        (strip_head(full_now), strip_head(full_prev))
-                    {
-                        if let Some(alarm) = self.check_indexed(d, &r_prev, &r_now, &index) {
+                    if let (Some(r_now), Some(r_prev)) = (now_stripped, strip_head(prev_hops)) {
+                        if let Some(alarm) =
+                            self.check_slices(d, r_prev, r_now, index, &mut scratch)
+                        {
                             if !alarms.contains(&alarm) {
                                 alarms.push(alarm);
                             }
@@ -208,7 +236,9 @@ impl<'g> Detector<'g> {
                     // decrease happened at `d` itself, `d` is the suspect —
                     // this is what a vantage point on the attacker (or a
                     // suffix route through it) observes.
-                    if let Some(alarm) = self.check_indexed(d, full_prev, full_now, &index) {
+                    if let Some(alarm) =
+                        self.check_slices(d, prev_hops, now_hops, index, &mut scratch)
+                    {
                         if !alarms.contains(&alarm) {
                             alarms.push(alarm);
                         }
@@ -221,16 +251,31 @@ impl<'g> Detector<'g> {
     }
 }
 
-/// Pre-indexed view: max origin padding per (transit segment, origin), and a
-/// compact summary of every padded route for the hint rules. Built once per
-/// scan so that checking each route change is cheap.
-#[derive(Debug, Default)]
-struct ViewIndex {
-    max_pad_by_segment: std::collections::HashMap<(Vec<Asn>, Asn), usize>,
-    padded_routes: Vec<RouteSummary>,
+/// Pre-indexed view: origin padding per (transit segment, origin), and a
+/// compact summary of every padded route for the hint rules.
+///
+/// Both sides are *multisets* keyed on what the rules actually read, so the
+/// index supports exact incremental maintenance: [`add_route`](Self::add_route)
+/// when a distinct suffix enters a view and [`remove_route`](Self::remove_route)
+/// when it leaves keep the index identical (up to iteration order, which no
+/// rule depends on) to one rebuilt from scratch. Rule 1 reads the *max* pad
+/// per segment — the last key of the count map; rules 2-4 read the summary
+/// key set.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ViewIndex {
+    /// origin → distinct transit segments, each with a padding multiset.
+    max_pad_by_segment: HashMap<Asn, Vec<SegmentPads>>,
+    /// Padded-route summaries with contributor counts.
+    padded_routes: HashMap<RouteSummary, u32>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SegmentPads {
+    segment: Vec<Asn>,
+    pads: BTreeMap<usize, u32>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct RouteSummary {
     origin: Asn,
     first: Asn,
@@ -240,51 +285,135 @@ struct RouteSummary {
 }
 
 impl ViewIndex {
-    fn build(view: &RouteView) -> Self {
+    pub(crate) fn build(view: &RouteView) -> Self {
         let mut index = ViewIndex::default();
         for (_, r) in view.iter() {
-            let Some(origin) = r.origin() else { continue };
-            let padding = r.origin_padding();
-            let segment = r.detector_segment();
-            if !segment.is_empty() {
-                let entry = index
-                    .max_pad_by_segment
-                    .entry((segment, origin))
-                    .or_insert(0);
-                *entry = (*entry).max(padding);
+            index.add_route(r.hops());
+        }
+        index
+    }
+
+    /// Indexes one distinct suffix route that entered a view.
+    pub(crate) fn add_route(&mut self, hops: &[Asn]) {
+        let Some(&origin) = hops.last() else { return };
+        let padding = origin_padding(hops);
+        let mut collapsed = Vec::with_capacity(hops.len());
+        collapse_into(hops, &mut collapsed);
+        if collapsed.len() >= 3 {
+            let segment = &collapsed[1..collapsed.len() - 1];
+            let entries = self.max_pad_by_segment.entry(origin).or_default();
+            if let Some(sp) = entries.iter_mut().find(|sp| sp.segment == segment) {
+                *sp.pads.entry(padding).or_insert(0) += 1;
+            } else {
+                entries.push(SegmentPads {
+                    segment: segment.to_vec(),
+                    pads: BTreeMap::from([(padding, 1)]),
+                });
             }
-            if padding >= 2 {
-                if let Some(first) = r.first() {
-                    let collapsed = r.collapsed();
-                    index.padded_routes.push(RouteSummary {
-                        origin,
-                        first,
-                        second: collapsed.get(1).copied(),
-                        padding,
-                        len: r.len(),
-                    });
+        }
+        if padding >= 2 {
+            let summary = RouteSummary {
+                origin,
+                first: collapsed[0],
+                second: collapsed.get(1).copied(),
+                padding,
+                len: hops.len(),
+            };
+            *self.padded_routes.entry(summary).or_insert(0) += 1;
+        }
+    }
+
+    /// Un-indexes one distinct suffix route that left a view. Must pair with
+    /// an earlier [`add_route`](Self::add_route) of the same hops.
+    pub(crate) fn remove_route(&mut self, hops: &[Asn]) {
+        let Some(&origin) = hops.last() else { return };
+        let padding = origin_padding(hops);
+        let mut collapsed = Vec::with_capacity(hops.len());
+        collapse_into(hops, &mut collapsed);
+        if collapsed.len() >= 3 {
+            let segment = &collapsed[1..collapsed.len() - 1];
+            if let Some(entries) = self.max_pad_by_segment.get_mut(&origin) {
+                if let Some(i) = entries.iter().position(|sp| sp.segment == segment) {
+                    if let Some(count) = entries[i].pads.get_mut(&padding) {
+                        *count -= 1;
+                        if *count == 0 {
+                            entries[i].pads.remove(&padding);
+                        }
+                    } else {
+                        debug_assert!(false, "remove_route of a never-added padding");
+                    }
+                    if entries[i].pads.is_empty() {
+                        entries.swap_remove(i);
+                    }
+                    if entries.is_empty() {
+                        self.max_pad_by_segment.remove(&origin);
+                    }
+                } else {
+                    debug_assert!(false, "remove_route of a never-added segment");
                 }
             }
         }
-        index
+        if padding >= 2 {
+            let summary = RouteSummary {
+                origin,
+                first: collapsed[0],
+                second: collapsed.get(1).copied(),
+                padding,
+                len: hops.len(),
+            };
+            if let Some(count) = self.padded_routes.get_mut(&summary) {
+                *count -= 1;
+                if *count == 0 {
+                    self.padded_routes.remove(&summary);
+                }
+            } else {
+                debug_assert!(false, "remove_route of a never-added summary");
+            }
+        }
+    }
+
+    /// Max origin padding among routes sharing `segment` toward `origin`.
+    fn max_pad(&self, origin: Asn, segment: &[Asn]) -> Option<usize> {
+        self.max_pad_by_segment
+            .get(&origin)?
+            .iter()
+            .find(|sp| sp.segment == segment)
+            .and_then(|sp| sp.pads.keys().next_back().copied())
+    }
+}
+
+/// Trailing run length of the origin AS — the paper's λ, on a raw hop slice.
+fn origin_padding(hops: &[Asn]) -> usize {
+    match hops.last() {
+        Some(&origin) => hops.iter().rev().take_while(|&&h| h == origin).count(),
+        None => 0,
+    }
+}
+
+/// Collapses consecutive duplicates of `hops` into `out` (cleared first).
+fn collapse_into(hops: &[Asn], out: &mut Vec<Asn>) {
+    out.clear();
+    for &h in hops {
+        if out.last() != Some(&h) {
+            out.push(h);
+        }
     }
 }
 
 /// Drops the leading AS (and its prepend copies) from an observed path,
 /// yielding the received path; `None` if nothing remains.
-fn strip_head(path: &AsPath) -> Option<AsPath> {
-    let hops = path.hops();
-    let head = *hops.first()?;
-    let rest: Vec<Asn> = hops.iter().copied().skip_while(|&h| h == head).collect();
+fn strip_head(hops: &[Asn]) -> Option<&[Asn]> {
+    let &head = hops.first()?;
+    let run = hops.iter().take_while(|&&h| h == head).count();
+    let rest = &hops[run..];
     if rest.is_empty() {
         None
     } else {
-        Some(AsPath::from_hops(rest))
+        Some(rest)
     }
 }
 
-fn path_has_peer_link(graph: &AsGraph, path: &AsPath) -> bool {
-    let collapsed = path.collapsed();
+fn collapsed_has_peer_link(graph: &AsGraph, collapsed: &[Asn]) -> bool {
     collapsed
         .windows(2)
         .any(|w| graph.relationship(w[0], w[1]) == Some(Relationship::Peer))
@@ -444,9 +573,62 @@ mod tests {
 
     #[test]
     fn strip_head_handles_prepended_heads() {
-        assert_eq!(strip_head(&p("5 5 5 1 2")).unwrap().to_string(), "1 2");
-        assert_eq!(strip_head(&p("5 1")).unwrap().to_string(), "1");
-        assert!(strip_head(&p("5 5")).is_none());
-        assert!(strip_head(&AsPath::new()).is_none());
+        let h = |s: &str| p(s).hops().to_vec();
+        assert_eq!(strip_head(&h("5 5 5 1 2")), Some(&h("1 2")[..]));
+        assert_eq!(strip_head(&h("5 1")), Some(&h("1")[..]));
+        assert!(strip_head(&h("5 5")).is_none());
+        assert!(strip_head(&[]).is_none());
+    }
+
+    #[test]
+    fn slice_origin_padding_matches_aspath() {
+        for s in ["1", "2 1", "2 1 1 1", "5 5 5", "7 4 4 9 1 1", ""] {
+            let path = p(s);
+            assert_eq!(origin_padding(path.hops()), path.origin_padding(), "{s}");
+        }
+    }
+
+    /// An incrementally maintained index must agree with one rebuilt from
+    /// scratch after any add/remove interleaving.
+    #[test]
+    fn incremental_index_matches_rebuild() {
+        let paths = [
+            p("9 8 7 1 1 1"),
+            p("6 7 1 1 1"),
+            p("5 4 1"),
+            p("9 8 7 1 1 1"),
+            p("3 8 7 1 1"),
+        ];
+        let mut view = RouteView::new();
+        let mut index = ViewIndex::default();
+        for path in &paths {
+            view.add_path_with(path, |new| index.add_route(new.hops()));
+        }
+        view.remove_path_with(&paths[1], |gone| index.remove_route(gone.hops()));
+        view.remove_path_with(&paths[0], |gone| index.remove_route(gone.hops()));
+        let rebuilt = ViewIndex::build(&view);
+        assert_eq!(normalize(&index), normalize(&rebuilt));
+    }
+
+    type NormalizedIndex = (Vec<(Asn, Vec<SegmentPads>)>, Vec<(RouteSummary, u32)>);
+
+    fn normalize(index: &ViewIndex) -> NormalizedIndex {
+        let mut segs: Vec<(Asn, Vec<SegmentPads>)> = index
+            .max_pad_by_segment
+            .iter()
+            .map(|(&o, v)| {
+                let mut v = v.clone();
+                v.sort_by(|a, b| a.segment.cmp(&b.segment));
+                (o, v)
+            })
+            .collect();
+        segs.sort_by_key(|(o, _)| *o);
+        let mut padded: Vec<(RouteSummary, u32)> = index
+            .padded_routes
+            .iter()
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        padded.sort_by_key(|(k, _)| (k.origin, k.first, k.second, k.padding, k.len));
+        (segs, padded)
     }
 }

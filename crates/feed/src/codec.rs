@@ -44,7 +44,7 @@ const MAX_PAYLOAD: usize = MIN_PAYLOAD + 2 + 4 * (u16::MAX as usize);
 /// FNV-1a 32-bit over an arbitrary byte iterator. Each step xors the byte in
 /// and multiplies by an odd prime, so any single flipped byte changes the
 /// digest — the corruption class the roundtrip property test exercises.
-fn fnv1a32(bytes: impl IntoIterator<Item = u8>) -> u32 {
+pub(crate) fn fnv1a32(bytes: impl IntoIterator<Item = u8>) -> u32 {
     let mut hash: u32 = 0x811c_9dc5;
     for b in bytes {
         hash ^= u32::from(b);
@@ -107,18 +107,112 @@ pub fn encode_records(records: &[UpdateRecord]) -> Vec<u8> {
     out
 }
 
-fn read_u16(bytes: &[u8], at: usize) -> u16 {
+pub(crate) fn read_u16(bytes: &[u8], at: usize) -> u16 {
     u16::from_le_bytes([bytes[at], bytes[at + 1]])
 }
 
-fn read_u32(bytes: &[u8], at: usize) -> u32 {
+pub(crate) fn read_u32(bytes: &[u8], at: usize) -> u32 {
     u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
 }
 
-fn read_u64(bytes: &[u8], at: usize) -> u64 {
+pub(crate) fn read_u64(bytes: &[u8], at: usize) -> u64 {
     let mut buf = [0u8; 8];
     buf.copy_from_slice(&bytes[at..at + 8]);
     u64::from_le_bytes(buf)
+}
+
+/// A checksum-validated frame whose fields have *not* been decoded yet — a
+/// zero-copy view borrowing the wire buffer.
+///
+/// This is the currency of the pipeline's batched dispatch: the dispatcher
+/// validates frame boundaries and checksums once ([`scan_frames`]), reads
+/// only the routing fields it needs ([`shard_prefix`](Self::shard_prefix)),
+/// and ships views to shard workers, which pay the allocating field decode
+/// ([`decode`](Self::decode)) in parallel.
+#[derive(Clone, Copy, Debug)]
+pub struct RecordView<'a> {
+    payload: &'a [u8],
+}
+
+impl<'a> RecordView<'a> {
+    /// The record's sequence number, read in place.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        read_u64(self.payload, 0)
+    }
+
+    /// The observing monitor, read in place.
+    #[must_use]
+    pub fn monitor(&self) -> Asn {
+        Asn(read_u32(self.payload, 8))
+    }
+
+    /// The prefix used for shard routing, host bits masked. For any frame
+    /// that also passes [`decode`](Self::decode) this equals the record's
+    /// prefix (encoded addresses carry no host bits); for a malformed frame
+    /// it still yields *some* deterministic shard, so the field error
+    /// surfaces in the owning worker rather than silently here.
+    #[must_use]
+    pub fn shard_prefix(&self) -> Ipv4Prefix {
+        Ipv4Prefix::containing(read_u32(self.payload, 12), self.payload[16].min(32))
+    }
+
+    /// Fully decodes the payload into an owned record. `frame_no` is the
+    /// 1-based frame index used in error context.
+    ///
+    /// # Errors
+    ///
+    /// Returns a frame-indexed [`AsppError`] on any malformed field.
+    pub fn decode(&self, frame_no: usize) -> Result<UpdateRecord, AsppError> {
+        decode_payload(self.payload, frame_no)
+    }
+}
+
+/// Decodes a checksum-validated payload's fields. Split out of the frame
+/// walk so the strict reader and the zero-copy dispatch path share one
+/// field-validation implementation.
+fn decode_payload(payload: &[u8], frame_no: usize) -> Result<UpdateRecord, AsppError> {
+    let err = |message: String| AsppError::at_line("feed", frame_no, message);
+    let payload_len = payload.len();
+    let seq = read_u64(payload, 0);
+    let monitor = Asn(read_u32(payload, 8));
+    let addr = read_u32(payload, 12);
+    let plen = payload[16];
+    let prefix = Ipv4Prefix::new(addr, plen).map_err(|e| err(format!("bad prefix: {e}")))?;
+    let action = match payload[17] {
+        0 => {
+            if payload_len != MIN_PAYLOAD {
+                return Err(err(format!(
+                    "withdraw frame carries {} extra bytes",
+                    payload_len - MIN_PAYLOAD
+                )));
+            }
+            UpdateAction::Withdraw
+        }
+        1 => {
+            if payload_len < MIN_PAYLOAD + 2 {
+                return Err(err("announce frame too short for a hop count".into()));
+            }
+            let hop_count = usize::from(read_u16(payload, 18));
+            if hop_count == 0 {
+                return Err(err("announce frame with empty path".into()));
+            }
+            if payload_len != MIN_PAYLOAD + 2 + 4 * hop_count {
+                return Err(err(format!(
+                    "announce frame length {payload_len} disagrees with hop count {hop_count}"
+                )));
+            }
+            let hops = (0..hop_count).map(|i| Asn(read_u32(payload, MIN_PAYLOAD + 2 + 4 * i)));
+            UpdateAction::Announce(AsPath::from_hops(hops))
+        }
+        tag => return Err(err(format!("unknown action tag {tag}"))),
+    };
+    Ok(UpdateRecord {
+        seq,
+        monitor,
+        prefix,
+        action,
+    })
 }
 
 /// Incremental frame decoder over an in-memory wire stream.
@@ -208,7 +302,11 @@ impl<'a> FrameReader<'a> {
         AsppError::at_line("feed", self.frame_no(), message)
     }
 
-    fn next_frame(&mut self) -> Option<Result<UpdateRecord, AsppError>> {
+    /// Validates the next frame's boundary and checksum *without* decoding
+    /// its fields, yielding a zero-copy [`RecordView`]. The strict iterator
+    /// is `next_view` + [`RecordView::decode`]; the pipeline's dispatcher
+    /// stops here and defers the decode to shard workers.
+    pub fn next_view(&mut self) -> Option<Result<RecordView<'a>, AsppError>> {
         if self.fused {
             return None;
         }
@@ -261,56 +359,52 @@ impl<'a> FrameReader<'a> {
             ))));
         }
 
-        let seq = read_u64(payload, 0);
-        let monitor = Asn(read_u32(payload, 8));
-        let addr = read_u32(payload, 12);
-        let plen = payload[16];
-        let prefix = match Ipv4Prefix::new(addr, plen) {
-            Ok(p) => p,
-            Err(e) => return Some(Err(self.frame_err(format!("bad prefix: {e}")))),
-        };
-        let action = match payload[17] {
-            0 => {
-                if payload_len != MIN_PAYLOAD {
-                    return Some(Err(self.frame_err(format!(
-                        "withdraw frame carries {} extra bytes",
-                        payload_len - MIN_PAYLOAD
-                    ))));
-                }
-                UpdateAction::Withdraw
-            }
-            1 => {
-                if payload_len < MIN_PAYLOAD + 2 {
-                    return Some(Err(
-                        self.frame_err("announce frame too short for a hop count".into())
-                    ));
-                }
-                let hop_count = usize::from(read_u16(payload, 18));
-                if hop_count == 0 {
-                    return Some(Err(self.frame_err("announce frame with empty path".into())));
-                }
-                if payload_len != MIN_PAYLOAD + 2 + 4 * hop_count {
-                    return Some(Err(self.frame_err(format!(
-                        "announce frame length {payload_len} disagrees with hop count {hop_count}"
-                    ))));
-                }
-                let hops = (0..hop_count).map(|i| Asn(read_u32(payload, MIN_PAYLOAD + 2 + 4 * i)));
-                UpdateAction::Announce(AsPath::from_hops(hops))
-            }
-            tag => {
-                return Some(Err(self.frame_err(format!("unknown action tag {tag}"))));
-            }
-        };
-
         self.pos = start + payload_len;
         self.frames_read += 1;
-        Some(Ok(UpdateRecord {
-            seq,
-            monitor,
-            prefix,
-            action,
-        }))
+        Some(Ok(RecordView { payload }))
     }
+
+    fn next_frame(&mut self) -> Option<Result<UpdateRecord, AsppError>> {
+        let (pos, frames) = (self.pos, self.frames_read);
+        match self.next_view()? {
+            Ok(view) => {
+                // `next_view` already advanced, so the view's 1-based frame
+                // index is exactly `frames_read`.
+                match view.decode(self.frames_read as usize) {
+                    Ok(record) => Some(Ok(record)),
+                    Err(e) => {
+                        // A frame that fails the field decode counts as
+                        // unread (the lenient path's tail accounting and
+                        // `frames_read`'s contract both depend on it).
+                        self.pos = pos;
+                        self.frames_read = frames;
+                        self.fused = true;
+                        Some(Err(e))
+                    }
+                }
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// Walks a full wire stream strictly, validating every frame boundary and
+/// checksum, and returns one zero-copy [`RecordView`] per frame with the
+/// field decode deferred. This is the dispatcher half of the pipeline's
+/// zero-copy ingest: one pass over the buffer, no per-record allocation.
+///
+/// # Errors
+///
+/// The first structural problem (bad header, bad prelude, checksum
+/// mismatch, truncation) aborts with its frame-indexed error, exactly as
+/// [`decode_records`] would.
+pub fn scan_frames(bytes: &[u8]) -> Result<Vec<RecordView<'_>>, AsppError> {
+    let mut reader = FrameReader::new(bytes)?;
+    let mut views = Vec::with_capacity(reader.declared_records() as usize);
+    while let Some(item) = reader.next_view() {
+        views.push(item?);
+    }
+    Ok(views)
 }
 
 impl Iterator for FrameReader<'_> {
@@ -495,6 +589,66 @@ mod tests {
         assert_eq!(report.skipped, 2, "bad frame + unreachable remainder");
         assert_eq!(report.total(), 3);
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn scan_then_decode_matches_strict_decode() {
+        let records = sample_records();
+        let bytes = encode_records(&records);
+        let views = scan_frames(&bytes).unwrap();
+        assert_eq!(views.len(), records.len());
+        for (i, (view, expected)) in views.iter().zip(&records).enumerate() {
+            assert_eq!(view.seq(), expected.seq);
+            assert_eq!(view.monitor(), expected.monitor);
+            assert_eq!(view.shard_prefix(), expected.prefix);
+            assert_eq!(&view.decode(i + 1).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn scan_catches_checksum_corruption() {
+        let records = sample_records();
+        let mut bytes = encode_records(&records);
+        let first_len = read_u32(&bytes, HEADER_LEN) as usize;
+        let second_frame = HEADER_LEN + FRAME_PRELUDE_LEN + first_len;
+        bytes[second_frame + FRAME_PRELUDE_LEN + 3] ^= 0x40;
+        let err = scan_frames(&bytes).unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert!(err.message().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn scan_defers_field_errors_to_decode() {
+        // A frame whose checksum is valid but whose action tag is unknown
+        // passes the scan (structure is sound) and fails only at decode,
+        // with the right frame index.
+        let records = sample_records();
+        let mut bytes = encode_records(&records[..2]);
+        let first_len = read_u32(&bytes, HEADER_LEN) as usize;
+        let second_frame = HEADER_LEN + FRAME_PRELUDE_LEN + first_len;
+        let tag_at = second_frame + FRAME_PRELUDE_LEN + 17;
+        bytes[tag_at] = 9;
+        // Recompute the second frame's checksum over the tampered payload.
+        let plen = read_u32(&bytes, second_frame) as usize;
+        let payload_start = second_frame + FRAME_PRELUDE_LEN;
+        let checksum = fnv1a32(
+            (plen as u32)
+                .to_le_bytes()
+                .iter()
+                .copied()
+                .chain(bytes[payload_start..payload_start + plen].iter().copied()),
+        );
+        bytes[second_frame + 4..second_frame + 8].copy_from_slice(&checksum.to_le_bytes());
+
+        let views = scan_frames(&bytes).unwrap();
+        assert_eq!(views.len(), 2);
+        let err = views[1].decode(2).unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert!(err.message().contains("unknown action tag"), "{err}");
+        // The strict iterator reports the identical error.
+        let strict = decode_records(&bytes).unwrap_err();
+        assert_eq!(strict.line(), Some(2));
+        assert!(strict.message().contains("unknown action tag"));
     }
 
     #[test]

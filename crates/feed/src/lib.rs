@@ -1,16 +1,23 @@
 //! `aspp-feed` — a production-style BGP update-feed pipeline for the
 //! paper's Section V detection service.
 //!
-//! Three layers:
+//! Five layers:
 //!
 //! - [`codec`]: a compact length-prefixed binary wire format for
 //!   [`UpdateRecord`](aspp_data::UpdateRecord) streams — versioned header,
-//!   per-frame FNV-1a checksums, frame-indexed errors on corruption.
-//! - [`pipeline`]: a sharded worker pool. Updates are hash-partitioned by
-//!   prefix onto bounded channels with blocking backpressure; each shard
-//!   owns a [`StreamingDetector`](aspp_detect::realtime::StreamingDetector)
+//!   per-frame FNV-1a checksums, frame-indexed errors on corruption, and a
+//!   zero-copy [`RecordView`] scan path for the ingest hot loop.
+//! - [`pipeline`]: a sharded worker pool around the resident [`FeedEngine`].
+//!   Updates are hash-partitioned by prefix onto bounded channels in
+//!   batches with blocking backpressure; each shard owns a
+//!   [`StreamingDetector`](aspp_detect::realtime::StreamingDetector)
 //!   seeded from the clean equilibrium, and the merged alarm output is
-//!   deterministic regardless of shard count or thread interleaving.
+//!   deterministic regardless of shard count, batch size, or thread
+//!   interleaving.
+//! - [`checkpoint`]: checksummed serialization of the engine's live state
+//!   (path maps, raised alarms, stream cursor) so a killed service can
+//!   restore and replay the stream tail bit-identically.
+//! - [`service`]: the resident JSONL query loop behind `aspp serve`.
 //! - [`replay`]: a driver synthesizing paper-scale streams — clean churn,
 //!   withdraw/re-announce episodes, and injected ASPP interceptions at
 //!   configurable rates — for throughput measurement and file replay.
@@ -23,12 +30,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod codec;
 pub mod pipeline;
 pub mod replay;
+pub mod service;
 
+pub use checkpoint::Checkpoint;
 pub use codec::{
-    decode_records, decode_records_lenient, encode_records, FrameReader, WIRE_MAGIC, WIRE_VERSION,
+    decode_records, decode_records_lenient, encode_records, scan_frames, FrameReader, RecordView,
+    WIRE_MAGIC, WIRE_VERSION,
 };
-pub use pipeline::{run_feed, shard_of, FeedConfig, FeedReport, ShardStats};
+pub use pipeline::{run_feed, shard_of, FeedConfig, FeedEngine, FeedReport, ShardStats};
 pub use replay::{InjectedAttack, ReplayConfig, SyntheticFeed};
+pub use service::DetectionService;

@@ -1,4 +1,4 @@
-//! Sharded streaming-detection worker pool.
+//! Sharded streaming-detection worker pool and the resident feed engine.
 //!
 //! Updates are hash-partitioned **by prefix** onto N bounded channels, each
 //! drained by a worker thread owning its own [`StreamingDetector`] seeded
@@ -10,31 +10,48 @@
 //! Section V check would be split across workers and the alarm sequence
 //! would depend on thread interleaving.
 //!
+//! The channel currency is a *batch* — a `Vec` of records per crossing —
+//! because a `sync_channel` rendezvous per record caps throughput long
+//! before the detector does. The dispatcher accumulates
+//! [`FeedConfig::batch`] records per shard before sending, and the wire
+//! ingest path ([`FeedEngine::ingest_wire`]) ships zero-copy
+//! [`RecordView`]s so the allocating field decode happens on the workers,
+//! in parallel, instead of serially in the dispatcher.
+//!
 //! Backpressure is blocking, never lossy: the dispatcher first `try_send`s,
 //! and on a full channel counts a backpressure wait and blocks until the
 //! worker drains. Shutdown is a poison pill per shard (`ShardMsg::Close`)
-//! after the last record; workers flush what they hold and return their
+//! after the last batch; workers flush what they hold and return their
 //! alarms, which the driver merges into `(dispatch index, emission index)`
 //! order — bit-identical to what a single serial
 //! [`StreamingDetector::process_all`] pass emits. The dispatch index (the
-//! record's position in the input slice) rather than the record's `seq`
-//! field keys the merge: `seq` is caller-supplied wire data with no
-//! uniqueness guarantee, and an externally recorded stream with duplicate
-//! seqs (per-monitor counters, say) would otherwise merge in
+//! record's position in the engine's lifetime stream) rather than the
+//! record's `seq` field keys the merge: `seq` is caller-supplied wire data
+//! with no uniqueness guarantee, and an externally recorded stream with
+//! duplicate seqs (per-monitor counters, say) would otherwise merge in
 //! shard-count-dependent order.
+//!
+//! [`run_feed`] is the one-shot form (seed, ingest once, report);
+//! [`FeedEngine`] is the resident form the detection service builds on —
+//! per-shard detectors persist across [`ingest`](FeedEngine::ingest) calls,
+//! a lifetime cursor numbers every record ever dispatched, and the whole
+//! mutable state exports/imports through
+//! [`aspp_detect::realtime::DetectorState`] for checkpointing.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, TrySendError};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aspp_data::stats::Cdf;
 use aspp_data::{Corpus, UpdateRecord};
-use aspp_detect::realtime::{StreamAlarm, StreamingDetector};
+use aspp_detect::realtime::{DetectorState, StreamAlarm, StreamingDetector};
 use aspp_obs::counters::{self, Counter};
 use aspp_obs::trace;
 use aspp_topology::AsGraph;
-use aspp_types::Ipv4Prefix;
+use aspp_types::{AsPath, Asn, AsppError, Ipv4Prefix};
+
+use crate::codec::{scan_frames, RecordView};
 
 /// The shard a prefix is pinned to — FNV-1a over its address and length.
 ///
@@ -60,9 +77,12 @@ pub fn shard_of(prefix: Ipv4Prefix, shards: usize) -> usize {
 pub struct FeedConfig {
     /// Number of shard workers (≥ 1).
     pub shards: usize,
-    /// Bounded per-shard channel capacity; a full channel blocks the
-    /// dispatcher (records are never dropped).
+    /// Bounded per-shard channel capacity, in *batches*; a full channel
+    /// blocks the dispatcher (records are never dropped).
     pub capacity: usize,
+    /// Records accumulated per shard before a batch is sent (≥ 1). One
+    /// channel rendezvous then amortizes over `batch` records.
+    pub batch: usize,
 }
 
 impl Default for FeedConfig {
@@ -70,12 +90,14 @@ impl Default for FeedConfig {
         FeedConfig {
             shards: 4,
             capacity: 1024,
+            batch: 256,
         }
     }
 }
 
 impl FeedConfig {
-    /// A pool of `shards` workers with the default channel capacity.
+    /// A pool of `shards` workers with the default channel capacity and
+    /// batch size.
     #[must_use]
     pub fn new(shards: usize) -> Self {
         FeedConfig {
@@ -84,10 +106,17 @@ impl FeedConfig {
         }
     }
 
-    /// Sets the per-shard channel capacity.
+    /// Sets the per-shard channel capacity (in batches).
     #[must_use]
     pub fn capacity(mut self, capacity: usize) -> Self {
         self.capacity = capacity;
+        self
+    }
+
+    /// Sets the dispatch batch size.
+    #[must_use]
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
         self
     }
 }
@@ -97,9 +126,12 @@ impl FeedConfig {
 pub struct ShardStats {
     /// Records routed to this shard.
     pub records: u64,
+    /// Batches this shard dequeued (`records / batches` ≈ realized
+    /// amortization of the channel rendezvous).
+    pub batches: u64,
     /// Alarms this shard emitted.
     pub alarms: u64,
-    /// Deepest channel occupancy observed at dequeue time.
+    /// Deepest channel occupancy observed at dequeue time, in records.
     pub depth_high_water: u64,
     /// Dispatcher stalls on this shard's full channel.
     pub backpressure_waits: u64,
@@ -110,7 +142,7 @@ pub struct ShardStats {
 pub struct FeedReport {
     /// Records dispatched into the pool.
     pub records_in: u64,
-    /// All alarms, merged across shards into `(triggered_by_seq, emission
+    /// All alarms, merged across shards into `(dispatch index, emission
     /// index)` order.
     pub alarms: Vec<StreamAlarm>,
     /// Enqueue-to-alarm latency of each alarm, sorted ascending.
@@ -186,13 +218,11 @@ impl FeedReport {
     }
 }
 
-/// One message on a shard channel.
-enum ShardMsg {
-    /// A record plus its global dispatch index (its position in the input
-    /// slice — the merge key) and its enqueue instant (for alarm-latency
-    /// accounting).
-    Record(UpdateRecord, u64, Instant),
-    /// Poison pill: drain and return.
+/// One message on a shard channel: a batch of dispatch-indexed items plus
+/// the batch's enqueue instant (for alarm-latency accounting), or the
+/// poison pill.
+enum ShardMsg<T> {
+    Batch(Vec<(u64, T)>, Instant),
     Close,
 }
 
@@ -205,13 +235,428 @@ struct TaggedAlarm {
     alarm: StreamAlarm,
 }
 
-/// Runs `updates` through a pool of shard workers and merges the alarms.
+/// Sends one batch, blocking (and counting a backpressure wait) when the
+/// shard's channel is full.
+fn send_batch<T>(
+    sender: &SyncSender<ShardMsg<T>>,
+    batch: Vec<(u64, T)>,
+    enqueued: &AtomicU64,
+    backpressure: &mut u64,
+) {
+    counters::add(Counter::FeedRecordIn, batch.len() as u64);
+    counters::incr(Counter::FeedBatch);
+    enqueued.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    match sender.try_send(ShardMsg::Batch(batch, Instant::now())) {
+        Ok(()) => {}
+        Err(TrySendError::Full(msg)) => {
+            counters::incr(Counter::FeedBackpressureWait);
+            *backpressure += 1;
+            sender
+                .send(msg)
+                .expect("shard worker exits only after Close");
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            unreachable!("shard worker exits only after Close")
+        }
+    }
+}
+
+/// A resident sharded detection engine: the long-lived form of the pool.
+///
+/// Per-shard [`StreamingDetector`]s persist across
+/// [`ingest`](Self::ingest) calls (worker threads are ephemeral, state is
+/// not), a lifetime **cursor** numbers every record dispatched since the
+/// engine was built, and the whole mutable state round-trips through
+/// [`DetectorState`] — the unit the checkpoint layer serializes. One-shot
+/// replays use [`run_feed`]; the `aspp serve` service wraps an engine.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use aspp_data::Corpus;
+/// use aspp_feed::pipeline::{FeedConfig, FeedEngine};
+/// use aspp_topology::AsGraph;
+///
+/// let mut engine = FeedEngine::new(Arc::new(AsGraph::new()), &FeedConfig::new(2));
+/// engine.seed_from_corpus(&Corpus::new());
+/// let report = engine.ingest(&[]);
+/// assert_eq!(report.records_in, 0);
+/// assert_eq!(engine.cursor(), 0);
+/// ```
+#[derive(Debug)]
+pub struct FeedEngine {
+    graph: Arc<AsGraph>,
+    config: FeedConfig,
+    detectors: Vec<StreamingDetector<Arc<AsGraph>>>,
+    cursor: u64,
+}
+
+impl FeedEngine {
+    /// Creates an unseeded engine with `config.shards` resident detectors.
+    #[must_use]
+    pub fn new(graph: Arc<AsGraph>, config: &FeedConfig) -> Self {
+        let shards = config.shards.max(1);
+        let detectors = (0..shards)
+            .map(|_| StreamingDetector::shared(Arc::clone(&graph)))
+            .collect();
+        FeedEngine {
+            graph,
+            config: FeedConfig {
+                shards,
+                capacity: config.capacity.max(1),
+                batch: config.batch.max(1),
+            },
+            detectors,
+            cursor: 0,
+        }
+    }
+
+    /// The number of shard workers.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Records dispatched over the engine's lifetime — the replay cursor a
+    /// checkpoint stores: restoring and re-ingesting the stream from this
+    /// offset reproduces the uninterrupted run.
+    #[must_use]
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// The relationship graph the detectors consult.
+    #[must_use]
+    pub fn graph(&self) -> &Arc<AsGraph> {
+        &self.graph
+    }
+
+    /// Prefixes with live state, summed across shards.
+    #[must_use]
+    pub fn tracked_prefixes(&self) -> usize {
+        self.detectors.iter().map(|d| d.tracked_prefixes()).sum()
+    }
+
+    /// Monitors currently announcing `prefix` (resolved on its one shard).
+    #[must_use]
+    pub fn monitors_of(&self, prefix: Ipv4Prefix) -> usize {
+        self.detectors[shard_of(prefix, self.detectors.len())].monitors_of(prefix)
+    }
+
+    /// Seeds every monitor table of a RIB corpus.
+    ///
+    /// The corpus is partitioned **once** on the caller's side — one pass
+    /// building per-shard seed lists — and each detector receives only its
+    /// slice. (The pool's first version had every worker rescan the whole
+    /// corpus and filter, an O(shards × seeds) startup that dominated at
+    /// millions of prefixes.)
+    pub fn seed_from_corpus(&mut self, seeds: &Corpus) {
+        let shards = self.detectors.len();
+        let mut parts: Vec<Vec<(Asn, Ipv4Prefix, &AsPath)>> = vec![Vec::new(); shards];
+        for (monitor, table) in seeds.tables() {
+            for (prefix, path) in table.iter() {
+                parts[shard_of(prefix, shards)].push((monitor, prefix, path));
+            }
+        }
+        std::thread::scope(|scope| {
+            for (detector, part) in self.detectors.iter_mut().zip(&parts) {
+                scope.spawn(move || {
+                    for &(monitor, prefix, path) in part {
+                        detector.seed(monitor, prefix, path.clone());
+                    }
+                });
+            }
+        });
+    }
+
+    /// Ingests a slice of decoded records through the pool and returns the
+    /// merged report. Detector state persists; a later call continues where
+    /// this one left off. Infallible: decoded records have no failure mode.
+    #[must_use]
+    pub fn ingest(&mut self, updates: &[UpdateRecord]) -> FeedReport {
+        let base = self.cursor;
+        self.run_ingest(
+            updates
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (base + i as u64, r)),
+            |r: &&UpdateRecord| r.prefix,
+            |detector, _, record: &UpdateRecord| Ok(detector.process(record)),
+        )
+        .expect("ingesting decoded records cannot fail")
+    }
+
+    /// Ingests an encoded wire stream zero-copy: the dispatcher validates
+    /// frame boundaries and checksums once ([`scan_frames`]) and routes
+    /// borrowed [`RecordView`]s by their in-place prefix field; shard
+    /// workers pay the allocating field decode in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Structural corruption (bad header, checksum, truncation) fails
+    /// before anything is dispatched. A frame whose *fields* are malformed
+    /// fails on its worker with a frame-indexed error; records already
+    /// processed have advanced detector state, and the cursor is not
+    /// advanced — restore from a checkpoint before continuing after an
+    /// ingest error.
+    pub fn ingest_wire(&mut self, bytes: &[u8]) -> Result<FeedReport, AsppError> {
+        let views = scan_frames(bytes)?;
+        let base = self.cursor;
+        self.run_ingest(
+            views
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, v)| (base + i as u64, v)),
+            |v: &RecordView<'_>| v.shard_prefix(),
+            move |detector, dispatch, view: RecordView<'_>| {
+                let record = view.decode((dispatch - base) as usize + 1)?;
+                Ok(detector.process(&record))
+            },
+        )
+    }
+
+    /// Exports the engine's whole mutable state as one canonical (sorted)
+    /// snapshot, merged across shards. Prefixes live on exactly one shard,
+    /// so the merge is a disjoint union; together with
+    /// [`cursor`](Self::cursor) this is everything a checkpoint needs.
+    #[must_use]
+    pub fn export_state(&self) -> DetectorState {
+        let mut merged = DetectorState::default();
+        for detector in &self.detectors {
+            let state = detector.export_state();
+            merged.current.extend(state.current);
+            merged.previous.extend(state.previous);
+            merged.raised.extend(state.raised);
+        }
+        let key = |(p, m, _): &(Ipv4Prefix, Asn, AsPath)| (p.addr(), p.len(), *m);
+        merged.current.sort_by_key(key);
+        merged.previous.sort_by_key(key);
+        merged
+            .raised
+            .sort_by_key(|&(p, a, b)| (p.addr(), p.len(), a, b));
+        merged
+    }
+
+    /// Replaces the engine's state with a snapshot, repartitioning rows by
+    /// prefix hash, and sets the cursor. The snapshot's shard count does
+    /// not matter: a checkpoint taken at 8 shards restores into a 2-shard
+    /// engine (and vice versa) with identical subsequent behavior, because
+    /// the state is keyed purely by prefix.
+    pub fn import_state(&mut self, state: &DetectorState, cursor: u64) {
+        let shards = self.detectors.len();
+        let mut parts: Vec<DetectorState> = vec![DetectorState::default(); shards];
+        for (prefix, monitor, path) in &state.current {
+            parts[shard_of(*prefix, shards)]
+                .current
+                .push((*prefix, *monitor, path.clone()));
+        }
+        for (prefix, monitor, path) in &state.previous {
+            parts[shard_of(*prefix, shards)]
+                .previous
+                .push((*prefix, *monitor, path.clone()));
+        }
+        for &(prefix, suspect, observed_at) in &state.raised {
+            parts[shard_of(prefix, shards)]
+                .raised
+                .push((prefix, suspect, observed_at));
+        }
+        for (detector, part) in self.detectors.iter_mut().zip(&parts) {
+            detector.import_state(part);
+        }
+        self.cursor = cursor;
+    }
+
+    /// The shared pool run: spawns one ephemeral worker per resident
+    /// detector, dispatches `items` in per-shard batches, merges the
+    /// tagged alarms, and advances the cursor on success.
+    fn run_ingest<T, K, F>(
+        &mut self,
+        items: impl Iterator<Item = (u64, T)>,
+        shard_key: K,
+        apply: F,
+    ) -> Result<FeedReport, AsppError>
+    where
+        T: Send,
+        K: Fn(&T) -> Ipv4Prefix,
+        F: Fn(&mut StreamingDetector<Arc<AsGraph>>, u64, T) -> Result<Vec<StreamAlarm>, AsppError>
+            + Send
+            + Sync,
+    {
+        let _span = trace::span("feed");
+        let shards = self.detectors.len();
+        let capacity = self.config.capacity;
+        let batch_size = self.config.batch;
+        let start = Instant::now();
+
+        // Per-shard enqueued record counters; a worker derives
+        // instantaneous channel occupancy as `enqueued - dequeued`. The
+        // dispatcher bumps the counter just before handing a batch off, so
+        // a reading may include the batch currently in flight (the mark is
+        // an upper bound within one batch).
+        let enqueued: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
+
+        let mut backpressure = vec![0u64; shards];
+        let mut records_in = 0u64;
+        let mut per_shard: Vec<ShardResult> = Vec::with_capacity(shards);
+
+        let apply = &apply;
+        let enqueued = &enqueued;
+        std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(shards);
+            let mut handles = Vec::with_capacity(shards);
+            for (shard, detector) in self.detectors.iter_mut().enumerate() {
+                let (tx, rx) = mpsc::sync_channel::<ShardMsg<T>>(capacity);
+                senders.push(tx);
+                handles.push(scope.spawn(move || {
+                    let mut stats = ShardStats::default();
+                    let mut alarms: Vec<TaggedAlarm> = Vec::new();
+                    let mut error: Option<(u64, AsppError)> = None;
+                    let mut dequeued = 0u64;
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            ShardMsg::Close => break,
+                            ShardMsg::Batch(batch, enqueued_at) => {
+                                dequeued += batch.len() as u64;
+                                let depth = enqueued[shard]
+                                    .load(Ordering::Relaxed)
+                                    .saturating_sub(dequeued);
+                                stats.depth_high_water = stats.depth_high_water.max(depth);
+                                stats.batches += 1;
+                                // After an error, keep draining (so the
+                                // dispatcher never blocks forever) but stop
+                                // mutating detector state.
+                                if error.is_some() {
+                                    continue;
+                                }
+                                for (dispatch, item) in batch {
+                                    stats.records += 1;
+                                    match apply(detector, dispatch, item) {
+                                        Ok(list) => {
+                                            for (idx, alarm) in list.into_iter().enumerate() {
+                                                stats.alarms += 1;
+                                                alarms.push(TaggedAlarm {
+                                                    dispatch,
+                                                    idx,
+                                                    latency_ns: enqueued_at.elapsed().as_nanos()
+                                                        as u64,
+                                                    alarm,
+                                                });
+                                            }
+                                        }
+                                        Err(e) => {
+                                            error = Some((dispatch, e));
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    ShardResult {
+                        alarms,
+                        stats,
+                        error,
+                    }
+                }));
+            }
+
+            let mut pending: Vec<Vec<(u64, T)>> = (0..shards)
+                .map(|_| Vec::with_capacity(batch_size))
+                .collect();
+            for (dispatch, item) in items {
+                let shard = shard_of(shard_key(&item), shards);
+                records_in += 1;
+                pending[shard].push((dispatch, item));
+                if pending[shard].len() >= batch_size {
+                    let full =
+                        std::mem::replace(&mut pending[shard], Vec::with_capacity(batch_size));
+                    send_batch(
+                        &senders[shard],
+                        full,
+                        &enqueued[shard],
+                        &mut backpressure[shard],
+                    );
+                }
+            }
+            // Flush partial batches, then one poison pill per shard.
+            for (shard, rest) in pending.into_iter().enumerate() {
+                if !rest.is_empty() {
+                    send_batch(
+                        &senders[shard],
+                        rest,
+                        &enqueued[shard],
+                        &mut backpressure[shard],
+                    );
+                }
+            }
+            for tx in &senders {
+                tx.send(ShardMsg::Close)
+                    .expect("shard worker exits only after Close");
+            }
+            drop(senders);
+            for handle in handles {
+                per_shard.push(handle.join().expect("shard worker must not panic"));
+            }
+        });
+
+        // Surface the earliest (by dispatch index) worker error, so the
+        // reported frame is shard-count-independent.
+        let first_error = per_shard
+            .iter_mut()
+            .filter_map(|r| r.error.take())
+            .min_by_key(|(dispatch, _)| *dispatch);
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+
+        let mut shard_stats = Vec::with_capacity(shards);
+        let mut tagged: Vec<TaggedAlarm> = Vec::new();
+        for (shard, result) in per_shard.into_iter().enumerate() {
+            let mut stats = result.stats;
+            stats.backpressure_waits = backpressure[shard];
+            counters::record_max(Counter::FeedShardDepthHighWater, stats.depth_high_water);
+            shard_stats.push(stats);
+            tagged.extend(result.alarms);
+        }
+        // A prefix lives on exactly one shard and each shard preserves
+        // dispatch order, so (dispatch index, per-update emission index) is
+        // a total merge key — total even when the stream carries duplicate
+        // `seq` values, which caller-supplied wire data is free to do.
+        tagged.sort_by_key(|t| (t.dispatch, t.idx));
+        counters::add(Counter::FeedAlarm, tagged.len() as u64);
+
+        let mut alarm_latencies_ns: Vec<u64> = tagged.iter().map(|t| t.latency_ns).collect();
+        alarm_latencies_ns.sort_unstable();
+        let alarms = tagged.into_iter().map(|t| t.alarm).collect();
+
+        self.cursor += records_in;
+        Ok(FeedReport {
+            records_in,
+            alarms,
+            alarm_latencies_ns,
+            shards: shard_stats,
+            wall: start.elapsed(),
+        })
+    }
+}
+
+/// What one worker hands back at join time.
+struct ShardResult {
+    alarms: Vec<TaggedAlarm>,
+    stats: ShardStats,
+    error: Option<(u64, AsppError)>,
+}
+
+/// Runs `updates` through a pool of shard workers and merges the alarms —
+/// the one-shot wrapper over [`FeedEngine`] (seed, single ingest, report).
 ///
 /// Each worker owns a [`StreamingDetector`] over a clone of the `Arc`'d
-/// graph, seeded with the subset of `seeds`' RIB entries whose prefix hashes
-/// to its shard. The merged alarm sequence is identical for every shard
-/// count — including streams with duplicate or non-monotone `seq` values,
-/// since the merge keys on dispatch order, not `seq` — see the module docs.
+/// graph, seeded with its partition of `seeds`' RIB entries. The merged
+/// alarm sequence is identical for every shard count — including streams
+/// with duplicate or non-monotone `seq` values, since the merge keys on
+/// dispatch order, not `seq` — see the module docs.
 ///
 /// # Example
 ///
@@ -233,129 +678,15 @@ pub fn run_feed(
     updates: &[UpdateRecord],
     config: &FeedConfig,
 ) -> FeedReport {
-    let _span = trace::span("feed");
-    let shards = config.shards.max(1);
-    let capacity = config.capacity.max(1);
-    let start = Instant::now();
-
-    // Per-shard enqueued counters; a worker derives instantaneous channel
-    // occupancy as `enqueued - dequeued`. The dispatcher bumps the counter
-    // just before handing the record off, so a reading may include the one
-    // record currently in flight (the mark is an upper bound within 1).
-    let enqueued: Arc<Vec<AtomicU64>> = Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect());
-
-    let mut backpressure = vec![0u64; shards];
-    let mut records_in = 0u64;
-    let mut per_shard: Vec<(Vec<TaggedAlarm>, ShardStats)> = Vec::with_capacity(shards);
-
-    std::thread::scope(|scope| {
-        let mut senders = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let (tx, rx) = mpsc::sync_channel::<ShardMsg>(capacity);
-            senders.push(tx);
-            let graph = Arc::clone(graph);
-            let enqueued = Arc::clone(&enqueued);
-            handles.push(scope.spawn(move || {
-                let mut detector = StreamingDetector::shared(graph);
-                for (monitor, table) in seeds.tables() {
-                    for (prefix, path) in table.iter() {
-                        if shard_of(prefix, shards) == shard {
-                            detector.seed(monitor, prefix, path.clone());
-                        }
-                    }
-                }
-                let mut stats = ShardStats::default();
-                let mut alarms: Vec<TaggedAlarm> = Vec::new();
-                let mut dequeued = 0u64;
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        ShardMsg::Close => break,
-                        ShardMsg::Record(record, dispatch, enqueued_at) => {
-                            dequeued += 1;
-                            let depth = enqueued[shard]
-                                .load(Ordering::Relaxed)
-                                .saturating_sub(dequeued);
-                            stats.depth_high_water = stats.depth_high_water.max(depth);
-                            stats.records += 1;
-                            for (idx, alarm) in detector.process(&record).into_iter().enumerate() {
-                                stats.alarms += 1;
-                                alarms.push(TaggedAlarm {
-                                    dispatch,
-                                    idx,
-                                    latency_ns: enqueued_at.elapsed().as_nanos() as u64,
-                                    alarm,
-                                });
-                            }
-                        }
-                    }
-                }
-                (alarms, stats)
-            }));
-        }
-
-        for (dispatch, record) in updates.iter().enumerate() {
-            let shard = shard_of(record.prefix, shards);
-            records_in += 1;
-            counters::incr(Counter::FeedRecordIn);
-            enqueued[shard].fetch_add(1, Ordering::Relaxed);
-            let msg = ShardMsg::Record(record.clone(), dispatch as u64, Instant::now());
-            match senders[shard].try_send(msg) {
-                Ok(()) => {}
-                Err(TrySendError::Full(msg)) => {
-                    counters::incr(Counter::FeedBackpressureWait);
-                    backpressure[shard] += 1;
-                    senders[shard]
-                        .send(msg)
-                        .expect("shard worker exits only after Close");
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    unreachable!("shard worker exits only after Close")
-                }
-            }
-        }
-        // Drain: one poison pill per shard, then drop the senders.
-        for tx in &senders {
-            tx.send(ShardMsg::Close)
-                .expect("shard worker exits only after Close");
-        }
-        drop(senders);
-        for handle in handles {
-            per_shard.push(handle.join().expect("shard worker must not panic"));
-        }
-    });
-
-    let mut shard_stats = Vec::with_capacity(shards);
-    let mut tagged: Vec<TaggedAlarm> = Vec::new();
-    for (shard, (alarms, mut stats)) in per_shard.into_iter().enumerate() {
-        stats.backpressure_waits = backpressure[shard];
-        counters::record_max(Counter::FeedShardDepthHighWater, stats.depth_high_water);
-        shard_stats.push(stats);
-        tagged.extend(alarms);
-    }
-    // A prefix lives on exactly one shard and each shard preserves dispatch
-    // order, so (dispatch index, per-update emission index) is a total merge
-    // key — total even when the stream carries duplicate `seq` values,
-    // which caller-supplied wire data is free to do.
-    tagged.sort_by_key(|t| (t.dispatch, t.idx));
-    counters::add(Counter::FeedAlarm, tagged.len() as u64);
-
-    let mut alarm_latencies_ns: Vec<u64> = tagged.iter().map(|t| t.latency_ns).collect();
-    alarm_latencies_ns.sort_unstable();
-    let alarms = tagged.into_iter().map(|t| t.alarm).collect();
-
-    FeedReport {
-        records_in,
-        alarms,
-        alarm_latencies_ns,
-        shards: shard_stats,
-        wall: start.elapsed(),
-    }
+    let mut engine = FeedEngine::new(Arc::clone(graph), config);
+    engine.seed_from_corpus(seeds);
+    engine.ingest(updates)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::encode_records;
     use aspp_data::UpdateAction;
     use aspp_types::Asn;
 
@@ -429,11 +760,106 @@ mod tests {
     }
 
     #[test]
+    fn batch_boundaries_do_not_change_the_merge() {
+        // Batch sizes that split the stream at every possible point (1 =
+        // one record per rendezvous, the old pool's behavior) must all
+        // reproduce the serial oracle.
+        let (graph, seeds, updates) = attack_world();
+        let mut serial = StreamingDetector::new(&graph);
+        serial.seed_from_corpus(&seeds);
+        let expected = serial.process_all(&updates);
+        for batch in [1, 2, 3, 256] {
+            for shards in [1, 2, 8] {
+                let config = FeedConfig::new(shards).batch(batch);
+                let report = run_feed(&graph, &seeds, &updates, &config);
+                assert_eq!(report.alarms, expected, "shards={shards} batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn resident_engine_continues_across_ingests() {
+        // Feeding the stream in two calls must equal one call: state
+        // persists and the cursor keeps dispatch indices globally ordered.
+        let (graph, seeds, updates) = attack_world();
+        let mut whole = FeedEngine::new(Arc::clone(&graph), &FeedConfig::new(2));
+        whole.seed_from_corpus(&seeds);
+        let expected = whole.ingest(&updates).alarms;
+
+        let mut split = FeedEngine::new(Arc::clone(&graph), &FeedConfig::new(2));
+        split.seed_from_corpus(&seeds);
+        let mut alarms = split.ingest(&updates[..1]).alarms;
+        assert_eq!(split.cursor(), 1);
+        alarms.extend(split.ingest(&updates[1..]).alarms);
+        assert_eq!(split.cursor(), updates.len() as u64);
+        assert_eq!(alarms, expected);
+    }
+
+    #[test]
+    fn wire_ingest_matches_decoded_ingest() {
+        let (graph, seeds, updates) = attack_world();
+        let bytes = encode_records(&updates);
+        for shards in [1, 2, 8] {
+            let mut decoded = FeedEngine::new(Arc::clone(&graph), &FeedConfig::new(shards));
+            decoded.seed_from_corpus(&seeds);
+            let expected = decoded.ingest(&updates);
+
+            let mut wire = FeedEngine::new(Arc::clone(&graph), &FeedConfig::new(shards));
+            wire.seed_from_corpus(&seeds);
+            let report = wire.ingest_wire(&bytes).unwrap();
+            assert_eq!(report.alarms, expected.alarms, "shards = {shards}");
+            assert_eq!(report.records_in, expected.records_in);
+            assert_eq!(wire.cursor(), decoded.cursor());
+        }
+    }
+
+    #[test]
+    fn wire_ingest_rejects_corruption_without_advancing_the_cursor() {
+        let (graph, seeds, updates) = attack_world();
+        let mut bytes = encode_records(&updates);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        let mut engine = FeedEngine::new(Arc::clone(&graph), &FeedConfig::new(2));
+        engine.seed_from_corpus(&seeds);
+        let err = engine.ingest_wire(&bytes).unwrap_err();
+        assert_eq!(err.component(), "feed");
+        assert_eq!(engine.cursor(), 0, "failed ingest must not advance");
+    }
+
+    #[test]
+    fn engine_state_roundtrips_through_export_import() {
+        let (graph, seeds, updates) = attack_world();
+        // Export mid-stream at 8 shards, import into 2 (and 1), replay the
+        // tail: alarms must match the uninterrupted run bit for bit.
+        let mut whole = FeedEngine::new(Arc::clone(&graph), &FeedConfig::new(2));
+        whole.seed_from_corpus(&seeds);
+        let expected_tail = {
+            let _head = whole.ingest(&updates[..1]);
+            whole.ingest(&updates[1..]).alarms
+        };
+        let mut donor = FeedEngine::new(Arc::clone(&graph), &FeedConfig::new(8));
+        donor.seed_from_corpus(&seeds);
+        let _ = donor.ingest(&updates[..1]);
+        let snapshot = donor.export_state();
+        for shards in [1, 2] {
+            let mut restored = FeedEngine::new(Arc::clone(&graph), &FeedConfig::new(shards));
+            restored.import_state(&snapshot, donor.cursor());
+            assert_eq!(restored.cursor(), 1);
+            assert_eq!(restored.export_state(), snapshot, "canonical re-export");
+            assert_eq!(restored.ingest(&updates[1..]).alarms, expected_tail);
+        }
+    }
+
+    #[test]
     fn tiny_capacity_forces_backpressure_not_loss() {
         let (graph, seeds, updates) = attack_world();
-        let report = run_feed(&graph, &seeds, &updates, &FeedConfig::new(1).capacity(1));
+        // batch(1) restores the old record-per-rendezvous shape so a
+        // capacity-1 channel actually exercises the blocking path.
+        let config = FeedConfig::new(1).capacity(1).batch(1);
+        let report = run_feed(&graph, &seeds, &updates, &config);
         assert_eq!(report.records_in, 3);
         assert_eq!(report.shards[0].records, 3, "blocking, never dropping");
+        assert_eq!(report.shards[0].batches, 3);
         assert!(!report.alarms.is_empty());
     }
 
@@ -446,6 +872,7 @@ mod tests {
         assert!(report.latency_us(99.0) >= report.latency_us(50.0));
         assert!(report.shard_balance() >= 1.0);
         assert!(report.depth_high_water() <= 3);
+        assert!(report.shards.iter().map(|s| s.batches).sum::<u64>() >= 1);
     }
 
     fn report_with(latencies_ns: Vec<u64>, records_in: u64, wall: Duration) -> FeedReport {

@@ -265,7 +265,7 @@ impl ReplayConfig {
         let mut queues: Vec<(Ipv4Prefix, Vec<(Asn, UpdateAction)>)> = Vec::new();
 
         for (i, &origin) in origins.iter().enumerate() {
-            let prefix = Ipv4Prefix::containing(0x0a00_0000 + ((i as u32) << 8), 24);
+            let prefix = Ipv4Prefix::synthetic_24(i);
             let attacked = rng.gen_bool(self.attack_ratio);
 
             let mut config = PrependConfig::new();

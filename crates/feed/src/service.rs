@@ -1,0 +1,504 @@
+//! The resident detection service: a JSONL query loop over a [`FeedEngine`].
+//!
+//! `aspp serve` wraps this module around stdin/stdout. One request per
+//! line, one JSON response per line — the shape of the PHAS-style
+//! notification service the paper's Section V sketches, reduced to a
+//! transport a shell script (or the CI smoke job) can drive:
+//!
+//! ```text
+//! {"cmd":"status"}
+//! {"cmd":"ingest","file":"stream.bin"}
+//! {"cmd":"prefix","prefix":"10.0.0.0/24"}
+//! {"cmd":"checkpoint","file":"state.ckpt"}
+//! {"cmd":"drain"}
+//! ```
+//!
+//! Every response carries `"ok"`; failures answer `"ok":false` with an
+//! `"error"` string and the service keeps running. End-of-input (or an
+//! explicit `drain`) is the graceful shutdown path: the service writes a
+//! final checkpoint when one is configured, emits a summary line, and
+//! returns. An *ungraceful* death (SIGKILL, power loss) is what the
+//! checkpoint layer exists for — restart, restore the last checkpoint,
+//! replay the stream tail from its cursor, and the alarm sequence is
+//! bit-identical to the uninterrupted run.
+//!
+//! Requests are parsed with a deliberately flat hand-rolled reader (the
+//! workspace carries no serde): top-level string fields of one JSON object
+//! per line. Responses are rendered through `aspp-obs`'s [`JsonWriter`],
+//! the same escaping used by every other machine-readable surface.
+
+use std::fs;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+use aspp_detect::realtime::StreamAlarm;
+use aspp_obs::counters::{self, Counter};
+use aspp_obs::json::JsonWriter;
+use aspp_obs::trace;
+use aspp_types::{AsppError, Ipv4Prefix};
+
+use crate::checkpoint::Checkpoint;
+use crate::pipeline::FeedEngine;
+
+/// Extracts the string value of a top-level `key` from one flat JSON
+/// object line. Handles the escapes [`JsonWriter`] emits; nested objects
+/// and non-string values are out of scope by design (the protocol is flat).
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let mut from = 0;
+    while let Some(at) = line[from..].find(&needle) {
+        from += at + needle.len();
+        // A key is followed by a colon; the same text in value position
+        // (e.g. {"cmd":"prefix"} while looking up "prefix") is not.
+        let rest = line[from..].trim_start();
+        let Some(rest) = rest.strip_prefix(':') else {
+            continue;
+        };
+        let rest = rest.trim_start().strip_prefix('"')?;
+        let mut out = String::new();
+        let mut chars = rest.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next()? {
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    other => out.push(other),
+                },
+                '"' => return Some(out),
+                c => out.push(c),
+            }
+        }
+        return None;
+    }
+    None
+}
+
+/// A resident [`FeedEngine`] plus the accumulated alarm log and the JSONL
+/// command loop.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use aspp_feed::pipeline::{FeedConfig, FeedEngine};
+/// use aspp_feed::service::DetectionService;
+/// use aspp_topology::AsGraph;
+///
+/// let engine = FeedEngine::new(Arc::new(AsGraph::new()), &FeedConfig::new(2));
+/// let mut service = DetectionService::new(engine);
+/// let input = b"{\"cmd\":\"status\"}\n" as &[u8];
+/// let mut output = Vec::new();
+/// service.run(input, &mut output).unwrap();
+/// let text = String::from_utf8(output).unwrap();
+/// assert!(text.lines().next().unwrap().contains("\"ok\":true"));
+/// ```
+#[derive(Debug)]
+pub struct DetectionService {
+    engine: FeedEngine,
+    alarms: Vec<StreamAlarm>,
+    records_in: u64,
+    restores: u64,
+    checkpoint_file: Option<PathBuf>,
+}
+
+impl DetectionService {
+    /// Wraps an engine (seeded or restored by the caller).
+    #[must_use]
+    pub fn new(engine: FeedEngine) -> Self {
+        DetectionService {
+            engine,
+            alarms: Vec::new(),
+            records_in: 0,
+            restores: 0,
+            checkpoint_file: None,
+        }
+    }
+
+    /// Sets the default checkpoint target: `{"cmd":"checkpoint"}` without a
+    /// `file` writes here, and a graceful drain writes a final checkpoint.
+    #[must_use]
+    pub fn checkpoint_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_file = Some(path.into());
+        self
+    }
+
+    /// Restores engine state from a checkpoint file written earlier.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is unreadable or the checkpoint is corrupt (the
+    /// decoder's checksum path); the engine is untouched on failure.
+    pub fn restore_from_file(&mut self, path: &Path) -> Result<(), AsppError> {
+        let bytes = fs::read(path).map_err(|e| {
+            AsppError::new(
+                "feed",
+                format!("cannot read checkpoint {}: {e}", path.display()),
+            )
+        })?;
+        let checkpoint = Checkpoint::decode(&bytes)?;
+        checkpoint.restore_into(&mut self.engine);
+        self.restores += 1;
+        Ok(())
+    }
+
+    /// The wrapped engine.
+    #[must_use]
+    pub fn engine(&self) -> &FeedEngine {
+        &self.engine
+    }
+
+    /// Every alarm raised over the service's lifetime, in merge order.
+    #[must_use]
+    pub fn alarms(&self) -> &[StreamAlarm] {
+        &self.alarms
+    }
+
+    /// Runs the query loop until `drain` or end of input, writing one JSON
+    /// line per request. This is the blocking heart of `aspp serve`.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors on `input`/`output` abort the loop; request-level
+    /// failures are `"ok":false` responses.
+    pub fn run(&mut self, input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
+        let _span = trace::span("serve");
+        for line in input.lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            counters::incr(Counter::ServeQuery);
+            let (response, stop) = self.handle(line);
+            writeln!(output, "{response}")?;
+            output.flush()?;
+            if stop {
+                return Ok(());
+            }
+        }
+        // End of input: graceful drain, same as an explicit request.
+        let (response, _) = self.drain();
+        writeln!(output, "{response}")?;
+        output.flush()
+    }
+
+    /// Dispatches one request line; returns the response and whether the
+    /// loop should stop.
+    fn handle(&mut self, line: &str) -> (String, bool) {
+        let Some(cmd) = string_field(line, "cmd") else {
+            return (fail("request carries no \"cmd\" field"), false);
+        };
+        match cmd.as_str() {
+            "status" => (self.status(), false),
+            "prefix" => (self.prefix_status(line), false),
+            "ingest" => (self.ingest(line), false),
+            "checkpoint" => (self.checkpoint(line), false),
+            "drain" => self.drain(),
+            other => (fail(&format!("unknown cmd {other:?}")), false),
+        }
+    }
+
+    fn status(&self) -> String {
+        let mut w = ok("status");
+        w.field_u64("cursor", self.engine.cursor());
+        w.field_u64("records_in", self.records_in);
+        w.field_u64("alarms", self.alarms.len() as u64);
+        w.field_u64("tracked_prefixes", self.engine.tracked_prefixes() as u64);
+        w.field_u64("shards", self.engine.shards() as u64);
+        w.field_u64("restores", self.restores);
+        w.finish()
+    }
+
+    fn prefix_status(&self, line: &str) -> String {
+        let Some(text) = string_field(line, "prefix") else {
+            return fail("prefix request carries no \"prefix\" field");
+        };
+        let prefix: Ipv4Prefix = match text.parse() {
+            Ok(p) => p,
+            Err(e) => return fail(&format!("bad prefix {text:?}: {e}")),
+        };
+        let hits: Vec<&StreamAlarm> = self.alarms.iter().filter(|a| a.prefix == prefix).collect();
+        let mut w = ok("prefix");
+        w.field_str("prefix", &text);
+        w.field_u64("monitors", self.engine.monitors_of(prefix) as u64);
+        w.field_u64("alarms", hits.len() as u64);
+        if let Some(last) = hits.last() {
+            let mut a = JsonWriter::object();
+            a.field_u64("suspect", u64::from(last.alarm.suspect.0));
+            a.field_u64("observed_at", u64::from(last.alarm.observed_at.0));
+            a.field_str("confidence", &format!("{:?}", last.alarm.confidence));
+            a.field_u64("triggered_by_seq", last.triggered_by_seq);
+            w.field_raw("last_alarm", &a.finish());
+        }
+        w.finish()
+    }
+
+    fn ingest(&mut self, line: &str) -> String {
+        let Some(file) = string_field(line, "file") else {
+            return fail("ingest request carries no \"file\" field");
+        };
+        let bytes = match fs::read(&file) {
+            Ok(b) => b,
+            Err(e) => return fail(&format!("cannot read {file}: {e}")),
+        };
+        match self.engine.ingest_wire(&bytes) {
+            Ok(report) => {
+                self.records_in += report.records_in;
+                let new = report.alarms.len();
+                let rate = report.records_per_sec();
+                self.alarms.extend(report.alarms);
+                let mut w = ok("ingest");
+                w.field_str("file", &file);
+                w.field_u64("records", report.records_in);
+                w.field_u64("alarms", new as u64);
+                w.field_u64("cursor", self.engine.cursor());
+                if let Some(rate) = rate {
+                    w.field_f64("records_per_sec", rate);
+                }
+                w.finish()
+            }
+            Err(e) => fail(&format!("ingest failed: {e}")),
+        }
+    }
+
+    fn checkpoint(&mut self, line: &str) -> String {
+        let target = string_field(line, "file")
+            .map(PathBuf::from)
+            .or_else(|| self.checkpoint_file.clone());
+        let Some(path) = target else {
+            return fail("no checkpoint file: pass \"file\" or configure a default");
+        };
+        match self.write_checkpoint(&path) {
+            Ok(bytes) => {
+                let mut w = ok("checkpoint");
+                w.field_str("file", &path.display().to_string());
+                w.field_u64("bytes", bytes as u64);
+                w.field_u64("cursor", self.engine.cursor());
+                w.finish()
+            }
+            Err(e) => fail(&e),
+        }
+    }
+
+    fn write_checkpoint(&self, path: &Path) -> Result<usize, String> {
+        let bytes = Checkpoint::capture(&self.engine).encode();
+        fs::write(path, &bytes)
+            .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))?;
+        Ok(bytes.len())
+    }
+
+    /// Graceful shutdown: final checkpoint (when configured) + summary.
+    fn drain(&mut self) -> (String, bool) {
+        let mut w = ok("drain");
+        w.field_u64("records_in", self.records_in);
+        w.field_u64("alarms", self.alarms.len() as u64);
+        w.field_u64("cursor", self.engine.cursor());
+        if let Some(path) = self.checkpoint_file.clone() {
+            match self.write_checkpoint(&path) {
+                Ok(bytes) => {
+                    w.field_str("checkpoint", &path.display().to_string());
+                    w.field_u64("checkpoint_bytes", bytes as u64);
+                }
+                Err(e) => {
+                    let response = fail(&format!("drain checkpoint failed: {e}"));
+                    return (response, true);
+                }
+            }
+        }
+        (w.finish(), true)
+    }
+}
+
+/// Starts a success response for `cmd`.
+fn ok(cmd: &str) -> JsonWriter {
+    let mut w = JsonWriter::object();
+    w.field_bool("ok", true);
+    w.field_str("cmd", cmd);
+    w
+}
+
+/// Renders a failure response.
+fn fail(message: &str) -> String {
+    let mut w = JsonWriter::object();
+    w.field_bool("ok", false);
+    w.field_str("error", message);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_records;
+    use crate::pipeline::FeedConfig;
+    use aspp_data::{Corpus, UpdateAction, UpdateRecord};
+    use aspp_topology::AsGraph;
+    use aspp_types::Asn;
+    use std::sync::Arc;
+
+    fn attack_world() -> (Arc<AsGraph>, Corpus, Vec<UpdateRecord>) {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(10), Asn(1)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(66)).unwrap();
+        g.add_provider_customer(Asn(10), Asn(55)).unwrap();
+        g.add_provider_customer(Asn(66), Asn(77)).unwrap();
+        let p: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let mut seeds = Corpus::new();
+        seeds.add_table_entry(Asn(77), p, "77 66 10 1 1 1".parse().unwrap());
+        seeds.add_table_entry(Asn(55), p, "55 10 1 1 1".parse().unwrap());
+        let updates = vec![UpdateRecord {
+            seq: 1,
+            monitor: Asn(77),
+            prefix: p,
+            action: UpdateAction::Announce("77 66 10 1".parse().unwrap()),
+        }];
+        (Arc::new(g), seeds, updates)
+    }
+
+    fn service() -> (DetectionService, Vec<UpdateRecord>) {
+        let (graph, seeds, updates) = attack_world();
+        let mut engine = FeedEngine::new(graph, &FeedConfig::new(2));
+        engine.seed_from_corpus(&seeds);
+        (DetectionService::new(engine), updates)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("aspp_service_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn string_field_handles_the_flat_protocol() {
+        assert_eq!(
+            string_field(r#"{"cmd":"status"}"#, "cmd").as_deref(),
+            Some("status")
+        );
+        assert_eq!(
+            string_field(r#"{ "cmd" : "prefix" , "prefix": "10.0.0.0/24"}"#, "prefix").as_deref(),
+            Some("10.0.0.0/24")
+        );
+        assert_eq!(
+            string_field(r#"{"file":"a \"b\\c\" d"}"#, "file").as_deref(),
+            Some(r#"a "b\c" d"#)
+        );
+        assert_eq!(string_field(r#"{"cmd":"x"}"#, "file"), None);
+        assert_eq!(string_field(r#"{"cmd": 7}"#, "cmd"), None);
+        assert_eq!(string_field(r#"{"cmd":"unterminated"#, "cmd"), None);
+    }
+
+    #[test]
+    fn status_prefix_and_errors_over_the_loop() {
+        let (mut service, _) = service();
+        let input = concat!(
+            "{\"cmd\":\"status\"}\n",
+            "\n",
+            "{\"cmd\":\"prefix\",\"prefix\":\"10.0.0.0/24\"}\n",
+            "{\"cmd\":\"prefix\",\"prefix\":\"not-a-prefix\"}\n",
+            "{\"nope\":1}\n",
+            "{\"cmd\":\"bogus\"}\n",
+        );
+        let mut out = Vec::new();
+        service.run(input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6, "5 responses + drain: {text}");
+        assert!(lines[0].contains("\"cmd\":\"status\"") && lines[0].contains("\"ok\":true"));
+        assert!(lines[1].contains("\"monitors\":2"), "{}", lines[1]);
+        assert!(lines[2].contains("\"ok\":false"));
+        assert!(lines[3].contains("no \\\"cmd\\\"") || lines[3].contains("\"ok\":false"));
+        assert!(lines[4].contains("unknown cmd"));
+        assert!(
+            lines[5].contains("\"cmd\":\"drain\""),
+            "EOF drains: {}",
+            lines[5]
+        );
+    }
+
+    #[test]
+    fn ingest_accumulates_records_and_alarms() {
+        let (mut service, updates) = service();
+        let stream = tmp("ingest.bin");
+        fs::write(&stream, encode_records(&updates)).unwrap();
+        let input = format!(
+            "{{\"cmd\":\"ingest\",\"file\":\"{}\"}}\n{{\"cmd\":\"prefix\",\"prefix\":\"10.0.0.0/24\"}}\n",
+            stream.display()
+        );
+        let mut out = Vec::new();
+        service.run(input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let raised = service.alarms().len();
+        assert!(raised >= 1, "the interception must alarm");
+        assert!(lines[0].contains("\"records\":1"), "{}", lines[0]);
+        assert!(
+            lines[0].contains(&format!("\"alarms\":{raised}")),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("\"last_alarm\""), "{}", lines[1]);
+        assert_eq!(service.engine().cursor(), 1);
+        let _ = fs::remove_file(&stream);
+    }
+
+    #[test]
+    fn checkpoint_command_roundtrips_through_restore() {
+        let (mut service, updates) = service();
+        let stream = tmp("ckpt_stream.bin");
+        let ckpt = tmp("state.ckpt");
+        fs::write(&stream, encode_records(&updates)).unwrap();
+        let input = format!(
+            "{{\"cmd\":\"ingest\",\"file\":\"{}\"}}\n{{\"cmd\":\"checkpoint\",\"file\":\"{}\"}}\n",
+            stream.display(),
+            ckpt.display()
+        );
+        let mut out = Vec::new();
+        service.run(input.as_bytes(), &mut out).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("\"cmd\":\"checkpoint\""));
+
+        // A fresh, *unseeded* service restored from the file sees the same
+        // cursor and live state.
+        let (graph, _, _) = attack_world();
+        let engine = FeedEngine::new(graph, &FeedConfig::new(1));
+        let mut restored = DetectionService::new(engine);
+        restored.restore_from_file(&ckpt).unwrap();
+        assert_eq!(restored.engine().cursor(), 1);
+        assert_eq!(restored.engine().tracked_prefixes(), 1);
+        let status = restored.status();
+        assert!(status.contains("\"restores\":1"), "{status}");
+        let _ = fs::remove_file(&stream);
+        let _ = fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn drain_writes_the_configured_checkpoint() {
+        let (service, _) = service();
+        let ckpt = tmp("drain.ckpt");
+        let mut service = service.checkpoint_file(&ckpt);
+        let mut out = Vec::new();
+        service
+            .run(b"{\"cmd\":\"drain\"}\n" as &[u8], &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"checkpoint\""), "{text}");
+        assert!(Checkpoint::decode(&fs::read(&ckpt).unwrap()).is_ok());
+        let _ = fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn restore_rejects_a_corrupt_file_untouched() {
+        let (mut service, _) = service();
+        let path = tmp("corrupt.ckpt");
+        let mut bytes = Checkpoint::capture(service.engine()).encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let before = service.engine().tracked_prefixes();
+        assert!(service.restore_from_file(&path).is_err());
+        assert_eq!(service.engine().tracked_prefixes(), before);
+        assert!(service
+            .restore_from_file(Path::new("/nonexistent/ckpt"))
+            .is_err());
+        let _ = fs::remove_file(&path);
+    }
+}

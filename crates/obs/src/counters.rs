@@ -70,11 +70,21 @@ pub enum Counter {
     /// outran its fair share and pulled extra victims off the shared
     /// cursor.
     BatchSteal,
+    /// Record batches handed to feed shard workers (one per channel
+    /// crossing; `feed_records_in / feed_batches` is the amortization
+    /// factor of the batched dispatch).
+    FeedBatch,
+    /// Checkpoints written by the feed engine or detection service.
+    FeedCheckpointWrite,
+    /// Checkpoints successfully restored into a feed engine.
+    FeedCheckpointRestore,
+    /// JSONL commands answered by the resident detection service.
+    ServeQuery,
 }
 
 impl Counter {
     /// Number of distinct counters.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 23;
 
     /// All counters, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -97,6 +107,10 @@ impl Counter {
         Counter::BatchVictim,
         Counter::BatchScratchReuse,
         Counter::BatchSteal,
+        Counter::FeedBatch,
+        Counter::FeedCheckpointWrite,
+        Counter::FeedCheckpointRestore,
+        Counter::ServeQuery,
     ];
 
     /// The counter's stable snake_case name, used as the JSON key and the
@@ -123,6 +137,10 @@ impl Counter {
             Counter::BatchVictim => "batch_victims",
             Counter::BatchScratchReuse => "batch_scratch_reuses",
             Counter::BatchSteal => "batch_steals",
+            Counter::FeedBatch => "feed_batches",
+            Counter::FeedCheckpointWrite => "feed_checkpoint_writes",
+            Counter::FeedCheckpointRestore => "feed_checkpoint_restores",
+            Counter::ServeQuery => "serve_queries",
         }
     }
 }

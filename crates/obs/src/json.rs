@@ -1,18 +1,22 @@
 //! Minimal hand-rolled JSON emission (the workspace has no serde; the
-//! vendored dependency set is closed).
+//! vendored dependency set is closed). Public so downstream crates — the
+//! feed service's JSONL responses, the bench harness — share one escaping
+//! implementation instead of re-rolling `format!` JSON.
 
 use std::fmt::Write as _;
 
 /// Incremental writer for one JSON object or array. Purely append-only —
 /// callers emit fields in order and call [`finish`](Self::finish) once.
-pub(crate) struct JsonWriter {
+pub struct JsonWriter {
     buf: String,
     close: char,
     empty: bool,
 }
 
 impl JsonWriter {
-    pub(crate) fn object() -> Self {
+    /// Starts a `{...}` object.
+    #[must_use]
+    pub fn object() -> Self {
         JsonWriter {
             buf: String::from("{"),
             close: '}',
@@ -20,7 +24,9 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn array() -> Self {
+    /// Starts a `[...]` array.
+    #[must_use]
+    pub fn array() -> Self {
         JsonWriter {
             buf: String::from("["),
             close: ']',
@@ -42,19 +48,23 @@ impl JsonWriter {
         self.buf.push_str("\":");
     }
 
-    pub(crate) fn field_str(&mut self, name: &str, value: &str) {
+    /// Emits a string field, escaping `value`.
+    pub fn field_str(&mut self, name: &str, value: &str) {
         self.key(name);
         self.buf.push('"');
         escape_into(&mut self.buf, value);
         self.buf.push('"');
     }
 
-    pub(crate) fn field_u64(&mut self, name: &str, value: u64) {
+    /// Emits an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) {
         self.key(name);
         let _ = write!(self.buf, "{value}");
     }
 
-    pub(crate) fn field_f64(&mut self, name: &str, value: f64) {
+    /// Emits a float field with three decimals; non-finite values become
+    /// `null`.
+    pub fn field_f64(&mut self, name: &str, value: f64) {
         self.key(name);
         if value.is_finite() {
             let _ = write!(self.buf, "{value:.3}");
@@ -63,27 +73,30 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn field_bool(&mut self, name: &str, value: bool) {
+    /// Emits a boolean field.
+    pub fn field_bool(&mut self, name: &str, value: bool) {
         self.key(name);
         self.buf.push_str(if value { "true" } else { "false" });
     }
 
     /// Emits `name` with `raw` verbatim — `raw` must itself be valid JSON
     /// (a nested object rendered by another writer).
-    pub(crate) fn field_raw(&mut self, name: &str, raw: &str) {
+    pub fn field_raw(&mut self, name: &str, raw: &str) {
         self.key(name);
         self.buf.push_str(raw);
     }
 
     /// Appends one string element (array writers only).
-    pub(crate) fn element_str(&mut self, value: &str) {
+    pub fn element_str(&mut self, value: &str) {
         self.sep();
         self.buf.push('"');
         escape_into(&mut self.buf, value);
         self.buf.push('"');
     }
 
-    pub(crate) fn finish(mut self) -> String {
+    /// Closes the object/array and returns the rendered JSON.
+    #[must_use]
+    pub fn finish(mut self) -> String {
         self.buf.push(self.close);
         self.buf
     }

@@ -46,7 +46,7 @@ pub mod counters;
 pub mod manifest;
 pub mod trace;
 
-mod json;
+pub mod json;
 
 pub use counters::MetricsSnapshot;
 pub use manifest::{RunManifest, TopologyInfo};

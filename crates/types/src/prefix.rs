@@ -78,6 +78,32 @@ impl Ipv4Prefix {
         }
     }
 
+    /// The `index`-th synthetic /24 for generated workloads, laid out
+    /// densely through private space: `10.x.y.0/24` for the first 2^16
+    /// indices, then `11.x.y.0/24`, and so on. Indices map to pairwise
+    /// distinct prefixes across the whole supported range, so
+    /// million-prefix streams never collide (the old `10.0.0.0/8 + i<<8`
+    /// scheme silently wrapped out of its block at i ≥ 2^16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the available space (first octets 10..=99,
+    /// ≈ 5.9 M prefixes — far past the 2^20 the roadmap's workloads need).
+    ///
+    /// ```
+    /// # use aspp_types::Ipv4Prefix;
+    /// assert_eq!(Ipv4Prefix::synthetic_24(0).to_string(), "10.0.0.0/24");
+    /// assert_eq!(Ipv4Prefix::synthetic_24(1).to_string(), "10.0.1.0/24");
+    /// assert_eq!(Ipv4Prefix::synthetic_24(1 << 16).to_string(), "11.0.0.0/24");
+    /// ```
+    #[must_use]
+    pub fn synthetic_24(index: usize) -> Self {
+        let block = index >> 16;
+        assert!(block < 90, "synthetic prefix index {index} out of space");
+        let addr = ((10 + block as u32) << 24) | (((index & 0xffff) as u32) << 8);
+        Ipv4Prefix { addr, len: 24 }
+    }
+
     /// The network address as a big-endian `u32`.
     #[must_use]
     pub const fn addr(&self) -> u32 {
@@ -229,6 +255,31 @@ mod tests {
     }
 
     #[test]
+    fn synthetic_24_is_pairwise_distinct_at_a_million_prefixes() {
+        // The old `0x0a00_0000 + (i << 8)` scheme collided past 2^16; the
+        // widened layout must stay injective through the 2^20 regime the
+        // roadmap's workloads use.
+        let mut seen = std::collections::HashSet::with_capacity(1 << 20);
+        for i in 0..(1usize << 20) {
+            let p = Ipv4Prefix::synthetic_24(i);
+            assert_eq!(p.len(), 24);
+            assert!(seen.insert(p.addr()), "collision at index {i}: {p}");
+        }
+        assert_eq!(seen.len(), 1 << 20);
+    }
+
+    #[test]
+    fn synthetic_24_preserves_the_legacy_layout_below_2_16() {
+        // Seeded corpora generated before the widening must not change.
+        for i in [0usize, 1, 255, 256, 65535] {
+            assert_eq!(
+                Ipv4Prefix::synthetic_24(i).addr(),
+                0x0a00_0000 + ((i as u32) << 8)
+            );
+        }
+    }
+
+    #[test]
     fn parse_rejects_malformed_input() {
         for s in [
             "",
@@ -311,6 +362,13 @@ mod tests {
             if a.contains(&b) && b.contains(&a) {
                 prop_assert_eq!(a, b);
             }
+        }
+
+        #[test]
+        fn prop_synthetic_24_injective(i in 0usize..(1 << 20), j in 0usize..(1 << 20)) {
+            let a = Ipv4Prefix::synthetic_24(i);
+            let b = Ipv4Prefix::synthetic_24(j);
+            prop_assert_eq!(a == b, i == j);
         }
 
         #[test]

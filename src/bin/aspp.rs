@@ -13,6 +13,7 @@
 //! aspp audit      [--paper] [--seed N]  invariant-audit attacked equilibria
 //! aspp audit      --topology FILE | --corpus FILE [--lenient]
 //! aspp feed       [--replay] [--paper] [--shards N] [--baseline] [options]
+//! aspp serve      [--corpus FILE] [--restore FILE] [--checkpoint FILE] [options]
 //! aspp sweep      [--paper] [--seed N] [--pairs N] [--lambda-max N] [--serial]
 //! aspp gen        [--scale S] [--seed N] [--out FILE]   synthesize a topology
 //! ```
@@ -138,6 +139,7 @@ fn main() -> ExitCode {
         "measure" => cmd_measure(&rest),
         "audit" => cmd_audit(&rest, &mut manifest),
         "feed" => cmd_feed(&rest, &mut manifest),
+        "serve" => cmd_serve(&rest, &mut manifest),
         "sweep" => cmd_sweep(&rest, &mut manifest),
         "gen" => cmd_gen(&rest, &mut manifest),
         "help" | "--help" | "-h" => {
@@ -221,6 +223,9 @@ USAGE:
                   [--prefixes N] [--monitors N] [--attack-ratio F]
                   [--withdraw-ratio F] [--baseline] [--out FILE]
                   [--corpus-out FILE] [--in FILE --corpus FILE] [--lenient]
+  aspp serve      [--scale S] [--seed N] [--shards N] [--capacity N]
+                  [--batch N] [--corpus FILE] [--restore FILE]
+                  [--checkpoint FILE]      JSONL queries on stdin/stdout
   aspp sweep      [--paper] [--seed N] [--pairs N] [--lambda-max N]
                   [--batch] [--serial] [--workers N]
   aspp gen        [--scale smoke|paper|internet|internet-smoke] [--seed N]
@@ -837,6 +842,55 @@ fn cmd_feed(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `aspp serve` — run the resident detection service: a
+/// `feed::FeedEngine` behind a JSONL request/response loop on
+/// stdin/stdout. Commands:
+/// `status`, `prefix`, `ingest` (wire file), `checkpoint`, `drain`.
+/// `--restore FILE` resumes from a checkpoint; `--checkpoint FILE` sets
+/// the default target (also written on graceful drain).
+fn cmd_serve(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
+    use aspp_repro::feed::{DetectionService, FeedEngine};
+    use std::sync::Arc;
+
+    let flags = Flags::new(args);
+    let scale = flags.scale()?;
+    let seed = flags.seed()?;
+    let shards = flags.parsed::<usize>("--shards")?.unwrap_or(4).max(1);
+    let capacity = flags.parsed::<usize>("--capacity")?.unwrap_or(1024).max(1);
+    let batch = flags.parsed::<usize>("--batch")?.unwrap_or(256).max(1);
+
+    record_scale(manifest, scale, seed);
+    let graph = scale.internet(seed);
+    record_topology(manifest, &graph);
+    manifest.push_strategy(&format!(
+        "serve shards={shards} capacity={capacity} batch={batch}"
+    ));
+
+    let config = FeedConfig::new(shards).capacity(capacity).batch(batch);
+    let mut engine = FeedEngine::new(Arc::new(graph), &config);
+    if let Some(path) = flags.value("--corpus") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let seeds = Corpus::parse_strict(&text).map_err(|e| format!("{path}: {e}"))?;
+        engine.seed_from_corpus(&seeds);
+    }
+
+    let mut service = DetectionService::new(engine);
+    if let Some(path) = flags.value("--checkpoint") {
+        service = service.checkpoint_file(path);
+    }
+    if let Some(path) = flags.value("--restore") {
+        service
+            .restore_from_file(std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+    }
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    service
+        .run(stdin.lock(), stdout.lock())
+        .map_err(|e| format!("serve I/O: {e}"))
 }
 
 /// `aspp sweep` — the full strategy-matrix sweep (every attack strategy ×
