@@ -25,12 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod defense;
 mod experiment;
 pub mod mitigation;
 pub mod scenarios;
 pub mod sweep;
 
 pub use aspp_routing::{BatchRunner, ExportMode, RouteWorkspace};
+pub use defense::{deployment_order, run_defense_sweep, DefensePoint, DeployStrategy};
 pub use experiment::{
     run_experiment, run_experiment_with, run_experiments_batch, run_experiments_parallel,
     run_experiments_with_runner, HijackExperiment, HijackImpact,

@@ -10,7 +10,10 @@
 //! the routing-system-scale topology — and since schema 6 the resident
 //! engine's `feed_ingest` wire hot path: zero-copy frame scan plus batched
 //! shard dispatch on an already-seeded engine, the steady-state cost the
-//! `aspp serve` service pays per record) and writes them as
+//! `aspp serve` service pays per record — and since schema 7 the
+//! `defense_sweep` deployment grid: every defense policy × adoption
+//! fraction re-evaluated through the per-cell policy batch engine, the
+//! workload behind `aspp defense`) and writes them as
 //! `BENCH_engine.json` so
 //! the trajectory is tracked across PRs. Since schema 2 the snapshot embeds
 //! a run-provenance [`RunManifest`] (git revision, topology fingerprint,
@@ -138,6 +141,31 @@ fn main() {
         "batch strategy-matrix results must be bit-identical to serial"
     );
 
+    // Defense-deployment sweep (since schema 7): the full policy grid —
+    // every PolicyKind × nested adoption fractions, strip plus
+    // origin-hijack contrast — through the per-cell policy batch engine.
+    // Exercises the DefensePolicy hook on the hot path; the NoDefense
+    // benches above must not move when this one exists.
+    use aspp_core::experiments::defense::{self, DefenseConfig};
+    let defense_config = DefenseConfig {
+        pairs: 3,
+        lambda: 3,
+        kinds: PolicyKind::ALL.to_vec(),
+        strategies: vec![DeployStrategy::TopDegree],
+        fractions: vec![0.0, 0.25, 0.5, 1.0],
+        seed: BENCH_SEED,
+    };
+    let defense_sweep_ns = time_ns(1, 5, || {
+        black_box(defense::run_with_runner(
+            &graph,
+            &defense_config,
+            &BatchRunner::new(),
+        ));
+    });
+    let defense_grid_cells = defense_config.kinds.len()
+        * defense_config.strategies.len()
+        * defense_config.fractions.len();
+
     // Feed pipeline replay: a synthetic interleaved update stream through
     // the sharded streaming detector, 1 shard vs 4. The two runs must merge
     // to the identical alarm sequence (the pipeline's determinism
@@ -263,7 +291,7 @@ fn main() {
     let speedup = |full: u128, fast: u128| full as f64 / fast.max(1) as f64;
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": 6,");
+    let _ = writeln!(json, "  \"schema\": 7,");
     let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
     let _ = writeln!(json, "  \"nodes\": {},", graph.len());
     let _ = writeln!(json, "  \"internet_nodes\": {},", inet_graph.len());
@@ -276,6 +304,7 @@ fn main() {
     let _ = writeln!(json, "    \"fig9_sweep_delta\": {fig9_delta_ns},");
     let _ = writeln!(json, "    \"strategy_matrix_serial\": {matrix_serial_ns},");
     let _ = writeln!(json, "    \"strategy_matrix_batch\": {matrix_batch_ns},");
+    let _ = writeln!(json, "    \"defense_sweep\": {defense_sweep_ns},");
     let _ = writeln!(json, "    \"feed_replay_1shard\": {feed_1shard_ns},");
     let _ = writeln!(json, "    \"feed_replay_4shard\": {feed_4shard_ns},");
     let _ = writeln!(json, "    \"feed_ingest_1shard\": {feed_ingest_1shard_ns},");
@@ -297,6 +326,10 @@ fn main() {
     let _ = writeln!(json, "  \"strategy_matrix\": {{");
     let _ = writeln!(json, "    \"cells\": {},", matrix.len());
     let _ = writeln!(json, "    \"pairs\": {}", matrix_pairs.len());
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"defense\": {{");
+    let _ = writeln!(json, "    \"grid_cells\": {defense_grid_cells},");
+    let _ = writeln!(json, "    \"pairs\": {}", defense_config.pairs);
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"feed_replay\": {{");
     let _ = writeln!(json, "    \"records\": {feed_records},");

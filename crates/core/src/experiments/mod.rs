@@ -17,9 +17,13 @@
 //! Beyond the paper's evaluation: [`detection::vantage_selection`] (its
 //! future-work monitor-placement study), [`extensions::stealth`] (the
 //! visibility comparison against origin-hijack and forged-adjacency
-//! baselines), and [`extensions::mitigations`] (reactive defenses).
+//! baselines), [`extensions::mitigations`] (reactive defenses), and
+//! [`defense::run`] (proactive per-AS defense policies — ROV, ASPA,
+//! peerlock-lite, first-AS enforcement — swept over deployment strategies
+//! and adoption fractions).
 
 pub mod case_study;
+pub mod defense;
 pub mod detection;
 pub mod extensions;
 pub mod impact;
@@ -120,6 +124,20 @@ impl Scale {
             Scale::Paper => 400,
             Scale::Internet => 80,
             Scale::InternetSmoke => 40,
+        }
+    }
+
+    /// Sampled attacker/victim pairs per cell of the defense-deployment
+    /// grid (see [`defense`]). Smaller than the impact-figure instance
+    /// counts because every pair is re-evaluated at every
+    /// policy × strategy × fraction cell.
+    #[must_use]
+    pub fn defense_pairs(self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Paper => 8,
+            Scale::Internet => 3,
+            Scale::InternetSmoke => 3,
         }
     }
 

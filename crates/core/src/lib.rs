@@ -44,9 +44,9 @@ pub use aspp_types as types;
 /// Convenience re-exports of the most used items.
 pub mod prelude {
     pub use aspp_attack::{
-        run_experiment, run_experiment_with, run_experiments_batch, run_experiments_parallel,
-        run_experiments_with_runner, scenarios, sweep, BatchRunner, ExportMode, HijackExperiment,
-        HijackImpact, RouteWorkspace,
+        defense, run_experiment, run_experiment_with, run_experiments_batch,
+        run_experiments_parallel, run_experiments_with_runner, scenarios, sweep, BatchRunner,
+        DefensePoint, DeployStrategy, ExportMode, HijackExperiment, HijackImpact, RouteWorkspace,
     };
     pub use aspp_data::{measure, stats::Cdf, Corpus, CorpusConfig};
     pub use aspp_dataplane::{forwarding, simulate_traceroute, Region, RegionMap, Traceroute};
@@ -57,9 +57,10 @@ pub mod prelude {
     pub use aspp_feed::{FeedConfig, FeedReport, ReplayConfig, SyntheticFeed};
     pub use aspp_obs::{MetricsSnapshot, RunManifest, TopologyInfo};
     pub use aspp_routing::{
-        bgp, AttackStrategy, AttackerModel, AuditReport, AuditViolation, DestinationSpec,
-        ExportMode as RoutingExportMode, OutcomeAudit, PrependConfig, PrependingPolicy, RouteTable,
-        RoutingEngine, RoutingOutcome, TieBreak,
+        bgp, AttackStrategy, AttackerModel, AuditReport, AuditViolation, DefensePolicy,
+        DeployedPolicy, DeploymentMap, DestinationSpec, ExportMode as RoutingExportMode, NoDefense,
+        OutcomeAudit, PolicyKind, PrependConfig, PrependingPolicy, RouteTable, RoutingEngine,
+        RoutingOutcome, TieBreak,
     };
     pub use aspp_topology::{gen::InternetConfig, infer, metrics, tier::TierMap, AsGraph};
     pub use aspp_types::{well_known, Announcement, AsPath, Asn, Ipv4Prefix, Relationship};

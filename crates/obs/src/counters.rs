@@ -80,11 +80,17 @@ pub enum Counter {
     FeedCheckpointRestore,
     /// JSONL commands answered by the resident detection service.
     ServeQuery,
+    /// Attacker-derived route offers evaluated by a deploying AS's defense
+    /// policy (offers at non-deploying ASes are not checks).
+    PolicyCheck,
+    /// Attacker-derived route offers rejected by a deploying AS's defense
+    /// policy.
+    PolicyReject,
 }
 
 impl Counter {
     /// Number of distinct counters.
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 25;
 
     /// All counters, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -111,6 +117,8 @@ impl Counter {
         Counter::FeedCheckpointWrite,
         Counter::FeedCheckpointRestore,
         Counter::ServeQuery,
+        Counter::PolicyCheck,
+        Counter::PolicyReject,
     ];
 
     /// The counter's stable snake_case name, used as the JSON key and the
@@ -141,6 +149,8 @@ impl Counter {
             Counter::FeedCheckpointWrite => "feed_checkpoint_writes",
             Counter::FeedCheckpointRestore => "feed_checkpoint_restores",
             Counter::ServeQuery => "serve_queries",
+            Counter::PolicyCheck => "policy_checks",
+            Counter::PolicyReject => "policy_rejects",
         }
     }
 }

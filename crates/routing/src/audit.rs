@@ -45,6 +45,7 @@ use crate::engine::{
     chain_of, class_at_receiver, export_row, pack_pref, tie_key_for, AttackStrategy,
     DestinationSpec, ExportMode, Pass, RoutingOutcome,
 };
+use crate::policy::{AttackFacts, DefensePolicy, NoDefense};
 
 /// Returns `true` when outcome auditing (and the delta-vs-full oracle) is
 /// active: always under the `debug-audit` cargo feature, otherwise when the
@@ -173,6 +174,13 @@ pub enum AuditViolation {
         /// The neighbor whose export it ignored.
         offered_by: Asn,
     },
+    /// A policy-deploying AS adopted an attacker-derived route its own
+    /// [`DefensePolicy`] rejects — e.g. an ASPA adopter holding a route
+    /// that violates its authorization set.
+    PolicyViolation {
+        /// The deploying AS holding the forbidden route.
+        asn: Asn,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -238,6 +246,10 @@ impl fmt::Display for AuditViolation {
             AuditViolation::HiddenRoute { asn, offered_by } => write!(
                 f,
                 "AS{asn} has no route although its neighbor AS{offered_by} legally exports one"
+            ),
+            AuditViolation::PolicyViolation { asn } => write!(
+                f,
+                "AS{asn} adopted an attacker-derived route its own defense policy rejects"
             ),
         }
     }
@@ -337,14 +349,32 @@ impl fmt::Display for OutcomeAudit {
 /// Audits both equilibria of `outcome` and returns the full report.
 #[must_use]
 pub fn audit_outcome(outcome: &RoutingOutcome<'_>) -> OutcomeAudit {
+    audit_outcome_with(outcome, &NoDefense)
+}
+
+/// Audits both equilibria of an outcome computed with `policy` (see
+/// [`RoutingEngine::compute_with_policy`](crate::RoutingEngine::compute_with_policy)).
+///
+/// Beyond the policy-free invariants, the attacked pass is checked against
+/// the per-policy invariant: a deploying AS never holds an attacker-derived
+/// route its own policy rejects, and local optimality treats
+/// policy-rejected offers as nonexistent (a deployer that filtered the
+/// attacker's shorter route is *not* sub-optimal for keeping its clean
+/// one). Auditing with the wrong policy therefore flags a perfectly
+/// converged outcome — the policy is part of the equilibrium's definition.
+#[must_use]
+pub fn audit_outcome_with<P: DefensePolicy>(
+    outcome: &RoutingOutcome<'_>,
+    policy: &P,
+) -> OutcomeAudit {
     let _span = aspp_obs::trace::span("audit.outcome");
     aspp_obs::counters::incr(aspp_obs::counters::Counter::AuditCheck);
     let audit = OutcomeAudit {
-        clean: audit_pass(outcome, PassKind::Clean),
+        clean: audit_pass(outcome, PassKind::Clean, policy),
         attacked: outcome
             .attacked_pass_ref()
             .is_some()
-            .then(|| audit_pass(outcome, PassKind::Attacked)),
+            .then(|| audit_pass(outcome, PassKind::Attacked, policy)),
     };
     aspp_obs::counters::add(
         aspp_obs::counters::Counter::AuditViolation,
@@ -362,13 +392,30 @@ pub fn check_outcome(outcome: &RoutingOutcome<'_>) {
     }
 }
 
+/// The policied analogue of [`check_outcome`]: audits against `policy` when
+/// auditing is [`enabled`], a no-op otherwise.
+pub fn check_outcome_with<P: DefensePolicy>(outcome: &RoutingOutcome<'_>, policy: &P) {
+    if enabled() {
+        assert_outcome_clean_with(outcome, policy);
+    }
+}
+
 /// Audits `outcome` unconditionally.
 ///
 /// # Panics
 ///
 /// Panics with the full audit report if any invariant is violated.
 pub fn assert_outcome_clean(outcome: &RoutingOutcome<'_>) {
-    let audit = audit_outcome(outcome);
+    assert_outcome_clean_with(outcome, &NoDefense);
+}
+
+/// Audits `outcome` against `policy` unconditionally.
+///
+/// # Panics
+///
+/// Panics with the full audit report if any invariant is violated.
+pub fn assert_outcome_clean_with<P: DefensePolicy>(outcome: &RoutingOutcome<'_>, policy: &P) {
+    let audit = audit_outcome_with(outcome, policy);
     assert!(
         audit.is_clean(),
         "routing invariant audit failed for victim AS{}:\n{audit}",
@@ -407,6 +454,9 @@ struct AttackCtx {
     mode: ExportMode,
     /// ASes on the attacker's claimed path, which reject its announcement.
     on_chain: Vec<bool>,
+    /// Path-validity facts of the claimed announcement, re-derived through
+    /// the same constructor the engine's policy hook uses.
+    facts: AttackFacts,
 }
 
 fn attack_ctx(outcome: &RoutingOutcome<'_>) -> AttackCtx {
@@ -452,10 +502,15 @@ fn attack_ctx(outcome: &RoutingOutcome<'_>) -> AttackCtx {
         export_class,
         mode,
         on_chain,
+        facts: AttackFacts::for_outcome(outcome).expect("attacked pass implies facts"),
     }
 }
 
-fn audit_pass(outcome: &RoutingOutcome<'_>, kind: PassKind) -> AuditReport {
+fn audit_pass<P: DefensePolicy>(
+    outcome: &RoutingOutcome<'_>,
+    kind: PassKind,
+    policy: &P,
+) -> AuditReport {
     let graph = outcome.graph();
     let csr = graph.csr();
     let spec = outcome.spec();
@@ -494,6 +549,15 @@ fn audit_pass(outcome: &RoutingOutcome<'_>, kind: PassKind) -> AuditReport {
             }
             if route.is_some_and(|r| r.via_attacker) && ctx.on_chain[i] {
                 violations.push(AuditViolation::ChainAdoption { asn });
+            }
+            // Per-policy invariant: a deployer never holds an
+            // attacker-derived route its own policy rejects.
+            if !P::NOOP {
+                if let Some(r) = route.filter(|r| r.via_attacker) {
+                    if !policy.accepts_attacker_route(i, r.class, &ctx.facts) {
+                        violations.push(AuditViolation::PolicyViolation { asn });
+                    }
+                }
             }
         }
         if let Some(r) = route {
@@ -599,9 +663,18 @@ fn audit_pass(outcome: &RoutingOutcome<'_>, kind: PassKind) -> AuditReport {
             let Some((class, len, via)) = offer else {
                 continue;
             };
-            // Offers i refuses: attacker-tainted while on the claimed path.
+            // Offers i refuses: attacker-tainted while on the claimed path,
+            // or filtered by i's own deployed defense policy — the latter
+            // mirrors the engine's import hook, so a deployer keeping its
+            // clean route over a filtered shorter one is not sub-optimal.
             if via && attack.is_some_and(|c| c.on_chain[i]) {
                 continue;
+            }
+            if via && !P::NOOP {
+                let ctx = attack.expect("via offers imply an attacked pass");
+                if !policy.accepts_attacker_route(i, class, &ctx.facts) {
+                    continue;
+                }
             }
             let pref = pack_pref(class, len, tie_key_for(tie, via, n_asn));
             if pref < adopted_pref && best_offer.is_none_or(|(b, _)| pref < b) {
@@ -836,6 +909,48 @@ mod tests {
         let audit = audit_outcome(&outcome);
         assert!(!audit.is_clean());
         assert!(audit.attacked.as_ref().is_some_and(|r| !r.is_clean()));
+    }
+
+    #[test]
+    fn policied_outcomes_audit_clean_with_their_policy() {
+        use crate::policy::{DeployedPolicy, DeploymentMap, PolicyKind};
+        let graph = facebook_graph();
+        let engine = RoutingEngine::new(&graph);
+        let mut ws = crate::RouteWorkspace::new();
+        let full = DeploymentMap::from_indices(graph.len(), 0..graph.len());
+        for spec in all_specs() {
+            for kind in PolicyKind::ALL {
+                let policy = DeployedPolicy::new(kind, full.clone());
+                let outcome = engine.compute_with_policy(&spec, &mut ws, &policy);
+                let audit = audit_outcome_with(&outcome, &policy);
+                assert!(
+                    audit.is_clean(),
+                    "spec {spec:?} with {kind} failed audit:\n{audit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn policy_forbidden_adoption_is_flagged() {
+        use crate::policy::{DeployedPolicy, DeploymentMap, PolicyKind};
+        let graph = facebook_graph();
+        let engine = RoutingEngine::new(&graph);
+        // AT&T's clean route is peer-learned, so its stripped announcement
+        // is ASPA-invalid; NTT (off-chain peer) adopts it when undefended.
+        let spec = DestinationSpec::new(FACEBOOK)
+            .origin_padding(4)
+            .attacker(AttackerModel::new(ATT).mode(ExportMode::ViolateValleyFree));
+        let outcome = engine.compute(&spec);
+        assert!(outcome.is_polluted(NTT), "NTT adopts when undefended");
+        // Re-audit the undefended equilibrium as if NTT deployed ASPA: its
+        // adopted peer-learned attacker route now violates its own policy.
+        let policy = DeployedPolicy::new(PolicyKind::Aspa, DeploymentMap::from_asns(&graph, [NTT]));
+        let audit = audit_outcome_with(&outcome, &policy);
+        assert!(audit
+            .violations()
+            .any(|v| matches!(v, AuditViolation::PolicyViolation { asn } if *asn == NTT)));
+        assert!(audit.to_string().contains("defense policy rejects"));
     }
 
     #[test]

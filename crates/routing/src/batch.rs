@@ -40,6 +40,20 @@
 //! `tests/batch_equivalence.rs` pins this across the full
 //! 4-strategy × 2-export-mode × λ=1..8 matrix.
 //!
+//! # Per-cell defense policies
+//!
+//! [`BatchRunner::run_with_policy`] generalizes the sweep cell from a bare
+//! [`DestinationSpec`] to a `(spec, policy)` pair, which is how deployment
+//! sweeps (policy × strategy × adoption-fraction grids) ride the same
+//! machinery: the clean pass is policy-*independent* — defenses only filter
+//! attacker-derived imports — so every cell sharing a victim still serves
+//! from the one cached clean pass regardless of which [`DefensePolicy`]
+//! each cell carries. [`BatchRunner::run`] is the [`NoDefense`]
+//! specialization; because `NoDefense` sets
+//! [`DefensePolicy::NOOP`], that instantiation monomorphizes
+//! back to the exact pre-policy hot loop and keeps the bit-identity
+//! guarantee above.
+//!
 //! # Example
 //!
 //! ```
@@ -68,6 +82,7 @@ use aspp_topology::AsGraph;
 use aspp_types::Asn;
 
 use crate::engine::{DestinationSpec, RouteWorkspace, RoutingEngine, RoutingOutcome};
+use crate::policy::{DefensePolicy, NoDefense};
 
 /// A batch equilibrium runner: computes many victims' clean and attacked
 /// equilibria inside one pass-structure lifetime per worker.
@@ -144,11 +159,48 @@ impl BatchRunner {
         T: Send,
         F: Fn(usize, &RoutingOutcome<'g>) -> T + Sync,
     {
+        let cells: Vec<(DestinationSpec, NoDefense)> =
+            specs.iter().map(|s| (s.clone(), NoDefense)).collect();
+        self.run_with_policy(graph, &cells, reduce)
+    }
+
+    /// Like [`BatchRunner::run`], but every cell carries its own defense
+    /// policy: cell `i` is computed via
+    /// [`RoutingEngine::compute_with_policy`] with `cells[i].1`.
+    ///
+    /// Cells sharing a victim still form one steal unit and serve from one
+    /// cached clean pass even when their policies differ — defenses filter
+    /// attacker-derived imports only, so the clean equilibrium is the same
+    /// under every policy. This is what makes deployment sweeps (one spec
+    /// × many deployment maps) cheap: only the attacked delta pass is
+    /// recomputed per cell.
+    ///
+    /// `P` is typically [`std::sync::Arc`]`<`[`DeployedPolicy`]`>` so a
+    /// whole fraction-grid of cells can share a handful of deployment
+    /// maps; passing [`NoDefense`] makes this exactly [`BatchRunner::run`].
+    ///
+    /// [`DeployedPolicy`]: crate::policy::DeployedPolicy
+    ///
+    /// # Panics
+    ///
+    /// Same as [`BatchRunner::run`].
+    #[must_use]
+    pub fn run_with_policy<'g, P, T, F>(
+        &self,
+        graph: &'g AsGraph,
+        cells: &[(DestinationSpec, P)],
+        reduce: F,
+    ) -> Vec<T>
+    where
+        P: DefensePolicy + Sync,
+        T: Send,
+        F: Fn(usize, &RoutingOutcome<'g>) -> T + Sync,
+    {
         let _span = aspp_obs::trace::span("batch");
-        if specs.is_empty() {
+        if cells.is_empty() {
             return Vec::new();
         }
-        let groups = steal_units(specs);
+        let groups = steal_units(cells.iter().map(|(spec, _)| spec.victim()));
         counters::add(Counter::BatchVictim, groups.len() as u64);
         let workers = self.worker_count(groups.len());
         let engine = RoutingEngine::new(graph);
@@ -157,22 +209,23 @@ impl BatchRunner {
             // Single-worker fast path: one shared scratch table and bucket
             // queue for the entire batch, no threads, no locks.
             let mut ws = RouteWorkspace::with_cache_capacity(self.cache_capacity);
-            let mut out: Vec<Option<T>> = (0..specs.len()).map(|_| None).collect();
+            let mut out: Vec<Option<T>> = (0..cells.len()).map(|_| None).collect();
             for (_, idxs) in &groups {
                 for &i in idxs {
-                    let outcome = engine.compute_with(&specs[i], &mut ws);
+                    let (spec, policy) = &cells[i];
+                    let outcome = engine.compute_with_policy(spec, &mut ws, policy);
                     out[i] = Some(reduce(i, &outcome));
                 }
             }
             counters::add(Counter::BatchScratchReuse, ws.scratch_reuses());
             return out
                 .into_iter()
-                .map(|r| r.expect("every spec computed"))
+                .map(|r| r.expect("every cell computed"))
                 .collect();
         }
 
         let cursor = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..specs.len()).map(|_| None).collect());
+        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
@@ -192,7 +245,8 @@ impl BatchRunner {
                         }
                         let mut unit: Vec<(usize, T)> = Vec::with_capacity(idxs.len());
                         for &i in idxs {
-                            let outcome = engine.compute_with(&specs[i], &mut ws);
+                            let (spec, policy) = &cells[i];
+                            let outcome = engine.compute_with_policy(spec, &mut ws, policy);
                             unit.push((i, reduce(i, &outcome)));
                         }
                         // One lock per steal unit, not per cell.
@@ -209,7 +263,7 @@ impl BatchRunner {
             .into_inner()
             .expect("workers joined")
             .into_iter()
-            .map(|r| r.expect("every spec computed"))
+            .map(|r| r.expect("every cell computed"))
             .collect()
     }
 
@@ -228,14 +282,14 @@ impl BatchRunner {
     }
 }
 
-/// Groups spec indices into steal units: one unit per victim, victims in
+/// Groups cell indices into steal units: one unit per victim, victims in
 /// first-appearance order, indices in input order within a unit.
-fn steal_units(specs: &[DestinationSpec]) -> Vec<(Asn, Vec<usize>)> {
+fn steal_units(victims: impl IntoIterator<Item = Asn>) -> Vec<(Asn, Vec<usize>)> {
     let mut groups: Vec<(Asn, Vec<usize>)> = Vec::new();
     let mut by_victim: HashMap<Asn, usize> = HashMap::new();
-    for (i, spec) in specs.iter().enumerate() {
-        let slot = *by_victim.entry(spec.victim()).or_insert_with(|| {
-            groups.push((spec.victim(), Vec::new()));
+    for (i, victim) in victims.into_iter().enumerate() {
+        let slot = *by_victim.entry(victim).or_insert_with(|| {
+            groups.push((victim, Vec::new()));
             groups.len() - 1
         });
         groups[slot].1.push(i);
@@ -308,6 +362,60 @@ mod tests {
     }
 
     #[test]
+    fn policied_batch_matches_serial_compute_with_policy() {
+        use crate::policy::{DeployedPolicy, DeploymentMap, PolicyKind};
+        use std::sync::Arc;
+        let g = graph();
+        // Same spec grid, alternating deployment maps: cells sharing a
+        // victim but carrying different policies must still serve from one
+        // cached clean pass without contaminating each other.
+        let maps = [
+            Arc::new(DeployedPolicy::new(
+                PolicyKind::Aspa,
+                DeploymentMap::from_indices(g.len(), 0..g.len() / 2),
+            )),
+            Arc::new(DeployedPolicy::new(
+                PolicyKind::PeerlockLite,
+                DeploymentMap::from_indices(g.len(), 0..g.len()),
+            )),
+        ];
+        let cells: Vec<(DestinationSpec, Arc<DeployedPolicy>)> = matrix_specs()
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (s, Arc::clone(&maps[i % 2])))
+            .collect();
+        let engine = RoutingEngine::new(&g);
+        let mut ws = RouteWorkspace::new();
+        let expected: Vec<(usize, usize)> = cells
+            .iter()
+            .map(|(s, p)| polluted(&engine.compute_with_policy(s, &mut ws, p)))
+            .collect();
+        for runner in [
+            BatchRunner::new(),
+            BatchRunner::new().serial(),
+            BatchRunner::new().workers(3).cache_capacity(0),
+        ] {
+            let got = runner.run_with_policy(&g, &cells, |_, o| polluted(o));
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn nodefense_cells_match_plain_run() {
+        let g = graph();
+        let specs = matrix_specs();
+        let cells: Vec<(DestinationSpec, NoDefense)> =
+            specs.iter().map(|s| (s.clone(), NoDefense)).collect();
+        let via_run = BatchRunner::new()
+            .serial()
+            .run(&g, &specs, |_, o| polluted(o));
+        let via_cells = BatchRunner::new()
+            .serial()
+            .run_with_policy(&g, &cells, |_, o| polluted(o));
+        assert_eq!(via_run, via_cells);
+    }
+
+    #[test]
     fn reduce_sees_input_indices_in_order() {
         let g = graph();
         let specs = matrix_specs();
@@ -324,12 +432,12 @@ mod tests {
 
     #[test]
     fn steal_units_group_by_victim_in_first_appearance_order() {
-        let specs = vec![
+        let specs = [
             DestinationSpec::new(Asn(2)),
             DestinationSpec::new(Asn(1)),
             DestinationSpec::new(Asn(2)).origin_padding(3),
         ];
-        let units = steal_units(&specs);
+        let units = steal_units(specs.iter().map(DestinationSpec::victim));
         assert_eq!(
             units,
             vec![(Asn(2), vec![0, 2]), (Asn(1), vec![1])],

@@ -99,6 +99,7 @@ use aspp_topology::{AsGraph, CsrIndex};
 use aspp_types::{AsPath, Asn, PathArena, PathRange, Relationship, RouteClass};
 
 use crate::decision::TieBreak;
+use crate::policy::{AttackFacts, DefensePolicy, NoDefense};
 use crate::prepend::{PrependConfig, PrependingPolicy};
 
 /// How the attacker exports its stripped route (paper Figures 11–12).
@@ -981,7 +982,7 @@ impl<'g> RoutingEngine<'g> {
         spec: &DestinationSpec,
         ws: &mut RouteWorkspace,
     ) -> RoutingOutcome<'g> {
-        self.compute_inner(spec, ws, true)
+        self.compute_inner(spec, ws, true, &NoDefense)
     }
 
     /// Like [`compute_with`](Self::compute_with) but forces the attacked
@@ -1002,14 +1003,88 @@ impl<'g> RoutingEngine<'g> {
         spec: &DestinationSpec,
         ws: &mut RouteWorkspace,
     ) -> RoutingOutcome<'g> {
-        self.compute_inner(spec, ws, false)
+        self.compute_inner(spec, ws, false, &NoDefense)
     }
 
-    fn compute_inner(
+    /// Like [`compute_with`](Self::compute_with) with a per-AS
+    /// [`DefensePolicy`] filtering attacker-derived announcements at import
+    /// time (see [`crate::policy`]).
+    ///
+    /// With [`NoDefense`] this is *exactly* `compute_with` — the policy hook
+    /// is monomorphized away — and with any policy the clean equilibrium is
+    /// untouched: policies only filter attacker-derived offers, so the
+    /// workspace's clean-pass cache stays valid (and shared) across policy
+    /// configurations of the same destination.
+    ///
+    /// Active (non-[`NOOP`](DefensePolicy::NOOP)) policies compute the
+    /// attacked pass with the full from-scratch propagation rather than
+    /// delta re-convergence: an import filter can orphan a node's clean
+    /// route (its clean parent adopts a malicious route the node refuses),
+    /// which violates the delta pass's replacement invariant.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use aspp_routing::policy::{DeployedPolicy, DeploymentMap, PolicyKind};
+    /// use aspp_routing::{AttackerModel, DestinationSpec, RouteWorkspace, RoutingEngine};
+    /// use aspp_topology::gen::InternetConfig;
+    /// use aspp_types::Asn;
+    ///
+    /// let graph = InternetConfig::small().seed(7).build();
+    /// let engine = RoutingEngine::new(&graph);
+    /// let mut ws = RouteWorkspace::new();
+    /// let spec = DestinationSpec::new(Asn(20_000))
+    ///     .origin_padding(4)
+    ///     .attacker(AttackerModel::new(Asn(20_001)));
+    /// // ROV everywhere: blind to prepend-stripping, so nothing changes.
+    /// let rov = DeployedPolicy::new(
+    ///     PolicyKind::Rov,
+    ///     DeploymentMap::from_indices(graph.len(), 0..graph.len()),
+    /// );
+    /// let defended = engine.compute_with_policy(&spec, &mut ws, &rov);
+    /// let undefended = engine.compute_with(&spec, &mut ws);
+    /// assert_eq!(defended.polluted_count(), undefended.polluted_count());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim (or configured attacker) is not in the graph, or
+    /// if attacker == victim.
+    #[must_use]
+    pub fn compute_with_policy<P: DefensePolicy>(
+        &self,
+        spec: &DestinationSpec,
+        ws: &mut RouteWorkspace,
+        policy: &P,
+    ) -> RoutingOutcome<'g> {
+        self.compute_inner(spec, ws, true, policy)
+    }
+
+    /// Like [`compute_with_policy`](Self::compute_with_policy) but forcing
+    /// the attacked pass to run as a full whole-graph propagation — the
+    /// policied analogue of [`compute_full_with`](Self::compute_full_with),
+    /// and the validation oracle for the policied delta pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim (or configured attacker) is not in the graph, or
+    /// if attacker == victim.
+    #[must_use]
+    pub fn compute_full_with_policy<P: DefensePolicy>(
+        &self,
+        spec: &DestinationSpec,
+        ws: &mut RouteWorkspace,
+        policy: &P,
+    ) -> RoutingOutcome<'g> {
+        self.compute_inner(spec, ws, false, policy)
+    }
+
+    fn compute_inner<P: DefensePolicy>(
         &self,
         spec: &DestinationSpec,
         ws: &mut RouteWorkspace,
         use_delta: bool,
+        policy: &P,
     ) -> RoutingOutcome<'g> {
         let _span = aspp_obs::trace::span(if use_delta {
             "engine.compute"
@@ -1068,11 +1143,40 @@ impl<'g> RoutingEngine<'g> {
                 pinned: m_route,
                 chain,
             };
-            if use_delta {
+            // Per-attack policy inputs, computed once per attacked pass —
+            // the per-offer hook is then branch-and-mask only. Elided (with
+            // the hook itself) for the NOOP default.
+            let facts = if P::NOOP {
+                AttackFacts::default()
+            } else {
+                crate::policy::facts_for(
+                    self.graph,
+                    att.strategy,
+                    &clean,
+                    m_idx,
+                    v_idx,
+                    m_route.class,
+                )
+            };
+            // Delta re-convergence is sound only without an active policy:
+            // its frontier pruning relies on every invalidated clean export
+            // being *replaced* by an adopted malicious label (the offer a
+            // node receives from an adopting clean parent never ranks below
+            // the export it displaced, so the node always re-converges).
+            // An import filter breaks exactly that replacement guarantee —
+            // a deployer that rejects its clean parent's now-malicious
+            // offer would be left holding a dangling route the parent no
+            // longer exports. Policied passes therefore always run the full
+            // propagation.
+            if use_delta && P::NOOP {
                 // Whether the delta pass survives is a pure function of
                 // (graph, spec), so a spec that fell back once will fall
                 // back every time: remember it and skip the doomed attempt.
-                let known_hostile = ws.cache_capacity > 0
+                // The memo is keyed by spec alone, so only the NOOP default
+                // may consult (or feed) it — a policy changes which offers
+                // exist and therefore which specs fall back.
+                let known_hostile = P::NOOP
+                    && ws.cache_capacity > 0
                     && ws.delta_hostile.iter().any(|h| {
                         h.0 == spec.victim && h.1 == *att && h.2 == spec.tie && h.3 == spec.prepend
                     });
@@ -1080,19 +1184,20 @@ impl<'g> RoutingEngine<'g> {
                     counters::incr(Counter::HostileMemoHit);
                 } else {
                     let keys = self.clean_keys(spec, ws, &clean);
-                    if let Some(pass) = self.propagate_delta(spec, v_idx, ws, &seed, &clean, &keys)
+                    if let Some(pass) =
+                        self.propagate_delta(spec, v_idx, ws, &seed, &clean, &keys, policy, &facts)
                     {
                         ws.delta_passes += 1;
                         counters::incr(Counter::DeltaPass);
                         if crate::audit::enabled() {
                             // debug-audit oracle: the delta pass must be
                             // bit-identical to a from-scratch propagation.
-                            let full = self.propagate(spec, v_idx, ws, Some(&seed));
+                            let full = self.propagate(spec, v_idx, ws, Some(&seed), policy, &facts);
                             crate::audit::assert_delta_matches_full(self.graph, spec, &pass, &full);
                         }
                         return Some(pass);
                     }
-                    if ws.cache_capacity > 0 {
+                    if P::NOOP && ws.cache_capacity > 0 {
                         if ws.delta_hostile.len() >= DELTA_HOSTILE_CAPACITY {
                             ws.delta_hostile.remove(0);
                         }
@@ -1103,7 +1208,7 @@ impl<'g> RoutingEngine<'g> {
                 ws.delta_fallbacks += 1;
                 counters::incr(Counter::DeltaFallback);
             }
-            Some(self.propagate(spec, v_idx, ws, Some(&seed)))
+            Some(self.propagate(spec, v_idx, ws, Some(&seed), policy, &facts))
         });
 
         RoutingOutcome {
@@ -1131,7 +1236,14 @@ impl<'g> RoutingEngine<'g> {
         if ws.cache_capacity == 0 {
             ws.misses += 1;
             counters::incr(Counter::CleanCacheMiss);
-            return Arc::new(self.propagate(spec, v_idx, ws, None));
+            return Arc::new(self.propagate(
+                spec,
+                v_idx,
+                ws,
+                None,
+                &NoDefense,
+                &AttackFacts::default(),
+            ));
         }
         let stamp = GraphStamp::of(self.graph);
         if ws.stamp != Some(stamp) {
@@ -1152,7 +1264,8 @@ impl<'g> RoutingEngine<'g> {
         }
         ws.misses += 1;
         counters::incr(Counter::CleanCacheMiss);
-        let pass = Arc::new(self.propagate(spec, v_idx, ws, None));
+        let pass =
+            Arc::new(self.propagate(spec, v_idx, ws, None, &NoDefense, &AttackFacts::default()));
         if ws.clean_cache.len() >= ws.cache_capacity {
             ws.clean_cache.pop();
         }
@@ -1221,13 +1334,18 @@ impl<'g> RoutingEngine<'g> {
     }
 
     /// The label-correcting Dijkstra described in the module docs, over the
-    /// whole graph.
-    fn propagate(
+    /// whole graph. `policy` filters attacker-derived offers at their
+    /// receivers (a no-op, compiled out, for [`NoDefense`]); the clean pass
+    /// runs with `attack == None` and never consults it.
+    #[allow(clippy::too_many_arguments)]
+    fn propagate<P: DefensePolicy>(
         &self,
         spec: &DestinationSpec,
         v_idx: usize,
         ws: &mut RouteWorkspace,
         attack: Option<&AttackSeed>,
+        policy: &P,
+        facts: &AttackFacts,
     ) -> Pass {
         let n = self.graph.len();
         let csr = self.graph.csr();
@@ -1255,7 +1373,7 @@ impl<'g> RoutingEngine<'g> {
         scratch[v_idx].adopted_epoch = epoch;
 
         // Victim's exports.
-        self.export_from::<false>(
+        self.export_from::<false, P>(
             spec,
             csr,
             &pad,
@@ -1267,13 +1385,15 @@ impl<'g> RoutingEngine<'g> {
             scratch,
             &[],
             epoch,
+            policy,
+            facts,
         );
 
         // Attacker: pin its clean route and seed its modified exports.
         if let Some(att) = attack {
             best.set(att.m_idx, Some(att.pinned));
             scratch[att.m_idx].adopted_epoch = epoch;
-            self.seed_attacker_exports::<false>(
+            self.seed_attacker_exports::<false, P>(
                 spec,
                 csr,
                 &pad,
@@ -1283,6 +1403,8 @@ impl<'g> RoutingEngine<'g> {
                 scratch,
                 &[],
                 epoch,
+                policy,
+                facts,
             );
         }
 
@@ -1307,7 +1429,7 @@ impl<'g> RoutingEngine<'g> {
             // pre-set (full pass) or chain-masked (delta), so its pinned
             // route is never re-exported — only the pre-seeded exports are.
             debug_assert!(attack.is_none_or(|a| a.m_idx != node));
-            self.export_from::<false>(
+            self.export_from::<false, P>(
                 spec,
                 csr,
                 &pad,
@@ -1319,6 +1441,8 @@ impl<'g> RoutingEngine<'g> {
                 scratch,
                 &[],
                 epoch,
+                policy,
+                facts,
             );
         }
 
@@ -1336,7 +1460,8 @@ impl<'g> RoutingEngine<'g> {
     /// to shorten it); the caller must then run the full pass. Otherwise the
     /// returned pass is bit-identical to [`propagate`](Self::propagate) with
     /// the same seed.
-    fn propagate_delta(
+    #[allow(clippy::too_many_arguments)]
+    fn propagate_delta<P: DefensePolicy>(
         &self,
         spec: &DestinationSpec,
         v_idx: usize,
@@ -1344,6 +1469,8 @@ impl<'g> RoutingEngine<'g> {
         att: &AttackSeed,
         clean: &Pass,
         keys: &[u128],
+        policy: &P,
+        facts: &AttackFacts,
     ) -> Option<Pass> {
         // A replaced export worsens iff the adopted route is longer than the
         // clean one it displaces; under PreferClean the flipped via-attacker
@@ -1376,8 +1503,8 @@ impl<'g> RoutingEngine<'g> {
         scratch[att.m_idx].adopted_epoch = epoch;
         let mut frontier = 0u64;
 
-        self.seed_attacker_exports::<true>(
-            spec, csr, &pad, att, v_idx, queue, scratch, keys, epoch,
+        self.seed_attacker_exports::<true, P>(
+            spec, csr, &pad, att, v_idx, queue, scratch, keys, epoch, policy, facts,
         );
 
         while let Some(label) = queue.pop() {
@@ -1414,7 +1541,7 @@ impl<'g> RoutingEngine<'g> {
                     via_attacker: true,
                 }),
             );
-            self.export_from::<true>(
+            self.export_from::<true, P>(
                 spec,
                 csr,
                 &pad,
@@ -1426,6 +1553,8 @@ impl<'g> RoutingEngine<'g> {
                 scratch,
                 keys,
                 epoch,
+                policy,
+                facts,
             );
         }
 
@@ -1437,7 +1566,7 @@ impl<'g> RoutingEngine<'g> {
     /// by the full and delta attacked passes (modulo their `skip` filters,
     /// which only ever drop labels the pop loop would discard).
     #[allow(clippy::too_many_arguments)]
-    fn seed_attacker_exports<const DELTA: bool>(
+    fn seed_attacker_exports<const DELTA: bool, P: DefensePolicy>(
         &self,
         spec: &DestinationSpec,
         csr: &CsrIndex,
@@ -1448,9 +1577,11 @@ impl<'g> RoutingEngine<'g> {
         scratch: &mut [NodeScratch],
         keys: &[u128],
         epoch: u32,
+        policy: &P,
+        facts: &AttackFacts,
     ) {
         let m_asn = csr.asn_at(att.m_idx);
-        let policy = pad.get(att.m_idx).copied().flatten();
+        let pad_policy = pad.get(att.m_idx).copied().flatten();
         let tie_key = tie_key_for(spec.tie, true, m_asn);
         for &entry in csr.neighbors(att.m_idx) {
             let x_idx = entry.node() as usize;
@@ -1470,8 +1601,8 @@ impl<'g> RoutingEngine<'g> {
             }
             let class = class_at_receiver(att.clean_class, rel_of_x);
             let len =
-                att.base_len + 1 + policy.map_or(0, |p| p.extra_for(csr.asn_at(x_idx))) as u32;
-            offer::<DELTA, true>(
+                att.base_len + 1 + pad_policy.map_or(0, |p| p.extra_for(csr.asn_at(x_idx))) as u32;
+            offer::<DELTA, true, P>(
                 queue,
                 &mut scratch[x_idx],
                 keys,
@@ -1481,12 +1612,14 @@ impl<'g> RoutingEngine<'g> {
                 tie_key,
                 att.m_idx as u32,
                 x_idx as u32,
+                policy,
+                facts,
             );
         }
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn export_from<const DELTA: bool>(
+    fn export_from<const DELTA: bool, P: DefensePolicy>(
         &self,
         spec: &DestinationSpec,
         csr: &CsrIndex,
@@ -1499,9 +1632,11 @@ impl<'g> RoutingEngine<'g> {
         scratch: &mut [NodeScratch],
         keys: &[u128],
         epoch: u32,
+        policy: &P,
+        facts: &AttackFacts,
     ) {
         let node_asn = csr.asn_at(node);
-        let policy = pad.get(node).copied().flatten();
+        let pad_policy = pad.get(node).copied().flatten();
         let tie_key = tie_key_for(spec.tie, via_attacker, node_asn);
         let row = export_row(class);
         for &entry in csr.neighbors(node) {
@@ -1509,9 +1644,9 @@ impl<'g> RoutingEngine<'g> {
             let Some(receiver_class) = row[entry.rel() as usize] else {
                 continue;
             };
-            let weight = 1 + policy.map_or(0, |p| p.extra_for(csr.asn_at(x_idx))) as u32;
+            let weight = 1 + pad_policy.map_or(0, |p| p.extra_for(csr.asn_at(x_idx))) as u32;
             if via_attacker {
-                offer::<DELTA, true>(
+                offer::<DELTA, true, P>(
                     queue,
                     &mut scratch[x_idx],
                     keys,
@@ -1521,9 +1656,11 @@ impl<'g> RoutingEngine<'g> {
                     tie_key,
                     node as u32,
                     x_idx as u32,
+                    policy,
+                    facts,
                 );
             } else {
-                offer::<DELTA, false>(
+                offer::<DELTA, false, P>(
                     queue,
                     &mut scratch[x_idx],
                     keys,
@@ -1533,6 +1670,8 @@ impl<'g> RoutingEngine<'g> {
                     tie_key,
                     node as u32,
                     x_idx as u32,
+                    policy,
+                    facts,
                 );
             }
         }
@@ -1566,8 +1705,15 @@ pub(crate) fn export_row(class: RouteClass) -> [Option<RouteClass>; 4] {
 /// redundant: the better offer pops first and settles the node the same
 /// way). The mutable state it reads lives in the target's single
 /// [`NodeScratch`] entry.
+///
+/// When `VIA` (an attacker-derived offer) and the policy is not the
+/// compile-time [`NoDefense`] no-op, the receiver's [`DefensePolicy`] is
+/// consulted before anything else is recorded: a rejected offer vanishes as
+/// if the export never happened — it neither queues nor clobbers the lazy
+/// decrease-key rank. The `!P::NOOP` guard is a constant, so the default
+/// monomorphization compiles to the exact pre-policy hot path.
 #[allow(clippy::too_many_arguments)]
-fn offer<const DELTA: bool, const VIA: bool>(
+fn offer<const DELTA: bool, const VIA: bool, P: DefensePolicy>(
     queue: &mut BucketQueue,
     s: &mut NodeScratch,
     keys: &[u128],
@@ -1577,8 +1723,13 @@ fn offer<const DELTA: bool, const VIA: bool>(
     tie_key: (u8, u32),
     parent: u32,
     node: u32,
+    policy: &P,
+    facts: &AttackFacts,
 ) {
     if s.adopted_epoch == epoch || (VIA && s.chain_epoch == epoch) {
+        return;
+    }
+    if VIA && !P::NOOP && !policy.accepts_attacker_route(node as usize, class, facts) {
         return;
     }
     let pref = pack_pref(class, len, tie_key);

@@ -18,6 +18,10 @@
 //! * **full path reconstruction** ([`RoutingOutcome::observed_path`]) so the
 //!   detection algorithm can consume exactly what public route monitors
 //!   would see;
+//! * **per-AS defense policies** ([`policy`]): ROV, ASPA, peerlock-lite and
+//!   first-AS enforcement as import filters over attacker-derived
+//!   announcements, deployable at any subset of ASes — the Gao–Rexford
+//!   default stays a zero-cost monomorphization ([`NoDefense`]);
 //! * **churn events** ([`events`]) for generating realistic update streams.
 //!
 //! # Example
@@ -45,6 +49,7 @@ pub mod bgp;
 pub mod decision;
 mod engine;
 pub mod events;
+pub mod policy;
 pub mod prepend;
 mod table;
 
@@ -54,6 +59,9 @@ pub use decision::{RouteCandidate, TieBreak};
 pub use engine::{
     AttackStrategy, AttackerModel, DestinationSpec, ExportMode, RouteInfo, RouteWorkspace,
     RoutingEngine, RoutingOutcome,
+};
+pub use policy::{
+    AttackFacts, DefensePolicy, DeployedPolicy, DeploymentMap, NoDefense, PolicyKind,
 };
 pub use prepend::{PrependConfig, PrependingPolicy};
 pub use table::RouteTable;

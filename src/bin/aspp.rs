@@ -15,6 +15,7 @@
 //! aspp feed       [--replay] [--paper] [--shards N] [--baseline] [options]
 //! aspp serve      [--corpus FILE] [--restore FILE] [--checkpoint FILE] [options]
 //! aspp sweep      [--paper] [--seed N] [--pairs N] [--lambda-max N] [--serial]
+//! aspp defense    [--paper] [--seed N] [--policy P,..] [--deploy D,..] [options]
 //! aspp gen        [--scale S] [--seed N] [--out FILE]   synthesize a topology
 //! ```
 //!
@@ -141,6 +142,7 @@ fn main() -> ExitCode {
         "feed" => cmd_feed(&rest, &mut manifest),
         "serve" => cmd_serve(&rest, &mut manifest),
         "sweep" => cmd_sweep(&rest, &mut manifest),
+        "defense" => cmd_defense(&rest, &mut manifest),
         "gen" => cmd_gen(&rest, &mut manifest),
         "help" | "--help" | "-h" => {
             out!("{}", usage_text());
@@ -228,6 +230,10 @@ USAGE:
                   [--checkpoint FILE]      JSONL queries on stdin/stdout
   aspp sweep      [--paper] [--seed N] [--pairs N] [--lambda-max N]
                   [--batch] [--serial] [--workers N]
+  aspp defense    [--paper] [--seed N] [--pairs N] [--lambda N]
+                  [--policy rov,aspa,peerlock,first-as|all]
+                  [--deploy random,by-tier,top-degree|all]
+                  [--fractions F,F,..] [--serial] [--workers N] [--out FILE]
   aspp gen        [--scale smoke|paper|internet|internet-smoke] [--seed N]
                   [--out FILE]
 
@@ -1009,6 +1015,112 @@ fn cmd_sweep(args: &[String], manifest: &mut RunManifest) -> Result<(), String> 
                 pct(series(lambda_max)),
             );
         }
+    }
+    Ok(())
+}
+
+/// `aspp defense` — sweep defense policies (ROV, ASPA, peerlock-lite,
+/// first-AS enforcement) over deployment strategies and adoption
+/// fractions, reporting interception success at every grid cell for the
+/// paper's strip attack and an origin-hijack contrast.
+fn cmd_defense(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
+    use aspp_repro::experiments::defense::{self, DefenseConfig};
+
+    let flags = Flags::new(args);
+    let scale = flags.scale()?;
+    let seed = flags.seed()?;
+    let mut config = DefenseConfig::at_scale(scale, seed);
+    if let Some(pairs) = flags.parsed::<usize>("--pairs")? {
+        config.pairs = pairs.max(1);
+    }
+    if let Some(lambda) = flags.parsed::<usize>("--lambda")? {
+        config.lambda = lambda.max(1);
+    }
+    if let Some(raw) = flags.value("--policy") {
+        if raw != "all" {
+            config.kinds = raw
+                .split(',')
+                .map(|name| {
+                    PolicyKind::parse(name.trim()).ok_or(format!(
+                        "unknown policy {name:?} (expected rov, aspa, peerlock, first-as)"
+                    ))
+                })
+                .collect::<Result<_, _>>()?;
+        }
+    }
+    if let Some(raw) = flags.value("--deploy") {
+        if raw != "all" {
+            config.strategies = raw
+                .split(',')
+                .map(|name| {
+                    DeployStrategy::parse(name.trim()).ok_or(format!(
+                        "unknown deployment strategy {name:?} (expected random, by-tier, top-degree)"
+                    ))
+                })
+                .collect::<Result<_, _>>()?;
+        }
+    }
+    if let Some(raw) = flags.value("--fractions") {
+        config.fractions = raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid fraction {s:?}"))
+                    .and_then(|f| {
+                        if (0.0..=1.0).contains(&f) {
+                            Ok(f)
+                        } else {
+                            Err(format!("fraction {f} outside [0, 1]"))
+                        }
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        if config.fractions.is_empty() {
+            return Err("--fractions needs at least one value".into());
+        }
+    }
+    let serial = flags.has("--serial");
+    let workers = flags.parsed::<usize>("--workers")?.unwrap_or(0);
+    if serial && workers > 1 {
+        return Err("--serial and --workers are mutually exclusive".into());
+    }
+
+    record_scale(manifest, scale, seed);
+    let graph = scale.internet(seed);
+    record_topology(manifest, &graph);
+    manifest.push_strategy(&format!(
+        "defense grid: {} policies x {} strategies x {} fractions x {} pairs (lambda={}, {})",
+        config.kinds.len(),
+        config.strategies.len(),
+        config.fractions.len(),
+        config.pairs,
+        config.lambda,
+        if serial { "serial" } else { "batch" },
+    ));
+
+    let runner = if serial {
+        BatchRunner::new().serial()
+    } else {
+        BatchRunner::new().workers(workers)
+    };
+    let t0 = Instant::now();
+    let study = defense::run_with_runner(&graph, &config, &runner);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    manifest.push_phase("defense_sweep", wall_ms);
+
+    out!(
+        "defense: {} grid cells x {} pairs x 2 attacks on {} ASes in {:.1} ms [{}]",
+        config.kinds.len() * config.strategies.len() * config.fractions.len(),
+        config.pairs,
+        graph.len(),
+        wall_ms,
+        if serial { "serial" } else { "batch" },
+    );
+    let text = study.render();
+    out!("{text}");
+    if let Some(path) = flags.value("--out") {
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
     }
     Ok(())
 }

@@ -1,0 +1,165 @@
+//! Defense-policy equivalence: the `DefensePolicy` refactor of the
+//! adoption/export decision core must leave the default path **bit
+//! identical** to the pre-policy engine — `NoDefense` and an
+//! empty-deployment `DeployedPolicy` are the same equilibrium as plain
+//! `compute_with`, across the full 4-strategy × 2-export-mode × λ matrix —
+//! and policies that are *semantically blind* to an attack must not
+//! perturb it at any deployment fraction (ROV vs ASPP stripping, the
+//! repository's headline negative result).
+
+use aspp_repro::attack::defense::{deployment_order, run_defense_sweep, DeployStrategy};
+use aspp_repro::attack::sweep::{random_pair_experiments, strategy_matrix};
+use aspp_repro::experiments::Scale;
+use aspp_repro::prelude::*;
+use aspp_repro::routing::RouteInfo;
+use proptest::prelude::*;
+
+/// Every AS's final route (and clean route), in deterministic order.
+fn tables(outcome: &RoutingOutcome<'_>) -> Vec<(Option<RouteInfo>, Option<RouteInfo>)> {
+    let mut asns: Vec<Asn> = outcome.asns().collect();
+    asns.sort();
+    asns.into_iter()
+        .map(|a| (outcome.route(a), outcome.clean_route(a)))
+        .collect()
+}
+
+#[test]
+fn nodefense_and_empty_deployment_match_the_default_engine_exactly() {
+    let graph = Scale::Paper.internet(31);
+    let matrix: Vec<HijackExperiment> = random_pair_experiments(&graph, 1, 1, 31)
+        .iter()
+        .flat_map(|p| strategy_matrix(p.victim(), p.attacker(), 1..=8))
+        .collect();
+    assert_eq!(matrix.len(), 4 * 2 * 8, "full grid for one pair");
+
+    let engine = RoutingEngine::new(&graph);
+    let empty = DeployedPolicy::new(PolicyKind::Aspa, DeploymentMap::empty(graph.len()));
+    let mut default_ws = RouteWorkspace::new();
+    let mut nodefense_ws = RouteWorkspace::new();
+    let mut empty_ws = RouteWorkspace::new();
+    for exp in &matrix {
+        let spec = exp.to_spec();
+        let default = tables(&engine.compute_with(&spec, &mut default_ws));
+        let nodefense = tables(&engine.compute_with_policy(&spec, &mut nodefense_ws, &NoDefense));
+        assert_eq!(
+            default, nodefense,
+            "NoDefense diverges from the default engine for {exp:?}"
+        );
+        let undeployed = tables(&engine.compute_with_policy(&spec, &mut empty_ws, &empty));
+        assert_eq!(
+            default, undeployed,
+            "an empty deployment map diverges from the default engine for {exp:?}"
+        );
+    }
+}
+
+#[test]
+fn aspa_and_peerlock_deployment_curves_never_increase_pollution() {
+    let graph = Scale::Smoke.internet(47);
+    let exps: Vec<HijackExperiment> = random_pair_experiments(&graph, 5, 5, 47)
+        .into_iter()
+        .map(|e| e.export_mode(ExportMode::ViolateValleyFree))
+        .collect();
+    let fractions = [0.0, 0.1, 0.3, 0.5, 0.7, 1.0];
+    let points = run_defense_sweep(
+        &graph,
+        &exps,
+        &[PolicyKind::Aspa, PolicyKind::PeerlockLite],
+        &DeployStrategy::ALL,
+        &fractions,
+        13,
+        &BatchRunner::new(),
+    );
+    assert_eq!(points.len(), 2 * 3 * fractions.len());
+    for curve in points.chunks(fractions.len()) {
+        assert!(
+            curve
+                .windows(2)
+                .all(|w| w[1].mean_after <= w[0].mean_after + 1e-12),
+            "deployment must never help the attacker: {curve:?}"
+        );
+    }
+}
+
+#[test]
+fn universal_rov_extinguishes_origin_hijack_but_not_the_strip() {
+    let graph = Scale::Smoke.internet(53);
+    let pair = &random_pair_experiments(&graph, 1, 4, 53)[0];
+    let engine = RoutingEngine::new(&graph);
+    let rov_everywhere = DeployedPolicy::new(
+        PolicyKind::Rov,
+        DeploymentMap::from_indices(graph.len(), 0..graph.len()),
+    );
+    let mut ws = RouteWorkspace::new();
+
+    let hijack = pair
+        .strategy(AttackStrategy::OriginHijack)
+        .export_mode(ExportMode::ViolateValleyFree)
+        .to_spec();
+    assert!(
+        engine.compute_with(&hijack, &mut ws).polluted_count() > 0,
+        "undefended origin hijack must pollute for the contrast to mean anything"
+    );
+    let defended = engine.compute_with_policy(&hijack, &mut ws, &rov_everywhere);
+    assert_eq!(
+        defended.polluted_count(),
+        0,
+        "every AS validates origins, so no forged-origin route survives"
+    );
+
+    let strip = pair.export_mode(ExportMode::ViolateValleyFree).to_spec();
+    let undefended = engine.compute_with(&strip, &mut ws);
+    let rov_defended = engine.compute_with_policy(&strip, &mut ws, &rov_everywhere);
+    assert_eq!(
+        tables(&undefended),
+        tables(&rov_defended),
+        "the stripped announcement keeps the true origin: ROV sees nothing"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// ROV adoption at *any* fraction, under *any* deployment strategy,
+    /// is invisible to ASPP stripping: the attacked equilibrium is bit
+    /// identical to the undefended one for both strip variants and both
+    /// export modes.
+    #[test]
+    fn rov_at_any_fraction_never_changes_strip_outcomes(
+        seed in 0u64..1_000,
+        lambda in 2usize..=8,
+        percent in 0usize..=100,
+        strategy_idx in 0usize..3,
+    ) {
+        let graph = Scale::Smoke.internet(seed);
+        let strategy = DeployStrategy::ALL[strategy_idx];
+        let order = deployment_order(&graph, strategy, seed);
+        let k = (percent * order.len()).div_ceil(100);
+        let rov = DeployedPolicy::new(
+            PolicyKind::Rov,
+            DeploymentMap::from_asns(&graph, order[..k].iter().copied()),
+        );
+        let pair = &random_pair_experiments(&graph, 1, lambda, seed)[0];
+        let engine = RoutingEngine::new(&graph);
+        let mut ws = RouteWorkspace::new();
+        for attack in [
+            AttackStrategy::StripPadding { keep: 1 },
+            AttackStrategy::StripAllPadding,
+        ] {
+            for mode in [ExportMode::Compliant, ExportMode::ViolateValleyFree] {
+                let spec = pair.strategy(attack).export_mode(mode).to_spec();
+                let undefended = tables(&engine.compute_with(&spec, &mut ws));
+                let defended =
+                    tables(&engine.compute_with_policy(&spec, &mut ws, &rov));
+                prop_assert_eq!(
+                    &undefended,
+                    &defended,
+                    "ROV at {}% ({} ASes, {}) perturbed a strip equilibrium",
+                    percent,
+                    k,
+                    strategy
+                );
+            }
+        }
+    }
+}
