@@ -10,10 +10,13 @@
 //! the routing-system-scale topology — and since schema 6 the resident
 //! engine's `feed_ingest` wire hot path: zero-copy frame scan plus batched
 //! shard dispatch on an already-seeded engine, the steady-state cost the
-//! `aspp serve` service pays per record — and since schema 7 the
+//! `aspp serve` service pays per record — since schema 7 the
 //! `defense_sweep` deployment grid: every defense policy × adoption
 //! fraction re-evaluated through the per-cell policy batch engine, the
-//! workload behind `aspp defense`) and writes them as
+//! workload behind `aspp defense` — and since schema 8 the scenario
+//! engine's canonical multi-actor timeline plus the seeded Monte-Carlo
+//! impact estimator, including the internet-tier estimator wall seconds
+//! behind `aspp estimate --scale internet`) and writes them as
 //! `BENCH_engine.json` so
 //! the trajectory is tracked across PRs. Since schema 2 the snapshot embeds
 //! a run-provenance [`RunManifest`] (git revision, topology fingerprint,
@@ -276,6 +279,35 @@ fn main() {
     });
     let fig9_internet_wall_s = fig9_inet_started.elapsed().as_secs_f64();
 
+    // Scenario engine + Monte-Carlo estimator (since schema 8): the
+    // canonical five-step multi-actor timeline (per-step equilibria, LPM
+    // capture, detector scans) and the seeded estimator at bench scale,
+    // plus the estimator on the internet tier — the wall-seconds budget
+    // behind `aspp estimate --scale internet`.
+    use aspp_core::experiments::scenario as scenario_exp;
+    let scenario_runner = BatchRunner::new();
+    let scenario_run = scenario_exp::run_with_runner(&graph, scale, BENCH_SEED, &scenario_runner);
+    let scenario_ns = time_ns(1, 5, || {
+        black_box(scenario_exp::run_with_runner(
+            &graph,
+            scale,
+            BENCH_SEED,
+            &scenario_runner,
+        ));
+    });
+    let mc_estimate_ns = time_ns(1, 5, || {
+        black_box(scenario_exp::estimate_with_runner(
+            &graph,
+            scale,
+            BENCH_SEED,
+            &scenario_runner,
+        ));
+    });
+    let est_inet_started = Instant::now();
+    let inet_estimate =
+        scenario_exp::estimate_with_runner(&inet_graph, inet_scale, BENCH_SEED, &scenario_runner);
+    let estimate_internet_wall_s = est_inet_started.elapsed().as_secs_f64();
+
     let mut manifest = RunManifest::new("aspp-bench");
     manifest.seed = Some(BENCH_SEED);
     manifest.scale = Some(scale_name.to_string());
@@ -291,7 +323,7 @@ fn main() {
     let speedup = |full: u128, fast: u128| full as f64 / fast.max(1) as f64;
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": 7,");
+    let _ = writeln!(json, "  \"schema\": 8,");
     let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
     let _ = writeln!(json, "  \"nodes\": {},", graph.len());
     let _ = writeln!(json, "  \"internet_nodes\": {},", inet_graph.len());
@@ -305,6 +337,8 @@ fn main() {
     let _ = writeln!(json, "    \"strategy_matrix_serial\": {matrix_serial_ns},");
     let _ = writeln!(json, "    \"strategy_matrix_batch\": {matrix_batch_ns},");
     let _ = writeln!(json, "    \"defense_sweep\": {defense_sweep_ns},");
+    let _ = writeln!(json, "    \"scenario_timeline\": {scenario_ns},");
+    let _ = writeln!(json, "    \"mc_estimate\": {mc_estimate_ns},");
     let _ = writeln!(json, "    \"feed_replay_1shard\": {feed_1shard_ns},");
     let _ = writeln!(json, "    \"feed_replay_4shard\": {feed_4shard_ns},");
     let _ = writeln!(json, "    \"feed_ingest_1shard\": {feed_ingest_1shard_ns},");
@@ -323,6 +357,34 @@ fn main() {
         json,
         "  \"fig9_internet_wall_s\": {fig9_internet_wall_s:.3},"
     );
+    let _ = writeln!(
+        json,
+        "  \"estimate_internet_wall_s\": {estimate_internet_wall_s:.3},"
+    );
+    let _ = writeln!(json, "  \"scenario\": {{");
+    let _ = writeln!(json, "    \"steps\": {},", scenario_run.steps.len());
+    let _ = writeln!(
+        json,
+        "    \"final_polluted\": {:.4}",
+        scenario_run
+            .steps
+            .last()
+            .map_or(0.0, |s| s.polluted_fraction)
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"mc_estimate\": {{");
+    let _ = writeln!(json, "    \"samples\": {},", inet_estimate.points.len());
+    let _ = writeln!(
+        json,
+        "    \"internet_mean_pollution\": {:.4},",
+        inet_estimate.mean_pollution
+    );
+    let _ = writeln!(
+        json,
+        "    \"internet_pollution_ci\": [{:.4}, {:.4}]",
+        inet_estimate.pollution_ci.0, inet_estimate.pollution_ci.1
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"strategy_matrix\": {{");
     let _ = writeln!(json, "    \"cells\": {},", matrix.len());
     let _ = writeln!(json, "    \"pairs\": {}", matrix_pairs.len());

@@ -49,6 +49,7 @@ impl StealthStudy {
                 AttackStrategy::StripAllPadding => "ASPP strip-all (generalized)",
                 AttackStrategy::ForgeDirect => "forged adjacency (Ballani)",
                 AttackStrategy::OriginHijack => "origin hijack (MOAS)",
+                AttackStrategy::PoisonPath { .. } => "path poisoning (Smith)",
             };
             let mark = |b: bool| if b { "ALARM" } else { "-" };
             table.row([
@@ -73,6 +74,9 @@ impl StealthStudy {
             }
             AttackStrategy::ForgeDirect => row.link_anomaly,
             AttackStrategy::OriginHijack => row.moas,
+            // Poisoning forges a link, so the link monitor may or may not
+            // catch it; stealth is not claimed either way.
+            AttackStrategy::PoisonPath { .. } => true,
         })
     }
 }

@@ -27,6 +27,7 @@ pub mod defense;
 pub mod detection;
 pub mod extensions;
 pub mod impact;
+pub mod scenario;
 pub mod usage;
 
 use aspp_topology::gen::InternetConfig;
@@ -149,6 +150,64 @@ impl Scale {
             Scale::Paper => 45,
             Scale::Internet => 30,
             Scale::InternetSmoke => 20,
+        }
+    }
+
+    /// Cap on the sources probed per scenario step for the longest-prefix-
+    /// match capture fraction (`None` probes every AS). Capped at the
+    /// Internet tiers, where 80k per-step walks would dominate wall time.
+    #[must_use]
+    pub fn scenario_capture_sources(self) -> Option<usize> {
+        match self {
+            Scale::Smoke | Scale::Paper => None,
+            Scale::Internet => Some(2000),
+            Scale::InternetSmoke => Some(500),
+        }
+    }
+
+    /// Victim- and attacker-pool sizes for the Monte-Carlo impact
+    /// estimator. The pools bound the exact-enumeration cross-validation
+    /// (pool product cells) as well as the MC draw universe.
+    #[must_use]
+    pub fn estimator_pools(self) -> (usize, usize) {
+        match self {
+            Scale::Smoke => (10, 10),
+            Scale::Paper => (25, 25),
+            Scale::Internet => (40, 40),
+            Scale::InternetSmoke => (20, 20),
+        }
+    }
+
+    /// Monte-Carlo draws for the impact estimator (the cross-validation
+    /// pins the exact mean inside the 95% CI at the Paper count).
+    #[must_use]
+    pub fn estimator_samples(self) -> usize {
+        match self {
+            Scale::Smoke => 120,
+            Scale::Paper => 1000,
+            Scale::Internet => 600,
+            Scale::InternetSmoke => 200,
+        }
+    }
+
+    /// Bootstrap resamples behind the estimator's confidence intervals.
+    #[must_use]
+    pub fn estimator_resamples(self) -> usize {
+        match self {
+            Scale::Smoke => 300,
+            _ => 1000,
+        }
+    }
+
+    /// Per-sample vantage-subset size for the estimator (`None` measures
+    /// the full population; the Internet tiers subsample as Sermpezis et
+    /// al. do with real vantage points).
+    #[must_use]
+    pub fn estimator_vantages(self) -> Option<usize> {
+        match self {
+            Scale::Smoke | Scale::Paper => None,
+            Scale::Internet => Some(1000),
+            Scale::InternetSmoke => Some(500),
         }
     }
 }

@@ -38,6 +38,7 @@ pub use aspp_detect as detect;
 pub use aspp_feed as feed;
 pub use aspp_obs as obs;
 pub use aspp_routing as routing;
+pub use aspp_scenario as scenario;
 pub use aspp_topology as topology;
 pub use aspp_types as types;
 
@@ -61,6 +62,10 @@ pub mod prelude {
         DeployedPolicy, DeploymentMap, DestinationSpec, ExportMode as RoutingExportMode, NoDefense,
         OutcomeAudit, PolicyKind, PrependConfig, PrependingPolicy, RouteTable, RoutingEngine,
         RoutingOutcome, TieBreak,
+    };
+    pub use aspp_scenario::{
+        estimate as mc_estimate, timeline, Action, Estimate, EstimatorConfig, Scenario,
+        ScenarioRun, StepReport,
     };
     pub use aspp_topology::{gen::InternetConfig, infer, metrics, tier::TierMap, AsGraph};
     pub use aspp_types::{well_known, Announcement, AsPath, Asn, Ipv4Prefix, Relationship};

@@ -32,7 +32,9 @@
 
 pub mod forwarding;
 mod latency;
+pub mod lpm;
 mod trace;
 
 pub use latency::{Region, RegionMap};
+pub use lpm::{lpm_walk, LpmDelivery, PrefixTable};
 pub use trace::{simulate_traceroute, Traceroute, TracerouteHop};

@@ -529,6 +529,9 @@ mod tests {
                 AttackStrategy::OriginHijack => {
                     assert!(report.moas, "stolen origin is a MOAS conflict");
                 }
+                AttackStrategy::PoisonPath { .. } => {
+                    assert!(!report.moas, "origin stays genuine");
+                }
             }
         }
     }

@@ -166,6 +166,24 @@ impl FeedReport {
         (secs > 0.0).then(|| self.records_in as f64 / secs)
     }
 
+    /// Batches dequeued across all shards. Reported separately from
+    /// [`records_in`](Self::records_in): a "throughput" figure quoted in
+    /// records/sec says nothing about batching efficacy, and dividing
+    /// records by batches recovers the realized batch size the pipeline
+    /// actually achieved (as opposed to the configured ceiling).
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.batches).sum()
+    }
+
+    /// Realized mean batch size (`records_in / batches`), or `None` when
+    /// no batch was dequeued.
+    #[must_use]
+    pub fn realized_batch(&self) -> Option<f64> {
+        let batches = self.batches();
+        (batches > 0).then(|| self.records_in as f64 / batches as f64)
+    }
+
     /// The `pct`-th percentile (0–100) of enqueue-to-alarm latency, in
     /// microseconds. `None` when no alarms fired.
     ///

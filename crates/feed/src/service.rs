@@ -98,8 +98,12 @@ pub struct DetectionService {
     engine: FeedEngine,
     alarms: Vec<StreamAlarm>,
     records_in: u64,
+    batches_in: u64,
     restores: u64,
     checkpoint_file: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
+    records_since_checkpoint: u64,
+    auto_checkpoints: u64,
 }
 
 impl DetectionService {
@@ -110,8 +114,12 @@ impl DetectionService {
             engine,
             alarms: Vec::new(),
             records_in: 0,
+            batches_in: 0,
             restores: 0,
             checkpoint_file: None,
+            checkpoint_every: None,
+            records_since_checkpoint: 0,
+            auto_checkpoints: 0,
         }
     }
 
@@ -121,6 +129,28 @@ impl DetectionService {
     pub fn checkpoint_file(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint_file = Some(path.into());
         self
+    }
+
+    /// Arms the periodic auto-checkpoint: after every ingest that brings
+    /// the records-since-last-checkpoint tally to `every` or beyond, the
+    /// service writes the configured [`checkpoint_file`](Self::checkpoint_file)
+    /// unprompted. The cadence is counted in *records*, not wall time, so
+    /// an idle service never touches the disk and a kill between cadences
+    /// loses at most `every + one_batch` records of progress — the restore
+    /// path replays the stream tail from the checkpoint cursor and the
+    /// alarm sequence is bit-identical to the uninterrupted run.
+    /// `every == 0` disables the cadence again.
+    #[must_use]
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = (every > 0).then_some(every);
+        self
+    }
+
+    /// Auto-checkpoints written so far by the cadence configured through
+    /// [`checkpoint_every`](Self::checkpoint_every).
+    #[must_use]
+    pub fn auto_checkpoints(&self) -> u64 {
+        self.auto_checkpoints
     }
 
     /// Restores engine state from a checkpoint file written earlier.
@@ -203,10 +233,12 @@ impl DetectionService {
         let mut w = ok("status");
         w.field_u64("cursor", self.engine.cursor());
         w.field_u64("records_in", self.records_in);
+        w.field_u64("batches_in", self.batches_in);
         w.field_u64("alarms", self.alarms.len() as u64);
         w.field_u64("tracked_prefixes", self.engine.tracked_prefixes() as u64);
         w.field_u64("shards", self.engine.shards() as u64);
         w.field_u64("restores", self.restores);
+        w.field_u64("auto_checkpoints", self.auto_checkpoints);
         w.finish()
     }
 
@@ -244,22 +276,51 @@ impl DetectionService {
         };
         match self.engine.ingest_wire(&bytes) {
             Ok(report) => {
+                let batches = report.batches();
                 self.records_in += report.records_in;
+                self.batches_in += batches;
+                self.records_since_checkpoint += report.records_in;
                 let new = report.alarms.len();
                 let rate = report.records_per_sec();
                 self.alarms.extend(report.alarms);
                 let mut w = ok("ingest");
                 w.field_str("file", &file);
                 w.field_u64("records", report.records_in);
+                w.field_u64("batches", batches);
                 w.field_u64("alarms", new as u64);
                 w.field_u64("cursor", self.engine.cursor());
                 if let Some(rate) = rate {
                     w.field_f64("records_per_sec", rate);
                 }
+                if let Some(note) = self.maybe_auto_checkpoint() {
+                    match note {
+                        Ok(path) => w.field_str("auto_checkpoint", &path),
+                        Err(e) => w.field_str("auto_checkpoint_error", &e),
+                    }
+                }
                 w.finish()
             }
             Err(e) => fail(&format!("ingest failed: {e}")),
         }
+    }
+
+    /// Fires the record-count checkpoint cadence when armed and due.
+    /// Returns `None` when no checkpoint was attempted; the tally resets
+    /// even on a failed write so one bad disk does not retry every batch.
+    fn maybe_auto_checkpoint(&mut self) -> Option<Result<String, String>> {
+        let every = self.checkpoint_every?;
+        if self.records_since_checkpoint < every {
+            return None;
+        }
+        let path = self.checkpoint_file.clone()?;
+        self.records_since_checkpoint = 0;
+        Some(match self.write_checkpoint(&path) {
+            Ok(_) => {
+                self.auto_checkpoints += 1;
+                Ok(path.display().to_string())
+            }
+            Err(e) => Err(e),
+        })
     }
 
     fn checkpoint(&mut self, line: &str) -> String {
@@ -468,6 +529,88 @@ mod tests {
         assert!(status.contains("\"restores\":1"), "{status}");
         let _ = fs::remove_file(&stream);
         let _ = fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn auto_checkpoint_cadence_survives_a_kill_between_cadences() {
+        let (graph, seeds, updates) = attack_world();
+        let p: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        // A 3-record stream: the cadence (every 2 records) fires after the
+        // second, leaving the third uncheckpointed when the service dies.
+        let mut stream = updates;
+        stream.push(UpdateRecord {
+            seq: 2,
+            monitor: Asn(55),
+            prefix: p,
+            action: UpdateAction::Announce("55 10 1".parse().unwrap()),
+        });
+        stream.push(UpdateRecord {
+            seq: 3,
+            monitor: Asn(77),
+            prefix: p,
+            action: UpdateAction::Announce("77 66 10 1".parse().unwrap()),
+        });
+        let head = tmp("cadence_head.bin");
+        let tail = tmp("cadence_tail.bin");
+        let ckpt = tmp("cadence.ckpt");
+        fs::write(&head, encode_records(&stream[..2])).unwrap();
+        fs::write(&tail, encode_records(&stream[2..])).unwrap();
+
+        let mut engine = FeedEngine::new(Arc::clone(&graph), &FeedConfig::new(2));
+        engine.seed_from_corpus(&seeds);
+        let mut service = DetectionService::new(engine)
+            .checkpoint_file(&ckpt)
+            .checkpoint_every(2);
+
+        // First life: the head ingest crosses the cadence and checkpoints
+        // unprompted; the tail ingest stays below it and does not.
+        let (head_resp, _) = service.handle(&format!(
+            "{{\"cmd\":\"ingest\",\"file\":\"{}\"}}",
+            head.display()
+        ));
+        assert!(head_resp.contains("\"auto_checkpoint\""), "{head_resp}");
+        assert_eq!(service.auto_checkpoints(), 1);
+        let (tail_resp, _) = service.handle(&format!(
+            "{{\"cmd\":\"ingest\",\"file\":\"{}\"}}",
+            tail.display()
+        ));
+        assert!(!tail_resp.contains("\"auto_checkpoint\""), "{tail_resp}");
+        assert_eq!(service.engine().cursor(), 3);
+        let status = service.status();
+        assert!(status.contains("\"auto_checkpoints\":1"), "{status}");
+        assert!(status.contains("\"batches_in\":"), "{status}");
+        let full_alarms = service.alarms().to_vec();
+        // Kill between cadences: drop without drain — no final checkpoint.
+        drop(service);
+
+        // Second life: restore lands on the cadence point (cursor 2, not
+        // 3), and replaying the lost tail reconverges to the same alarms.
+        let engine = FeedEngine::new(graph, &FeedConfig::new(2));
+        let mut revived = DetectionService::new(engine);
+        revived.restore_from_file(&ckpt).unwrap();
+        assert_eq!(
+            revived.engine().cursor(),
+            2,
+            "the post-cadence record is the only loss"
+        );
+        let (replay, _) = revived.handle(&format!(
+            "{{\"cmd\":\"ingest\",\"file\":\"{}\"}}",
+            tail.display()
+        ));
+        assert!(replay.contains("\"ok\":true"), "{replay}");
+        assert_eq!(revived.engine().cursor(), 3);
+        let tail_alarms: Vec<&StreamAlarm> = full_alarms
+            .iter()
+            .filter(|a| a.triggered_by_seq > 2)
+            .collect();
+        assert_eq!(
+            revived.alarms().iter().collect::<Vec<_>>(),
+            tail_alarms,
+            "replayed tail must raise the uninterrupted run's tail alarms"
+        );
+        for f in [&head, &tail, &ckpt] {
+            let _ = fs::remove_file(f);
+        }
     }
 
     #[test]

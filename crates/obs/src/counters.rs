@@ -86,11 +86,20 @@ pub enum Counter {
     /// Attacker-derived route offers rejected by a deploying AS's defense
     /// policy.
     PolicyReject,
+    /// Timeline steps executed by the scenario engine (one equilibrium
+    /// table per step).
+    ScenarioStep,
+    /// (victim, attacker) cells evaluated by the Monte-Carlo impact
+    /// estimator — exact-enumeration cells included.
+    McSample,
+    /// Bootstrap resamples drawn when forming the estimator's confidence
+    /// intervals.
+    McResample,
 }
 
 impl Counter {
     /// Number of distinct counters.
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 28;
 
     /// All counters, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -119,6 +128,9 @@ impl Counter {
         Counter::ServeQuery,
         Counter::PolicyCheck,
         Counter::PolicyReject,
+        Counter::ScenarioStep,
+        Counter::McSample,
+        Counter::McResample,
     ];
 
     /// The counter's stable snake_case name, used as the JSON key and the
@@ -151,6 +163,9 @@ impl Counter {
             Counter::ServeQuery => "serve_queries",
             Counter::PolicyCheck => "policy_checks",
             Counter::PolicyReject => "policy_rejects",
+            Counter::ScenarioStep => "scenario_steps",
+            Counter::McSample => "mc_samples",
+            Counter::McResample => "mc_resamples",
         }
     }
 }

@@ -490,6 +490,15 @@ fn attack_ctx(outcome: &RoutingOutcome<'_>) -> AttackCtx {
     let mut on_chain = vec![false; clean.len()];
     match strategy {
         AttackStrategy::OriginHijack => on_chain[m_idx] = true,
+        AttackStrategy::PoisonPath { poisoned } => {
+            for i in chain_of(clean, m_idx) {
+                on_chain[i] = true;
+            }
+            // Loop prevention also fires at the spliced-in poisoned AS.
+            if let Some(p_idx) = outcome.graph().index_of(poisoned) {
+                on_chain[p_idx] = true;
+            }
+        }
         _ => {
             for i in chain_of(clean, m_idx) {
                 on_chain[i] = true;

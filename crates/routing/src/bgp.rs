@@ -383,6 +383,12 @@ impl<'g> BgpSimulation<'g> {
                 }
                 AttackStrategy::ForgeDirect => AsPath::origin_with_padding(spec.victim(), 1),
                 AttackStrategy::OriginHijack => AsPath::new(),
+                AttackStrategy::PoisonPath { poisoned } => {
+                    let mut p = best.path.clone();
+                    p.strip_all_padding();
+                    p.prepend(poisoned);
+                    p
+                }
             };
             Some((self.graph.asn_at(m), base))
         });
@@ -504,6 +510,14 @@ fn attacker_exports(
         // Origin hijacks were announced unconditionally at start-up; the
         // attacker's own best route never changes what it lies about.
         AttackStrategy::OriginHijack => return Vec::new(),
+        // The claimed path carries the poisoned ASN, so ordinary loop
+        // prevention rejects it there — no extra poison-set machinery.
+        AttackStrategy::PoisonPath { poisoned } => {
+            let mut p = best.path.clone();
+            p.strip_all_padding();
+            p.prepend(poisoned);
+            p
+        }
     };
     let export_class = best.class;
 

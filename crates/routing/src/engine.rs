@@ -142,6 +142,17 @@ pub enum AttackStrategy {
     /// ownership and blackholing the traffic. Detectable as a MOAS
     /// conflict.
     OriginHijack,
+    /// The poisoning-style forgery (Smith et al., "Withdrawing the BGP
+    /// Re-Routing Curtain"): strip every prepend run from the received
+    /// route and splice `poisoned` in right after the attacker, claiming
+    /// `[M P ASn … V]`. BGP loop prevention makes AS `P` reject the
+    /// announcement, so the attacker steers its pollution *around* a chosen
+    /// AS at the cost of one extra hop of claimed length. A `poisoned` ASN
+    /// absent from the topology degrades to pure +1 path inflation.
+    PoisonPath {
+        /// The AS the forged path claims to traverse (and thereby excludes).
+        poisoned: Asn,
+    },
 }
 
 impl Default for AttackStrategy {
@@ -1109,6 +1120,13 @@ impl<'g> RoutingEngine<'g> {
         let attacked = spec.attacker.as_ref().and_then(|att| {
             let m_idx = self.graph.index_of(att.asn).expect("checked above");
             let m_route = clean.get(m_idx)?;
+            // Delta soundness additionally requires the rejection chain to
+            // be closed under clean parents: every chain node's clean
+            // parent must itself reject malicious labels, or a chain node
+            // could be left holding a clean route its adopting parent no
+            // longer exports. M's own clean chain is parent-closed by
+            // construction; a poisoned splice generally is not.
+            let mut chain_parent_closed = true;
             let (base_len, chain) = match att.strategy {
                 AttackStrategy::StripPadding { keep } => {
                     // Reconstruct M's received path to find the strippable
@@ -1130,6 +1148,24 @@ impl<'g> RoutingEngine<'g> {
                 // Claimed path [M]: the attacker owns the prefix outright
                 // and does not care about a forwarding route.
                 AttackStrategy::OriginHijack => (0, vec![m_idx]),
+                // Claimed path [M P ASn … V]: the stripped route plus the
+                // poisoned splice. Loop prevention at P joins the rejection
+                // chain alongside M's own forwarding chain.
+                AttackStrategy::PoisonPath { poisoned } => {
+                    let m_path = reconstruct_received(self.graph, spec, &clean, None, m_idx)?;
+                    let mut chain = chain_of(&clean, m_idx);
+                    if let Some(p_idx) = self.graph.index_of(poisoned) {
+                        if !chain.contains(&p_idx) {
+                            chain.push(p_idx);
+                            // The spliced node's clean parent sits off the
+                            // chain and may adopt the malicious route; the
+                            // node must then re-select, which only the full
+                            // propagation models.
+                            chain_parent_closed = false;
+                        }
+                    }
+                    (m_path.unique_len() as u32 + 1, chain)
+                }
             };
             let seed = AttackSeed {
                 m_idx,
@@ -1168,7 +1204,7 @@ impl<'g> RoutingEngine<'g> {
             // offer would be left holding a dangling route the parent no
             // longer exports. Policied passes therefore always run the full
             // propagation.
-            if use_delta && P::NOOP {
+            if use_delta && P::NOOP && chain_parent_closed {
                 // Whether the delta pass survives is a pure function of
                 // (graph, spec), so a spec that fell back once will fall
                 // back every time: remember it and skip the doomed attempt.
@@ -2150,6 +2186,12 @@ impl RoutingOutcome<'_> {
             }
             AttackStrategy::ForgeDirect => Some(AsPath::origin_with_padding(self.spec.victim(), 1)),
             AttackStrategy::OriginHijack => Some(AsPath::new()),
+            AttackStrategy::PoisonPath { poisoned } => {
+                let mut p = reconstruct_received(self.graph, &self.spec, &self.clean, None, m_idx)?;
+                p.strip_all_padding();
+                p.prepend(poisoned);
+                Some(p)
+            }
         }
     }
 

@@ -265,6 +265,19 @@ pub(crate) fn facts_for(
             t1_in_path: is_t1(graph, m_idx),
             forged_first_hop: false,
         },
+        AttackStrategy::PoisonPath { poisoned } => {
+            // The claimed path is [M P ASn … V]: the origin is genuine, but
+            // the spliced M→P hop is a fabricated adjacency, so attestation
+            // of the pair behind M always fails.
+            let chain = crate::engine::chain_of(clean, m_idx);
+            AttackFacts {
+                forged_origin: false,
+                aspa_invalid: true,
+                t1_in_path: chain.iter().any(|&i| is_t1(graph, i))
+                    || graph.index_of(poisoned).is_some_and(|i| is_t1(graph, i)),
+                forged_first_hop: false,
+            }
+        }
     }
 }
 

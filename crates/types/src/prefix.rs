@@ -182,6 +182,35 @@ impl Ipv4Prefix {
         ))
     }
 
+    /// The lowest host address covered by the prefix (the network address
+    /// itself) — a canonical probe destination for longest-prefix-match
+    /// walks.
+    ///
+    /// ```
+    /// # use aspp_types::Ipv4Prefix;
+    /// let p: Ipv4Prefix = "10.128.0.0/9".parse().unwrap();
+    /// assert_eq!(p.first_addr(), 0x0a80_0000);
+    /// ```
+    #[must_use]
+    pub const fn first_addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// The highest host address covered by the prefix — the probe that a
+    /// lower-half more-specific announcement can never capture.
+    ///
+    /// ```
+    /// # use aspp_types::Ipv4Prefix;
+    /// let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+    /// assert_eq!(p.last_addr(), 0x0aff_ffff);
+    /// let (lo, _) = p.split().unwrap();
+    /// assert!(!lo.contains_addr(p.last_addr()));
+    /// ```
+    #[must_use]
+    pub fn last_addr(&self) -> u32 {
+        self.addr | !Self::mask_for(self.len)
+    }
+
     fn mask_for(len: u8) -> u32 {
         if len == 0 {
             0
@@ -332,6 +361,20 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn containing_panics_on_bad_length() {
         let _ = Ipv4Prefix::containing(0, 40);
+    }
+
+    #[test]
+    fn probe_addresses_bound_the_block() {
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        assert!(p.contains_addr(p.first_addr()));
+        assert!(p.contains_addr(p.last_addr()));
+        let (lo, hi) = p.split().unwrap();
+        assert!(lo.contains_addr(p.first_addr()));
+        assert!(hi.contains_addr(p.last_addr()));
+        assert!(!lo.contains_addr(p.last_addr()));
+        assert!(!hi.contains_addr(p.first_addr()));
+        let host: Ipv4Prefix = "1.2.3.4/32".parse().unwrap();
+        assert_eq!(host.first_addr(), host.last_addr());
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn main() {
             AttackStrategy::StripAllPadding => "ASPP strip-all",
             AttackStrategy::ForgeDirect => "forged adjacency",
             AttackStrategy::OriginHijack => "origin hijack",
+            AttackStrategy::PoisonPath { .. } => "path poisoning",
         };
         let mark = |b: bool| if b { "ALARM" } else { "-" };
         println!(

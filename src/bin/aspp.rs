@@ -16,6 +16,8 @@
 //! aspp serve      [--corpus FILE] [--restore FILE] [--checkpoint FILE] [options]
 //! aspp sweep      [--paper] [--seed N] [--pairs N] [--lambda-max N] [--serial]
 //! aspp defense    [--paper] [--seed N] [--policy P,..] [--deploy D,..] [options]
+//! aspp scenario   [--scale S] [--seed N] [--serial] [--workers N] [--out FILE]
+//! aspp estimate   [--scale S] [--seed N] [--samples N] [--exact] [options]
 //! aspp gen        [--scale S] [--seed N] [--out FILE]   synthesize a topology
 //! ```
 //!
@@ -143,6 +145,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&rest, &mut manifest),
         "sweep" => cmd_sweep(&rest, &mut manifest),
         "defense" => cmd_defense(&rest, &mut manifest),
+        "scenario" => cmd_scenario(&rest, &mut manifest),
+        "estimate" => cmd_estimate(&rest, &mut manifest),
         "gen" => cmd_gen(&rest, &mut manifest),
         "help" | "--help" | "-h" => {
             out!("{}", usage_text());
@@ -214,7 +218,8 @@ USAGE:
   aspp stealth    [--seed N]
   aspp mitigate   [--seed N]
   aspp simulate   --victim ASN --attacker ASN [--padding N] [--keep N]
-                  [--violate] [--strategy strip|strip-all|forge|origin]
+                  [--violate] [--strategy strip|strip-all|forge|origin|poison]
+                  [--poison ASN]
                   [--scale small|medium|large] [--seed N]
   aspp corpus     --out FILE [--prefixes N] [--monitors N] [--seed N]
   aspp measure    FILE
@@ -227,17 +232,26 @@ USAGE:
                   [--corpus-out FILE] [--in FILE --corpus FILE] [--lenient]
   aspp serve      [--scale S] [--seed N] [--shards N] [--capacity N]
                   [--batch N] [--corpus FILE] [--restore FILE]
-                  [--checkpoint FILE]      JSONL queries on stdin/stdout
+                  [--checkpoint FILE] [--checkpoint-every N]
+                  JSONL queries on stdin/stdout
   aspp sweep      [--paper] [--seed N] [--pairs N] [--lambda-max N]
                   [--batch] [--serial] [--workers N]
   aspp defense    [--paper] [--seed N] [--pairs N] [--lambda N]
                   [--policy rov,aspa,peerlock,first-as|all]
                   [--deploy random,by-tier,top-degree|all]
                   [--fractions F,F,..] [--serial] [--workers N] [--out FILE]
+  aspp scenario   [--scale S] [--seed N] [--serial] [--workers N] [--out FILE]
+                  scripted multi-actor timeline (strip, λ escalation,
+                  subprefix hijack, path poisoning, MOAS) with per-step
+                  equilibria, LPM capture, alarms, and churn
+  aspp estimate   [--scale S] [--seed N] [--samples N] [--resamples N]
+                  [--exact] [--serial] [--workers N] [--out FILE]
+                  seeded Monte-Carlo impact estimator with bootstrap CIs
+                  (--exact cross-validates against full enumeration)
   aspp gen        [--scale smoke|paper|internet|internet-smoke] [--seed N]
                   [--out FILE]
 
-SCALES (usage/impact/detection/selection/audit/feed/sweep/gen):
+SCALES (usage/impact/detection/selection/audit/feed/sweep/scenario/estimate/gen):
   --scale smoke|paper|internet|internet-smoke   (~150 / ~1.5k / ~80k / ~20k
   ASes; --paper remains shorthand for --scale paper)
 
@@ -452,6 +466,14 @@ fn cmd_simulate(args: &[String], manifest: &mut RunManifest) -> Result<(), Strin
         "strip-all" => AttackStrategy::StripAllPadding,
         "forge" => AttackStrategy::ForgeDirect,
         "origin" => AttackStrategy::OriginHijack,
+        "poison" => {
+            let poisoned = flags
+                .parsed::<u32>("--poison")?
+                .ok_or("--strategy poison requires --poison ASN")?;
+            AttackStrategy::PoisonPath {
+                poisoned: Asn(poisoned),
+            }
+        }
         other => return Err(format!("unknown strategy {other:?}")),
     };
     let mode = if flags.has("--violate") {
@@ -803,6 +825,14 @@ fn cmd_feed(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
         ),
     }
     out!(
+        "batching: {} records in {} batches (realized batch {})",
+        report.records_in,
+        report.batches(),
+        report
+            .realized_batch()
+            .map_or_else(|| "n/a".to_string(), |b| format!("{b:.1}")),
+    );
+    out!(
         "alarms: {} ({} injected interceptions in the stream)",
         report.alarms.len(),
         attacks,
@@ -885,6 +915,12 @@ fn cmd_serve(args: &[String], manifest: &mut RunManifest) -> Result<(), String> 
     let mut service = DetectionService::new(engine);
     if let Some(path) = flags.value("--checkpoint") {
         service = service.checkpoint_file(path);
+    }
+    if let Some(every) = flags.parsed::<u64>("--checkpoint-every")? {
+        if flags.value("--checkpoint").is_none() {
+            return Err("--checkpoint-every requires --checkpoint FILE".into());
+        }
+        service = service.checkpoint_every(every);
     }
     if let Some(path) = flags.value("--restore") {
         service
@@ -983,6 +1019,7 @@ fn cmd_sweep(args: &[String], manifest: &mut RunManifest) -> Result<(), String> 
         AttackStrategy::StripAllPadding => "strip-all",
         AttackStrategy::ForgeDirect => "forge",
         AttackStrategy::OriginHijack => "origin",
+        AttackStrategy::PoisonPath { .. } => "poison",
     };
     let mode_label = |m: ExportMode| match m {
         ExportMode::Compliant => "compliant",
@@ -1118,6 +1155,136 @@ fn cmd_defense(args: &[String], manifest: &mut RunManifest) -> Result<(), String
         if serial { "serial" } else { "batch" },
     );
     let text = study.render();
+    out!("{text}");
+    if let Some(path) = flags.value("--out") {
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// `aspp scenario` — run the canonical multi-actor timeline: the paper's
+/// ASPP strip at t0, victim λ escalation at t1, a competing subprefix
+/// hijack at t2, path poisoning at t3, and a MOAS origin conflict at t4,
+/// each step a full per-prefix equilibrium batch with data-plane LPM
+/// capture, detector alarms, and inter-step churn.
+fn cmd_scenario(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
+    use aspp_repro::experiments::scenario;
+
+    let flags = Flags::new(args);
+    let scale = flags.scale()?;
+    let seed = flags.seed()?;
+    let serial = flags.has("--serial");
+    let workers = flags.parsed::<usize>("--workers")?.unwrap_or(0);
+    if serial && workers > 1 {
+        return Err("--serial and --workers are mutually exclusive".into());
+    }
+
+    record_scale(manifest, scale, seed);
+    let graph = scale.internet(seed);
+    record_topology(manifest, &graph);
+
+    let runner = if serial {
+        BatchRunner::new().serial()
+    } else {
+        BatchRunner::new().workers(workers)
+    };
+    let t0 = Instant::now();
+    let run = scenario::run_with_runner(&graph, scale, seed, &runner);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    manifest.push_phase("scenario", wall_ms);
+    manifest.push_strategy(&format!(
+        "scenario: victim=AS{} {} steps on {} ASes ({})",
+        run.victim,
+        run.steps.len(),
+        graph.len(),
+        if serial { "serial" } else { "batch" },
+    ));
+
+    out!(
+        "scenario: {} timeline steps on {} ASes in {:.1} ms [{}]",
+        run.steps.len(),
+        graph.len(),
+        wall_ms,
+        if serial { "serial" } else { "batch" },
+    );
+    let text = run.render();
+    out!("{text}");
+    if let Some(path) = flags.value("--out") {
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// `aspp estimate` — the seeded Monte-Carlo impact estimator: sampled
+/// (victim, attacker) pairs and optional vantage subsets, with bootstrap
+/// confidence intervals. `--exact` additionally enumerates every pool
+/// cell and reports whether the exact mean lies inside the 95% CI.
+fn cmd_estimate(args: &[String], manifest: &mut RunManifest) -> Result<(), String> {
+    use aspp_repro::experiments::scenario::{self, cross_validate};
+
+    let flags = Flags::new(args);
+    let scale = flags.scale()?;
+    let seed = flags.seed()?;
+    let serial = flags.has("--serial");
+    let workers = flags.parsed::<usize>("--workers")?.unwrap_or(0);
+    if serial && workers > 1 {
+        return Err("--serial and --workers are mutually exclusive".into());
+    }
+    let mut config = scenario::estimator_config(scale, seed);
+    if let Some(samples) = flags.parsed::<usize>("--samples")? {
+        config.samples = samples.max(1);
+    }
+    if let Some(resamples) = flags.parsed::<usize>("--resamples")? {
+        config.resamples = resamples.max(1);
+    }
+
+    record_scale(manifest, scale, seed);
+    let graph = scale.internet(seed);
+    record_topology(manifest, &graph);
+    manifest.push_strategy(&format!(
+        "estimate: {} samples over {}x{} pools, {} resamples ({})",
+        config.samples,
+        config.victims,
+        config.attackers,
+        config.resamples,
+        if serial { "serial" } else { "batch" },
+    ));
+
+    let runner = if serial {
+        BatchRunner::new().serial()
+    } else {
+        BatchRunner::new().workers(workers)
+    };
+    let t0 = Instant::now();
+    let mut text = if flags.has("--exact") {
+        let (est, exact, within) = cross_validate(&graph, &config);
+        manifest.push_phase("estimate_cross_validate", t0.elapsed().as_secs_f64() * 1e3);
+        let mut text = est.render();
+        text.push_str(&format!(
+            "exact enumeration: {} cells, mean pollution {}%, mean interception {}%\n\
+             cross-validation: exact mean {} the 95% CI\n",
+            exact.cells,
+            pct(exact.mean_pollution),
+            pct(exact.mean_interception),
+            if within { "inside" } else { "OUTSIDE" },
+        ));
+        if !within {
+            out!("{text}");
+            return Err("exact mean fell outside the bootstrap CI".into());
+        }
+        text
+    } else {
+        let est = mc_estimate::estimate_with(&graph, &config, &runner);
+        manifest.push_phase("estimate", t0.elapsed().as_secs_f64() * 1e3);
+        est.render()
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    text.push_str(&format!(
+        "wall: {:.1} ms on {} ASes [{}]\n",
+        wall_ms,
+        graph.len(),
+        if serial { "serial" } else { "batch" },
+    ));
     out!("{text}");
     if let Some(path) = flags.value("--out") {
         std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
